@@ -1,0 +1,45 @@
+//! # serscale-beam
+//!
+//! The radiation-environment substrate of the serscale workspace: a model of
+//! the accelerated neutron source the paper's campaign used (TRIUMF's
+//! Neutron irradiation Facility, TNF) and of the natural reference
+//! environment (JEDEC NYC sea level) the FIT extrapolation targets.
+//!
+//! * [`facility`] — the beam line: center flux band, halo positioning (the
+//!   paper had to raise the DUT into the beam halo, at a dosimeter-measured
+//!   0.60 flux ratio, to keep it bootable), thermal-neutron contamination.
+//! * [`dosimeter`] — the SRAM "golden board" dosimeter used to measure the
+//!   halo/center flux ratio, including the repeat-measurement procedure that
+//!   produced the paper's 0.60 ± 0.02 figure.
+//! * [`exposure`] — the fluence ledger: who got irradiated for how long at
+//!   what flux, with the NYC-equivalent bookkeeping of Table 2.
+//! * [`scheduler`] — Poisson strike arrivals: turns (cross-section, flux,
+//!   window) into a deterministic-under-seed sequence of strike instants.
+//!
+//! ## Example
+//!
+//! ```
+//! use serscale_beam::facility::{BeamFacility, BeamPosition};
+//! use serscale_types::SimDuration;
+//!
+//! let tnf = BeamFacility::tnf();
+//! let halo = BeamPosition::halo(BeamPosition::PAPER_HALO_TRANSMISSION);
+//! let flux = tnf.flux_at(halo);
+//! // The paper's working flux: 1.5e6 n/cm²/s, scaled from the 2.5e6 center.
+//! assert!((flux.as_per_cm2_s() - 1.5e6).abs() < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dosimeter;
+pub mod exposure;
+pub mod facility;
+pub mod scheduler;
+pub mod spectrum;
+
+pub use dosimeter::SramDosimeter;
+pub use exposure::FluenceLedger;
+pub use facility::{BeamFacility, BeamPosition};
+pub use scheduler::StrikeScheduler;
+pub use spectrum::{NeutronSpectrum, WeibullResponse};

@@ -1,0 +1,21 @@
+//! Figure 10: power savings vs susceptibility increase.
+//!
+//! Running this bench prints the regenerated rows once (alongside the
+//! paper's values) and then times the underlying computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let report = serscale_bench::run_campaign(0.02, serscale_bench::REPRO_SEED);
+    println!("{}", serscale_bench::experiments::figure10(&report));
+    let mut group = c.benchmark_group("repro");
+    group.sample_size(10);
+    group.bench_function("fig10_savings", |b| {
+        b.iter(|| black_box(serscale_bench::experiments::figure10(&report)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 4: the undervolting pfail sweep.
+//!
+//! Running this bench prints the regenerated rows once (alongside the
+//! paper's values) and then times the underlying computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let harness = serscale_undervolt::characterize::Characterizer::new(
+        serscale_undervolt::timing::TimingFailureModel::xgene2(),
+        5,
+    );
+    let mut seed = 0u64;
+    println!("{}", serscale_bench::experiments::figure4(serscale_bench::REPRO_SEED, 100));
+    let mut group = c.benchmark_group("repro");
+    group.sample_size(10);
+    group.bench_function("fig4_pfail", |b| {
+        b.iter(|| black_box({
+                seed += 1;
+                let mut rng = serscale_stats::SimRng::seed_from(seed);
+                harness.sweep(&mut rng, serscale_types::Megahertz::new(2400))
+            }));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Table 1: the platform specification table.
+//!
+//! Running this bench prints the regenerated rows once (alongside the
+//! paper's values) and then times the underlying computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    
+    println!("{}", serscale_bench::experiments::table1());
+    let mut group = c.benchmark_group("repro");
+    group.sample_size(10);
+    group.bench_function("table1_spec", |b| {
+        b.iter(|| black_box(serscale_soc::platform::XGene2::new().spec()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! `repro` — regenerate the paper's tables and figures from the simulator.
+//!
+//! ```text
+//! repro --all                 # everything, full-scale campaign
+//! repro --table 2             # one table
+//! repro --figure 11           # one figure
+//! repro --scale 0.1 --all     # 10% beam time (fast preview)
+//! repro --seed 123 --figure 8
+//! repro --ablations           # mechanism ablations (beyond the paper)
+//! repro --sweep               # fine-grained voltage sweep + advisor
+//! ```
+
+use std::process::ExitCode;
+
+use serscale_bench::{experiments, run_campaign, REPRO_SEED};
+
+struct Args {
+    scale: f64,
+    seed: u64,
+    tables: Vec<u32>,
+    figures: Vec<u32>,
+    headlines: bool,
+    ablations: bool,
+    sweep: bool,
+    selfcheck: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scale: 1.0,
+        seed: REPRO_SEED,
+        tables: Vec::new(),
+        figures: Vec::new(),
+        headlines: false,
+        ablations: false,
+        sweep: false,
+        selfcheck: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all" => {
+                args.tables = vec![1, 2, 3];
+                args.figures = (4..=13).collect();
+                args.headlines = true;
+                args.ablations = true;
+                args.sweep = true;
+                args.selfcheck = true;
+            }
+            "--table" => {
+                let n = it.next().ok_or("--table needs a number")?;
+                args.tables.push(n.parse().map_err(|_| format!("bad table number {n}"))?);
+            }
+            "--figure" => {
+                let n = it.next().ok_or("--figure needs a number")?;
+                args.figures.push(n.parse().map_err(|_| format!("bad figure number {n}"))?);
+            }
+            "--headlines" => args.headlines = true,
+            "--ablations" => args.ablations = true,
+            "--sweep" => args.sweep = true,
+            "--selfcheck" => args.selfcheck = true,
+            "--scale" => {
+                let s = it.next().ok_or("--scale needs a value")?;
+                args.scale = s.parse().map_err(|_| format!("bad scale {s}"))?;
+                if !(args.scale > 0.0 && args.scale <= 1.0) {
+                    return Err("scale must be in (0, 1]".into());
+                }
+            }
+            "--seed" => {
+                let s = it.next().ok_or("--seed needs a value")?;
+                args.seed = s.parse().map_err(|_| format!("bad seed {s}"))?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--all] [--table N]* [--figure N]* [--headlines] \
+                     [--ablations] [--sweep] [--selfcheck] [--scale F] [--seed N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if args.tables.is_empty()
+        && args.figures.is_empty()
+        && !args.headlines
+        && !args.ablations
+        && !args.sweep
+        && !args.selfcheck
+    {
+        return Err("nothing to do; try --all (or --help)".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let needs_campaign = args.headlines
+        || args.selfcheck
+        || args.tables.iter().any(|t| *t >= 2)
+        || args.figures.iter().any(|f| *f != 4);
+    let report = if needs_campaign {
+        eprintln!(
+            "running campaign at scale {} (seed {}), ~{:.1} simulated beam hours…",
+            args.scale,
+            args.seed,
+            64.8 * args.scale
+        );
+        Some(run_campaign(args.scale, args.seed))
+    } else {
+        None
+    };
+    let report = report.as_ref();
+
+    for t in &args.tables {
+        match t {
+            1 => println!("{}", experiments::table1()),
+            2 => println!("{}", experiments::table2(report.expect("campaign"))),
+            3 => println!("{}", experiments::table3(report.expect("campaign"))),
+            other => eprintln!("repro: no table {other} in the paper"),
+        }
+    }
+    for f in &args.figures {
+        let text = match f {
+            4 => experiments::figure4(args.seed, 100),
+            5 => experiments::figure5(report.expect("campaign")),
+            6 => experiments::figure6(report.expect("campaign")),
+            7 => experiments::figure7(report.expect("campaign")),
+            8 => experiments::figure8(report.expect("campaign")),
+            9 => experiments::figure9(report.expect("campaign")),
+            10 => experiments::figure10(report.expect("campaign")),
+            11 => experiments::figure11(report.expect("campaign")),
+            12 => experiments::figure12(report.expect("campaign")),
+            13 => experiments::figure13(report.expect("campaign")),
+            other => {
+                eprintln!("repro: no figure {other} in the paper's evaluation");
+                continue;
+            }
+        };
+        println!("{text}");
+    }
+    if args.headlines {
+        println!("{}", experiments::headlines(report.expect("campaign")));
+    }
+    if args.sweep {
+        println!("{}", experiments::voltage_sweep());
+    }
+    if args.ablations {
+        println!("{}", experiments::ablations(args.seed));
+    }
+    if args.selfcheck {
+        let checks = serscale_bench::selfcheck::run_checks(report.expect("campaign"));
+        println!("{}", serscale_bench::selfcheck::render(&checks));
+        if checks.iter().any(|c| !c.passed) {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,153 @@
+//! Mechanism ablations: turn each modelled cause off and show which
+//! measured effect disappears.
+//!
+//! The simulator earns its keep by being *dissectable* — something the
+//! beam campaign cannot be. Each ablation here removes exactly one
+//! mechanism the paper identifies and recomputes the observable it
+//! explains:
+//!
+//! | ablation | removed mechanism | effect that disappears |
+//! |---|---|---|
+//! | [`no_margin_amplification`] | near-Vmin timing-margin collapse | the SDC-FIT cliff at Vmin (Fig. 8/11) |
+//! | [`interleaved_l3`] | the L3's *lack* of interleaving | L3-exclusive uncorrectable errors (Fig. 6) |
+//! | [`voltage_insensitive_sram`] | Qcrit ∝ V | Table 2's rising upset rates |
+//! | [`secded_everywhere`] | parity-only L1/TLB protection | (nothing — L1 SBUs were already harmless, the paper's Design implication #1) |
+
+use serscale_ecc::{ProtectionScheme, UpsetOutcome};
+use serscale_soc::platform::OperatingPoint;
+use serscale_soc::LogicSusceptibility;
+use serscale_sram::{MbuModel, SoftErrorModel, SramArray};
+use serscale_stats::SimRng;
+use serscale_types::{ArrayKind, Bytes, CrossSection, Megahertz, Millivolts};
+
+use crate::dut::DeviceUnderTest;
+
+/// Ablation 1: a logic model with the margin amplification removed
+/// (`A = 0`), all else equal. The returned pair is
+/// `(σ_data ratio Vmin/nominal with the mechanism, without it)`.
+pub fn no_margin_amplification() -> (f64, f64) {
+    let full = LogicSusceptibility::xgene2();
+    let f = Megahertz::new(2400);
+    let vmin = Millivolts::new(920);
+    let nominal = Millivolts::new(980);
+    let with = full.sigma_data(vmin, f, vmin).as_cm2()
+        / full.sigma_data(nominal, f, vmin).as_cm2();
+    // Without the amplification the datapath scales like any stored bit:
+    // the pure Qcrit factor.
+    let bare = SoftErrorModel::tech_28nm();
+    let without = bare.sigma_ratio(vmin);
+    (with, without)
+}
+
+/// Ablation 2: give the L3 the same 4-way interleaving as the smaller
+/// arrays and measure the uncorrectable-error share of its strikes at the
+/// given voltage. Returns `(ue_share_uninterleaved, ue_share_interleaved)`
+/// over `strikes` sampled strikes.
+pub fn interleaved_l3(rng_seed: u64, strikes: u32, voltage: Millivolts) -> (f64, f64) {
+    let mbu = MbuModel::tech_28nm();
+    let share = |interleave: u32, rng: &mut SimRng| {
+        let array = SramArray::new(
+            ArrayKind::L3Shared,
+            Bytes::mib(8),
+            ProtectionScheme::Secded,
+            interleave,
+        );
+        let mut ue = 0u32;
+        for _ in 0..strikes {
+            let cluster = mbu.sample_cluster_len(rng, voltage);
+            let effect = array.strike(rng, cluster);
+            if effect.words.iter().any(|w| w.outcome == UpsetOutcome::DetectedUncorrectable)
+            {
+                ue += 1;
+            }
+        }
+        f64::from(ue) / f64::from(strikes)
+    };
+    let mut rng_a = SimRng::seed_from(rng_seed);
+    let mut rng_b = SimRng::seed_from(rng_seed);
+    (share(1, &mut rng_a), share(4, &mut rng_b))
+}
+
+/// Ablation 3: a voltage-insensitive SRAM model (`k = 0`): the chip-level
+/// observable σ becomes flat in voltage. Returns the Vmin/nominal σ ratio
+/// `(with_sensitivity, without)`.
+pub fn voltage_insensitive_sram() -> (f64, f64) {
+    let vmin_anchor = DeviceUnderTest::paper_vmin(Megahertz::new(2400));
+    let nominal = DeviceUnderTest::xgene2(OperatingPoint::nominal(), vmin_anchor);
+    let vmin = DeviceUnderTest::xgene2(OperatingPoint::vmin_2400(), vmin_anchor);
+    let with = vmin.total_observable_sram_sigma(1.0).as_cm2()
+        / nominal.total_observable_sram_sigma(1.0).as_cm2();
+
+    let flat = SoftErrorModel::new(
+        CrossSection::cm2(SoftErrorModel::SIGMA_28NM_NOMINAL_CM2),
+        Millivolts::new(980),
+        0.0,
+    );
+    let without = flat.sigma_ratio(Millivolts::new(920));
+    (with, without)
+}
+
+/// Ablation 4: upgrade the L1/TLB parity arrays to SECDED and measure the
+/// share of single-bit strikes whose outcome *changes*. Returns that share
+/// over `strikes` samples — expected 0: parity + write-through already
+/// recovers every SBU, the paper's Design implication #1.
+pub fn secded_everywhere(rng_seed: u64, strikes: u32) -> f64 {
+    let parity_l1 =
+        SramArray::new(ArrayKind::L1Data, Bytes::kib(32), ProtectionScheme::Parity, 4);
+    let secded_l1 =
+        SramArray::new(ArrayKind::L1Data, Bytes::kib(32), ProtectionScheme::Secded, 4);
+    let mut rng_a = SimRng::seed_from(rng_seed);
+    let mut rng_b = SimRng::seed_from(rng_seed);
+    let mut changed = 0u32;
+    for _ in 0..strikes {
+        // Single-bit strikes: the L1's dominant case.
+        let a = parity_l1.strike(&mut rng_a, 1);
+        let b = secded_l1.strike(&mut rng_b, 1);
+        let a_ok = a.words.iter().all(|w| w.outcome == UpsetOutcome::Corrected);
+        let b_ok = b.words.iter().all(|w| w.outcome == UpsetOutcome::Corrected);
+        if a_ok != b_ok {
+            changed += 1;
+        }
+    }
+    f64::from(changed) / f64::from(strikes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removing_margin_amplification_kills_the_sdc_cliff() {
+        let (with, without) = no_margin_amplification();
+        assert!(with > 12.0, "with mechanism: {with}");
+        assert!(without < 1.4, "without mechanism: {without}");
+        assert!(with / without > 10.0);
+    }
+
+    #[test]
+    fn interleaving_the_l3_eliminates_its_ues() {
+        let (uninterleaved, interleaved) = interleaved_l3(1, 4000, Millivolts::new(920));
+        // Un-interleaved: the MBU share (~5–7%) becomes UEs.
+        assert!(uninterleaved > 0.03, "uninterleaved UE share = {uninterleaved}");
+        // 4-way interleaving: clusters ≤4 split into correctable singles;
+        // only rarer ≥5 clusters can still defeat it.
+        assert!(
+            interleaved < uninterleaved / 10.0,
+            "interleaved {interleaved} vs uninterleaved {uninterleaved}"
+        );
+    }
+
+    #[test]
+    fn flat_sram_model_flattens_table2() {
+        let (with, without) = voltage_insensitive_sram();
+        assert!(with > 1.05, "with Qcrit scaling: {with}");
+        assert!((without - 1.0).abs() < 1e-12, "without: {without}");
+    }
+
+    #[test]
+    fn upgrading_l1_to_secded_changes_nothing_for_sbus() {
+        // Design implication #1: the existing schemes already suffice.
+        let changed = secded_everywhere(2, 2000);
+        assert_eq!(changed, 0.0, "SBU outcomes must be identical");
+    }
+}

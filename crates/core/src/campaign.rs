@@ -1,0 +1,280 @@
+//! The full beam campaign: Vmin anchoring, sessions in sequence, one
+//! consolidated report — the whole of Table 2 in one call.
+
+use serde::{Deserialize, Serialize};
+
+use serscale_beam::facility::{BeamFacility, BeamPosition};
+use serscale_soc::platform::OperatingPoint;
+use serscale_stats::SimRng;
+use serscale_types::{Flux, Megahertz, Millivolts, SimDuration};
+use serscale_undervolt::{characterize::Characterizer, timing::TimingFailureModel};
+
+use crate::dut::DeviceUnderTest;
+use crate::session::{SessionLimits, SessionReport, TestSession};
+
+/// Where the per-frequency safe Vmin anchoring the logic amplification
+/// comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VminSource {
+    /// Use the paper's characterized values (920 mV @ 2.4 GHz, 790 mV @
+    /// 900 MHz, interpolated elsewhere). Deterministic.
+    Paper,
+    /// Run the offline undervolting characterization of §4.1 first and use
+    /// its sweep result (`trials` executions per benchmark per 5 mV step).
+    Characterized {
+        /// Trials per benchmark per voltage step.
+        trials: u32,
+    },
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Master seed; everything downstream forks from it.
+    pub seed: u64,
+    /// The irradiation facility.
+    pub facility: BeamFacility,
+    /// Where the DUT sits in the beam.
+    pub position: BeamPosition,
+    /// The sessions to run, in order.
+    pub sessions: Vec<(OperatingPoint, SessionLimits)>,
+    /// How the safe Vmin is obtained.
+    pub vmin_source: VminSource,
+}
+
+impl CampaignConfig {
+    /// The paper's campaign: TNF beam, halo position, and the four
+    /// sessions of Table 2 replayed as their realized beam-time exposures
+    /// (1651 / 1618 / 453 / 165 minutes at 980 / 930 / 920 / 790 mV).
+    pub fn paper() -> Self {
+        let minutes = [1651.0, 1618.0, 453.0, 165.0];
+        let sessions = OperatingPoint::CAMPAIGN
+            .into_iter()
+            .zip(minutes)
+            .map(|(p, m)| (p, SessionLimits::time_boxed(SimDuration::from_minutes(m))))
+            .collect();
+        CampaignConfig {
+            seed: 0x5e55_10_2023,
+            facility: BeamFacility::tnf(),
+            position: BeamPosition::halo(BeamPosition::PAPER_HALO_TRANSMISSION),
+            sessions,
+            vmin_source: VminSource::Paper,
+        }
+    }
+
+    /// A scaled-down campaign (each session `fraction` of the paper's
+    /// duration) for fast exploration and CI.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction ≤ 1`.
+    pub fn paper_scaled(fraction: f64) -> Self {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        let mut config = Self::paper();
+        for (_, limits) in &mut config.sessions {
+            if let Some(d) = limits.max_duration {
+                limits.max_duration = Some(d * fraction);
+            }
+        }
+        config
+    }
+}
+
+/// The consolidated campaign outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// The working flux the DUT saw.
+    pub flux: Flux,
+    /// The Vmin used per session frequency (anchors the logic model).
+    pub vmins: Vec<(Megahertz, Millivolts)>,
+    /// Per-session reports, in configuration order.
+    pub sessions: Vec<SessionReport>,
+}
+
+impl CampaignReport {
+    /// Finds the session run at a given operating point.
+    pub fn session_at(&self, point: OperatingPoint) -> Option<&SessionReport> {
+        self.sessions.iter().find(|s| s.operating_point == point)
+    }
+
+    /// Total beam-on time of the campaign (the paper's "more than 64 beam
+    /// hours").
+    pub fn total_beam_time(&self) -> SimDuration {
+        self.sessions.iter().map(|s| s.duration).sum()
+    }
+
+    /// The nominal-voltage session (the baseline of every relative
+    /// figure), if the campaign ran one.
+    pub fn baseline(&self) -> Option<&SessionReport> {
+        self.session_at(OperatingPoint::nominal())
+    }
+}
+
+/// Drives a configured campaign.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    config: CampaignConfig,
+}
+
+impl Campaign {
+    /// Creates a campaign.
+    pub fn new(config: CampaignConfig) -> Self {
+        Campaign { config }
+    }
+
+    /// The configuration.
+    pub const fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// The safe Vmin for a frequency per the configured source.
+    fn vmin_for(&self, root: &SimRng, frequency: Megahertz) -> Millivolts {
+        match self.config.vmin_source {
+            VminSource::Paper => DeviceUnderTest::paper_vmin(frequency),
+            VminSource::Characterized { trials } => {
+                let mut rng = root.fork_indexed("vmin", u64::from(frequency.get()));
+                let harness = Characterizer::new(TimingFailureModel::xgene2(), trials);
+                harness
+                    .sweep(&mut rng, frequency)
+                    .safe_vmin()
+                    // A sweep that fails immediately at nominal would leave
+                    // no safe level; fall back to the paper's anchor.
+                    .unwrap_or_else(|| DeviceUnderTest::paper_vmin(frequency))
+            }
+        }
+    }
+
+    /// Runs every session and consolidates the report.
+    pub fn run(&self) -> CampaignReport {
+        let root = SimRng::seed_from(self.config.seed);
+        let flux = self.config.facility.flux_at(self.config.position);
+
+        let mut vmins: Vec<(Megahertz, Millivolts)> = Vec::new();
+        let mut sessions = Vec::with_capacity(self.config.sessions.len());
+        for (index, (point, limits)) in self.config.sessions.iter().enumerate() {
+            let frequency = point.frequency;
+            let vmin = match vmins.iter().find(|(f, _)| *f == frequency) {
+                Some((_, v)) => *v,
+                None => {
+                    let v = self.vmin_for(&root, frequency);
+                    vmins.push((frequency, v));
+                    v
+                }
+            };
+            let dut = DeviceUnderTest::xgene2(*point, vmin);
+            let mut session = TestSession::new(dut, flux, *limits);
+            let mut rng = root.fork_indexed("session", index as u64);
+            sessions.push(session.run(&mut rng));
+        }
+        CampaignReport { flux, vmins, sessions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::FailureClass;
+
+    fn quick_config(seed: u64, fraction: f64) -> CampaignConfig {
+        let mut c = CampaignConfig::paper_scaled(fraction);
+        c.seed = seed;
+        c
+    }
+
+    #[test]
+    fn paper_config_shape() {
+        let c = CampaignConfig::paper();
+        assert_eq!(c.sessions.len(), 4);
+        assert_eq!(c.sessions[0].0, OperatingPoint::nominal());
+        assert_eq!(c.sessions[3].0, OperatingPoint::vmin_900());
+        let total: f64 =
+            c.sessions.iter().filter_map(|(_, l)| l.max_duration).map(|d| d.as_hours()).sum();
+        // Table 2 durations sum to ~64.8 beam hours.
+        assert!((total - 64.78).abs() < 0.1, "total = {total} h");
+    }
+
+    #[test]
+    fn campaign_flux_is_the_paper_working_flux() {
+        let report = Campaign::new(quick_config(1, 0.01)).run();
+        assert!((report.flux.as_per_cm2_s() - 1.5e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn scaled_campaign_runs_all_sessions() {
+        let report = Campaign::new(quick_config(2, 0.02)).run();
+        assert_eq!(report.sessions.len(), 4);
+        assert!(report.baseline().is_some());
+        assert!(report.session_at(OperatingPoint::vmin_900()).is_some());
+        assert!(report.total_beam_time().as_hours() > 1.0);
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let a = Campaign::new(quick_config(3, 0.01)).run();
+        let b = Campaign::new(quick_config(3, 0.01)).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Campaign::new(quick_config(4, 0.01)).run();
+        let b = Campaign::new(quick_config(5, 0.01)).run();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn vmin_anchors_match_paper_defaults() {
+        let report = Campaign::new(quick_config(6, 0.01)).run();
+        let lookup = |f: u32| {
+            report
+                .vmins
+                .iter()
+                .find(|(freq, _)| freq.get() == f)
+                .map(|(_, v)| *v)
+                .expect("frequency characterized")
+        };
+        assert_eq!(lookup(2400), Millivolts::new(920));
+        assert_eq!(lookup(900), Millivolts::new(790));
+    }
+
+    #[test]
+    fn characterized_vmin_source_works() {
+        let mut c = quick_config(7, 0.005);
+        c.vmin_source = VminSource::Characterized { trials: 50 };
+        let report = Campaign::new(c).run();
+        // The characterization lands on (or within a step of) the paper's
+        // anchors.
+        for (f, v) in &report.vmins {
+            let paper = DeviceUnderTest::paper_vmin(*f);
+            let delta = v.get().abs_diff(paper.get());
+            assert!(delta <= 5, "{f:?}: {v} vs {paper}");
+        }
+    }
+
+    #[test]
+    fn upset_rates_rise_across_sessions() {
+        // Even a 3%-length campaign shows Table 2's rate ordering between
+        // the extremes.
+        let report = Campaign::new(quick_config(8, 0.03)).run();
+        let nominal = report.baseline().unwrap().upset_rate().per_minute();
+        let v790 = report
+            .session_at(OperatingPoint::vmin_900())
+            .unwrap()
+            .upset_rate()
+            .per_minute();
+        assert!(v790 > nominal, "{v790} !> {nominal}");
+    }
+
+    #[test]
+    fn sdc_share_explodes_at_vmin_2400() {
+        let report = Campaign::new(quick_config(9, 0.05)).run();
+        let nominal_share =
+            report.baseline().unwrap().failure_shares()[&FailureClass::Sdc];
+        let vmin_share = report
+            .session_at(OperatingPoint::vmin_2400())
+            .unwrap()
+            .failure_shares()[&FailureClass::Sdc];
+        assert!(vmin_share > nominal_share, "{vmin_share} !> {nominal_share}");
+        assert!(vmin_share > 0.6, "vmin SDC share = {vmin_share}");
+    }
+}

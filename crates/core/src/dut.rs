@@ -1,0 +1,314 @@
+//! The Device Under Test: the SoC model wired to the radiation physics.
+
+use serde::{Deserialize, Serialize};
+
+use serscale_soc::platform::{ArrayInstance, OperatingPoint, XGene2};
+use serscale_soc::LogicSusceptibility;
+use serscale_sram::{MbuModel, SoftErrorModel};
+use serscale_types::{CacheLevel, CrossSection, Megahertz, Millivolts, VoltageDomain};
+
+/// Per-cache-level detection efficiency: the fraction of raw bit strikes
+/// in an array that surface as EDAC events at all.
+///
+/// A strike is only *observed* if it hits a valid entry that is
+/// subsequently touched (read, written back, scrubbed). The six benchmarks
+/// neither occupy the whole cache nor re-read every line, so the observed
+/// rate sits well below the raw `bits × σ × φ` arithmetic — the paper makes
+/// exactly this argument when comparing its 2.08–2.45 FIT/Mbit against the
+/// 15 FIT/Mbit of the static-test study \[83\] (§3.5). Constants are
+/// calibrated from Figure 6's per-level rates at nominal voltage
+/// (`DESIGN.md` §3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectionEfficiency {
+    /// TLBs (small, hot — relatively high efficiency).
+    pub tlb: f64,
+    /// L1 caches (small and hot but write-through: many upsets are
+    /// overwritten before ever being read back).
+    pub l1: f64,
+    /// L2 caches.
+    pub l2: f64,
+    /// The L3 (large; benchmarks touch a fraction of it).
+    pub l3: f64,
+}
+
+impl DetectionEfficiency {
+    /// Calibrated against Figure 6 at 980 mV / 950 mV (see `DESIGN.md`),
+    /// times a ×1.09 dead-time compensation: the paper's per-minute rates
+    /// are normalized by *session wall-clock*, which includes ≈9 % of
+    /// crash-recovery dead time during which no upsets are observed, so
+    /// the live (beam-on, benchmark-running) efficiency must sit
+    /// correspondingly higher for the end-to-end session rates to land on
+    /// Table 2.
+    pub fn calibrated() -> Self {
+        DetectionEfficiency { tlb: 0.172, l1: 0.078, l2: 0.219, l3: 0.140 }
+    }
+
+    /// The efficiency for a cache level.
+    pub fn for_level(&self, level: CacheLevel) -> f64 {
+        match level {
+            CacheLevel::Tlb => self.tlb,
+            CacheLevel::L1 => self.l1,
+            CacheLevel::L2 => self.l2,
+            CacheLevel::L3 => self.l3,
+        }
+    }
+}
+
+/// The DUT: platform + physics + operating point.
+///
+/// The SRAM and MBU physics are instantiated *per voltage domain*, each
+/// anchored at its own domain nominal (980 mV for the PMD arrays, 950 mV
+/// for the SoC-domain L3): an array is designed for — and its calibrated
+/// nominal cross-section refers to — its own supply, so the voltage ratio
+/// entering the Qcrit law is `V/V_domain-nominal`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceUnderTest {
+    soc: XGene2,
+    sram_pmd: SoftErrorModel,
+    sram_soc: SoftErrorModel,
+    mbu_pmd: MbuModel,
+    mbu_soc: MbuModel,
+    logic: LogicSusceptibility,
+    detection: DetectionEfficiency,
+    point: OperatingPoint,
+    /// The characterized safe Vmin at the current frequency — the anchor
+    /// of the near-Vmin logic amplification.
+    vmin: Millivolts,
+}
+
+impl DeviceUnderTest {
+    /// Builds the paper's DUT at an operating point, given the
+    /// characterized safe Vmin for the point's frequency (920 mV at
+    /// 2.4 GHz, 790 mV at 900 MHz).
+    pub fn xgene2(point: OperatingPoint, vmin: Millivolts) -> Self {
+        let soc_nominal = XGene2::SOC_NOMINAL;
+        DeviceUnderTest {
+            soc: XGene2::new(),
+            sram_pmd: SoftErrorModel::tech_28nm(),
+            sram_soc: SoftErrorModel::new(
+                serscale_types::CrossSection::cm2(SoftErrorModel::SIGMA_28NM_NOMINAL_CM2),
+                soc_nominal,
+                SoftErrorModel::DEFAULT_VOLTAGE_SENSITIVITY,
+            ),
+            mbu_pmd: MbuModel::tech_28nm(),
+            mbu_soc: MbuModel::new(
+                MbuModel::DEFAULT_P_EXTRA,
+                soc_nominal,
+                MbuModel::DEFAULT_VOLTAGE_SENSITIVITY,
+                MbuModel::DEFAULT_MAX_CLUSTER,
+            ),
+            logic: LogicSusceptibility::xgene2(),
+            detection: DetectionEfficiency::calibrated(),
+            point,
+            vmin,
+        }
+    }
+
+    /// Convenience: the paper's safe Vmin for a frequency (920 mV at
+    /// 2.4 GHz, 790 mV at 900 MHz; linear interpolation elsewhere on the
+    /// PLL grid).
+    pub fn paper_vmin(frequency: Megahertz) -> Millivolts {
+        let f = f64::from(frequency.get());
+        let mv = 790.0 + (f - 900.0) * (130.0 / 1500.0);
+        // Round up to the 5 mV regulator grid (a safe Vmin must be safe).
+        let step = f64::from(Millivolts::STEP);
+        Millivolts::new(((mv / step).ceil() * step) as u32)
+    }
+
+    /// The platform model.
+    pub const fn soc(&self) -> &XGene2 {
+        &self.soc
+    }
+
+    /// The SRAM susceptibility model for a voltage domain.
+    pub const fn sram_model(&self, domain: VoltageDomain) -> &SoftErrorModel {
+        match domain {
+            VoltageDomain::Soc => &self.sram_soc,
+            _ => &self.sram_pmd,
+        }
+    }
+
+    /// The MBU clustering model for a voltage domain.
+    pub const fn mbu_model(&self, domain: VoltageDomain) -> &MbuModel {
+        match domain {
+            VoltageDomain::Soc => &self.mbu_soc,
+            _ => &self.mbu_pmd,
+        }
+    }
+
+    /// The unprotected-logic susceptibility model.
+    pub const fn logic(&self) -> &LogicSusceptibility {
+        &self.logic
+    }
+
+    /// The current operating point.
+    pub const fn operating_point(&self) -> OperatingPoint {
+        self.point
+    }
+
+    /// The safe Vmin anchoring the logic amplification.
+    pub const fn vmin(&self) -> Millivolts {
+        self.vmin
+    }
+
+    /// Moves the DUT to a new operating point (and its frequency's Vmin).
+    pub fn set_operating_point(&mut self, point: OperatingPoint, vmin: Millivolts) {
+        self.point = point;
+        self.vmin = vmin;
+    }
+
+    /// The supply voltage currently feeding an array instance.
+    pub fn array_voltage(&self, instance: &ArrayInstance) -> Millivolts {
+        self.point.voltage_of(instance.array().voltage_domain())
+    }
+
+    /// The *observable* cross-section of one array instance under the
+    /// current operating point and a benchmark's detection factor:
+    /// `bits × σ_bit(V_domain) × η_level × detection_factor`.
+    pub fn observable_sigma(
+        &self,
+        instance: &ArrayInstance,
+        detection_factor: f64,
+    ) -> CrossSection {
+        let domain = instance.array().voltage_domain();
+        let v = self.array_voltage(instance);
+        let raw = self.sram_model(domain).sigma_array(instance.data_bits().get(), v);
+        let eta = self.detection.for_level(instance.kind().cache_level());
+        raw * (eta * detection_factor)
+    }
+
+    /// The chip-level observable SRAM cross-section (all arrays) for a
+    /// benchmark — what drives the upsets/minute of Figure 5.
+    pub fn total_observable_sram_sigma(&self, detection_factor: f64) -> CrossSection {
+        self.soc.arrays().map(|a| self.observable_sigma(a, detection_factor)).sum()
+    }
+
+    /// The control-logic cross-section at the current point.
+    pub fn control_sigma(&self) -> CrossSection {
+        self.logic.sigma_control(self.point.pmd)
+    }
+
+    /// The datapath cross-section at the current point (with the
+    /// near-Vmin amplification).
+    pub fn datapath_sigma(&self) -> CrossSection {
+        self.logic.sigma_data(self.point.pmd, self.point.frequency, self.vmin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serscale_types::Flux;
+
+    const WORKING_FLUX: f64 = 1.5e6;
+
+    fn dut_at(point: OperatingPoint) -> DeviceUnderTest {
+        DeviceUnderTest::xgene2(point, DeviceUnderTest::paper_vmin(point.frequency))
+    }
+
+    /// Observed upsets/minute for a detection factor of 1.0 at a point.
+    fn upsets_per_minute(point: OperatingPoint) -> f64 {
+        dut_at(point)
+            .total_observable_sram_sigma(1.0)
+            .event_rate(Flux::per_cm2_s(WORKING_FLUX))
+            * 60.0
+    }
+
+    #[test]
+    fn paper_vmin_lookup() {
+        assert_eq!(DeviceUnderTest::paper_vmin(Megahertz::new(2400)), Millivolts::new(920));
+        assert_eq!(DeviceUnderTest::paper_vmin(Megahertz::new(900)), Millivolts::new(790));
+        let mid = DeviceUnderTest::paper_vmin(Megahertz::new(1500));
+        assert!(mid > Millivolts::new(790) && mid < Millivolts::new(920));
+        assert!(mid.is_step_aligned());
+    }
+
+    /// Live rates exceed Table 2's wall-clock rates by the ≈9% dead-time
+    /// compensation baked into [`DetectionEfficiency::calibrated`].
+    const DEAD_TIME_COMP: f64 = 1.09;
+
+    #[test]
+    fn upset_rate_matches_table2_at_nominal() {
+        // Table 2 row 9, session 1: 1.011 upsets/min (wall-clock).
+        let rate = upsets_per_minute(OperatingPoint::nominal());
+        assert!((rate - 1.01 * DEAD_TIME_COMP).abs() < 0.09, "rate = {rate}");
+    }
+
+    #[test]
+    fn upset_rates_increase_as_voltage_drops() {
+        // Table 2 row 9 trend: 1.011 → 1.077 → 1.117 → 1.182.
+        let r = OperatingPoint::CAMPAIGN.map(upsets_per_minute);
+        assert!(r[0] < r[1] && r[1] < r[2] && r[2] < r[3], "{r:?}");
+        // Within ~5% of the measured (dead-time-compensated) values.
+        for (sim, paper) in r.iter().zip([1.011, 1.077, 1.117, 1.182]) {
+            let target = paper * DEAD_TIME_COMP;
+            assert!((sim - target).abs() / target < 0.06, "{sim} vs {target}");
+        }
+    }
+
+    #[test]
+    fn per_level_rates_match_figure6_at_nominal() {
+        let dut = dut_at(OperatingPoint::nominal());
+        let flux = Flux::per_cm2_s(WORKING_FLUX);
+        let mut per_level = [0.0f64; 4];
+        for inst in dut.soc().arrays() {
+            let rate = dut.observable_sigma(inst, 1.0).event_rate(flux) * 60.0;
+            let idx = match inst.kind().cache_level() {
+                CacheLevel::Tlb => 0,
+                CacheLevel::L1 => 1,
+                CacheLevel::L2 => 2,
+                CacheLevel::L3 => 3,
+            };
+            per_level[idx] += rate;
+        }
+        // Fig. 6 @ 980/950 mV: TLB 0.016, L1 0.028, L2 0.157, L3 0.803
+        // (corrected + uncorrected).
+        let paper = [0.016, 0.028, 0.157, 0.803];
+        for (i, (sim, p)) in per_level.iter().zip(paper).enumerate() {
+            let target = p * DEAD_TIME_COMP;
+            assert!((sim - target).abs() / target < 0.10, "level {i}: {sim} vs {target}");
+        }
+    }
+
+    #[test]
+    fn l3_rate_unchanged_at_790mv_because_soc_domain_holds() {
+        let at_nominal = dut_at(OperatingPoint::nominal());
+        let at_790 = dut_at(OperatingPoint::vmin_900());
+        let l3_sigma = |dut: &DeviceUnderTest| -> f64 {
+            dut.soc()
+                .arrays()
+                .filter(|a| a.kind().cache_level() == CacheLevel::L3)
+                .map(|a| dut.observable_sigma(a, 1.0).as_cm2())
+                .sum()
+        };
+        assert!((l3_sigma(&at_nominal) - l3_sigma(&at_790)).abs() < 1e-20);
+    }
+
+    #[test]
+    fn datapath_sigma_explodes_at_vmin_only() {
+        let nominal = dut_at(OperatingPoint::nominal()).datapath_sigma().as_cm2();
+        let safe = dut_at(OperatingPoint::safe()).datapath_sigma().as_cm2();
+        let vmin = dut_at(OperatingPoint::vmin_2400()).datapath_sigma().as_cm2();
+        assert!(safe / nominal > 1.5 && safe / nominal < 2.5, "safe ratio {}", safe / nominal);
+        assert!(vmin / nominal > 12.0, "vmin ratio {}", vmin / nominal);
+    }
+
+    #[test]
+    fn detection_factor_scales_observable_sigma() {
+        let dut = dut_at(OperatingPoint::nominal());
+        let base = dut.total_observable_sram_sigma(1.0).as_cm2();
+        let heavy = dut.total_observable_sram_sigma(1.125).as_cm2();
+        assert!((heavy / base - 1.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moving_operating_point_changes_physics() {
+        let mut dut = dut_at(OperatingPoint::nominal());
+        let before = dut.total_observable_sram_sigma(1.0).as_cm2();
+        dut.set_operating_point(
+            OperatingPoint::vmin_2400(),
+            DeviceUnderTest::paper_vmin(Megahertz::new(2400)),
+        );
+        assert!(dut.total_observable_sram_sigma(1.0).as_cm2() > before);
+    }
+}

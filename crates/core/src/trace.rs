@@ -1,0 +1,272 @@
+//! The campaign logbook: an ordered event trace of a session.
+//!
+//! A real beam campaign lives or dies by its logs — the paper's Control-PC
+//! "controls, monitors, and collects data from the server" and every event
+//! is timestamped for post-analysis (§3.6). [`SessionObserver`] is the
+//! hook the session driver reports through, and [`Logbook`] is the default
+//! observer: an append-only trace of runs, EDAC reports, failures and
+//! recoveries that renders to a human-readable log.
+
+use serde::{Deserialize, Serialize};
+
+use serscale_soc::edac::EdacRecord;
+use serscale_types::{SimDuration, SimInstant};
+use serscale_workload::Benchmark;
+
+use crate::classify::RunVerdict;
+use crate::session::StopReason;
+
+/// One timestamped logbook entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LogEvent {
+    /// A benchmark run completed (any verdict).
+    Run {
+        /// When the run started.
+        start: SimInstant,
+        /// Which benchmark ran.
+        benchmark: Benchmark,
+        /// Its verdict.
+        verdict: RunVerdict,
+    },
+    /// The hardware reported an EDAC event.
+    Edac(EdacRecord),
+    /// The Control-PC performed a recovery (restart or power cycle).
+    Recovery {
+        /// When the recovery began.
+        start: SimInstant,
+        /// How long it took.
+        duration: SimDuration,
+    },
+    /// The session reached a stopping rule.
+    SessionEnded {
+        /// When.
+        at: SimInstant,
+        /// Why.
+        reason: StopReason,
+    },
+}
+
+/// The observation hook the session driver calls. All methods default to
+/// no-ops, so observers implement only what they care about.
+pub trait SessionObserver {
+    /// A benchmark run finished.
+    fn on_run(&mut self, _start: SimInstant, _benchmark: Benchmark, _verdict: RunVerdict) {}
+    /// An EDAC record was harvested.
+    fn on_edac(&mut self, _record: EdacRecord) {}
+    /// A crash recovery consumed beam time.
+    fn on_recovery(&mut self, _start: SimInstant, _duration: SimDuration) {}
+    /// The session stopped.
+    fn on_session_end(&mut self, _at: SimInstant, _reason: StopReason) {}
+}
+
+/// The do-nothing observer (what plain `TestSession::run` uses).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl SessionObserver for NoopObserver {}
+
+/// An append-only event trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Logbook {
+    events: Vec<LogEvent>,
+}
+
+impl Logbook {
+    /// Creates an empty logbook.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All events in occurrence order.
+    pub fn events(&self) -> &[LogEvent] {
+        &self.events
+    }
+
+    /// The number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Only the failed runs, in order — the post-analysis list the paper's
+    /// SDC/crash accounting starts from.
+    pub fn failures(&self) -> impl Iterator<Item = &LogEvent> {
+        self.events.iter().filter(|e| {
+            matches!(
+                e,
+                LogEvent::Run { verdict, .. } if *verdict != RunVerdict::Correct
+            )
+        })
+    }
+
+    /// Renders the logbook as a human-readable experiment log.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            let line = match event {
+                LogEvent::Run { start, benchmark, verdict } => match verdict {
+                    RunVerdict::Correct => {
+                        format!("{start} RUN  {benchmark}: ok")
+                    }
+                    RunVerdict::Sdc { with_hw_notification } => format!(
+                        "{start} RUN  {benchmark}: SDC (output mismatch{})",
+                        if *with_hw_notification { ", CE notification seen" } else { "" }
+                    ),
+                    RunVerdict::AppCrash => {
+                        format!("{start} RUN  {benchmark}: APPLICATION CRASH")
+                    }
+                    RunVerdict::SysCrash => {
+                        format!("{start} RUN  {benchmark}: SYSTEM CRASH")
+                    }
+                },
+                LogEvent::Edac(r) => format!("{} EDAC {} {}", r.time, r.array, r.severity),
+                LogEvent::Recovery { start, duration } => {
+                    format!("{start} RCVR board recovery, {duration}")
+                }
+                LogEvent::SessionEnded { at, reason } => {
+                    format!("{at} END  session stopped: {reason:?}")
+                }
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl SessionObserver for Logbook {
+    fn on_run(&mut self, start: SimInstant, benchmark: Benchmark, verdict: RunVerdict) {
+        self.events.push(LogEvent::Run { start, benchmark, verdict });
+    }
+
+    fn on_edac(&mut self, record: EdacRecord) {
+        self.events.push(LogEvent::Edac(record));
+    }
+
+    fn on_recovery(&mut self, start: SimInstant, duration: SimDuration) {
+        self.events.push(LogEvent::Recovery { start, duration });
+    }
+
+    fn on_session_end(&mut self, at: SimInstant, reason: StopReason) {
+        self.events.push(LogEvent::SessionEnded { at, reason });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dut::DeviceUnderTest;
+    use crate::session::{SessionLimits, TestSession};
+    use serscale_soc::platform::OperatingPoint;
+    use serscale_stats::SimRng;
+    use serscale_types::Flux;
+
+    fn logbook_for(minutes: f64, seed: u64) -> (crate::session::SessionReport, Logbook) {
+        let point = OperatingPoint::vmin_2400();
+        let dut = DeviceUnderTest::xgene2(point, DeviceUnderTest::paper_vmin(point.frequency));
+        let mut session = TestSession::new(
+            dut,
+            Flux::per_cm2_s(1.5e6),
+            SessionLimits::time_boxed(serscale_types::SimDuration::from_minutes(minutes)),
+        );
+        let mut logbook = Logbook::new();
+        let report = session.run_observed(&mut SimRng::seed_from(seed), &mut logbook);
+        (report, logbook)
+    }
+
+    #[test]
+    fn logbook_traces_every_run_and_edac_record() {
+        let (report, logbook) = logbook_for(60.0, 1);
+        let runs = logbook
+            .events()
+            .iter()
+            .filter(|e| matches!(e, LogEvent::Run { .. }))
+            .count() as u64;
+        let edacs = logbook
+            .events()
+            .iter()
+            .filter(|e| matches!(e, LogEvent::Edac(_)))
+            .count() as u64;
+        assert_eq!(runs, report.runs);
+        assert_eq!(edacs, report.memory_upsets);
+    }
+
+    #[test]
+    fn logbook_failures_match_the_report() {
+        let (report, logbook) = logbook_for(120.0, 2);
+        assert_eq!(logbook.failures().count() as u64, report.error_events());
+    }
+
+    #[test]
+    fn logbook_ends_with_the_stop_reason() {
+        let (report, logbook) = logbook_for(10.0, 3);
+        match logbook.events().last() {
+            Some(LogEvent::SessionEnded { reason, .. }) => {
+                assert_eq!(*reason, report.stop_reason)
+            }
+            other => panic!("last event must be SessionEnded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recoveries_follow_crashes() {
+        let (_, logbook) = logbook_for(300.0, 4);
+        let mut expecting_recovery = false;
+        let mut saw_recovery = false;
+        for event in logbook.events() {
+            match event {
+                LogEvent::Run { verdict, .. } => {
+                    assert!(!expecting_recovery, "crash without recovery before next run");
+                    expecting_recovery = matches!(
+                        verdict,
+                        RunVerdict::AppCrash | RunVerdict::SysCrash
+                    );
+                }
+                LogEvent::Recovery { .. } => {
+                    assert!(expecting_recovery, "recovery without a preceding crash");
+                    expecting_recovery = false;
+                    saw_recovery = true;
+                }
+                _ => {}
+            }
+        }
+        assert!(saw_recovery, "a 5-hour Vmin session must include recoveries");
+    }
+
+    #[test]
+    fn render_is_greppable() {
+        let (report, logbook) = logbook_for(120.0, 5);
+        let text = logbook.render();
+        assert_eq!(
+            text.matches(" RUN ").count() as u64,
+            report.runs,
+            "one RUN line per run"
+        );
+        if report.failure_count(crate::classify::FailureClass::Sdc) > 0 {
+            assert!(text.contains("SDC (output mismatch"));
+        }
+        assert!(text.trim_end().ends_with("session stopped: BeamTime"));
+    }
+
+    #[test]
+    fn observed_and_plain_runs_agree() {
+        let point = OperatingPoint::safe();
+        let make = || {
+            let dut =
+                DeviceUnderTest::xgene2(point, DeviceUnderTest::paper_vmin(point.frequency));
+            TestSession::new(
+                dut,
+                Flux::per_cm2_s(1.5e6),
+                SessionLimits::time_boxed(serscale_types::SimDuration::from_minutes(20.0)),
+            )
+        };
+        let plain = make().run(&mut SimRng::seed_from(9));
+        let mut logbook = Logbook::new();
+        let observed = make().run_observed(&mut SimRng::seed_from(9), &mut logbook);
+        assert_eq!(plain, observed, "observation must not perturb the physics");
+    }
+}

@@ -1,0 +1,54 @@
+//! # serscale-ecc
+//!
+//! Bit-accurate implementations of the two memory-protection schemes carried
+//! by the modelled platform (Table 1 of the paper):
+//!
+//! * [`parity`] — single even-parity bit per entry, as used by the L1
+//!   instruction/data caches and all TLBs. Detects any odd number of bit
+//!   flips; corrects nothing (recovery happens architecturally, by
+//!   invalidate-and-refill, because those arrays are write-through).
+//! * [`secded`] — a Hamming(72,64) Single-Error-Correct /
+//!   Double-Error-Detect code, as used by the L2 and L3 caches. Corrects any
+//!   single-bit flip per 64-bit word, detects (but cannot correct) any
+//!   double-bit flip, and — crucially for the paper's Figure 12 — can
+//!   *mis-correct* a triple-bit flip while reporting it as a corrected
+//!   single-bit event, silently corrupting data behind a benign-looking
+//!   "corrected error" notification.
+//! * [`interleave`] — physical-to-logical bit interleaving, the standard
+//!   countermeasure that spreads a physically clustered multi-bit upset
+//!   across several logical codewords. The modelled L3 lacks interleaving
+//!   (§4.3: "large cache arrays with no memory interleaving schemes are more
+//!   vulnerable to MBUs"), and the simulator reproduces exactly that
+//!   difference.
+//!
+//! ## Example
+//!
+//! ```
+//! use serscale_ecc::secded::{Codeword, DecodeOutcome};
+//!
+//! let word = Codeword::encode(0xDEAD_BEEF_CAFE_F00D);
+//!
+//! // A single flipped bit is corrected transparently.
+//! let mut hit = word;
+//! hit.flip(17);
+//! match hit.decode() {
+//!     DecodeOutcome::Corrected { data, .. } => assert_eq!(data, 0xDEAD_BEEF_CAFE_F00D),
+//!     other => panic!("expected correction, got {other:?}"),
+//! }
+//!
+//! // A double flip is detected as uncorrectable.
+//! let mut hit2 = word;
+//! hit2.flip(17);
+//! hit2.flip(40);
+//! assert_eq!(hit2.decode(), DecodeOutcome::DetectedUncorrectable);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod interleave;
+pub mod parity;
+pub mod scheme;
+pub mod secded;
+
+pub use scheme::{ProtectionScheme, UpsetOutcome};

@@ -1,0 +1,137 @@
+//! Property-based tests of the ECC codecs over arbitrary data words and
+//! flip patterns.
+
+use proptest::prelude::*;
+
+use serscale_ecc::interleave::{Interleaver, LogicalBit, PhysicalBit};
+use serscale_ecc::parity::{ParityCheck, ParityWord};
+use serscale_ecc::secded::{Codeword, DecodeOutcome, CODEWORD_BITS};
+use serscale_ecc::{ProtectionScheme, UpsetOutcome};
+
+proptest! {
+    /// SECDED round-trips every 64-bit word.
+    #[test]
+    fn secded_roundtrip(data in any::<u64>()) {
+        prop_assert_eq!(Codeword::encode(data).decode(), DecodeOutcome::Clean { data });
+    }
+
+    /// SECDED corrects any single flip of any codeword of any data.
+    #[test]
+    fn secded_corrects_any_single_flip(data in any::<u64>(), pos in 0u32..CODEWORD_BITS) {
+        let mut cw = Codeword::encode(data);
+        cw.flip(pos);
+        match cw.decode() {
+            DecodeOutcome::Corrected { data: d, position } => {
+                prop_assert_eq!(d, data);
+                prop_assert_eq!(position, pos);
+            }
+            other => prop_assert!(false, "expected correction, got {:?}", other),
+        }
+    }
+
+    /// SECDED flags any double flip of any data as uncorrectable.
+    #[test]
+    fn secded_detects_any_double_flip(
+        data in any::<u64>(),
+        a in 0u32..CODEWORD_BITS,
+        b in 0u32..CODEWORD_BITS,
+    ) {
+        prop_assume!(a != b);
+        let mut cw = Codeword::encode(data);
+        cw.flip(a);
+        cw.flip(b);
+        prop_assert_eq!(cw.decode(), DecodeOutcome::DetectedUncorrectable);
+    }
+
+    /// A SECDED decode NEVER hands back wrong data while claiming the word
+    /// was clean, for any error of weight ≤ 3 (the code's distance is 4).
+    #[test]
+    fn secded_no_silent_corruption_below_distance(
+        data in any::<u64>(),
+        flips in prop::collection::btree_set(0u32..CODEWORD_BITS, 0..=3),
+    ) {
+        let mut cw = Codeword::encode(data);
+        for &f in &flips {
+            cw.flip(f);
+        }
+        if let DecodeOutcome::Clean { data: d } = cw.decode() {
+            prop_assert_eq!(d, data, "clean verdict with corrupt data at {:?}", flips);
+        }
+    }
+
+    /// Parity detects every odd-weight error and passes every even-weight
+    /// one (the fundamental parity property, on arbitrary data).
+    #[test]
+    fn parity_weight_parity_decides_detection(
+        data in any::<u64>(),
+        flips in prop::collection::btree_set(0u32..65, 0..8),
+    ) {
+        let mut w = ParityWord::encode(data);
+        for &f in &flips {
+            w.flip(f);
+        }
+        match w.check() {
+            ParityCheck::Mismatch => prop_assert_eq!(flips.len() % 2, 1),
+            ParityCheck::Clean { .. } => prop_assert_eq!(flips.len() % 2, 0),
+        }
+    }
+
+    /// The interleaver is a bijection for any degree/width combination.
+    #[test]
+    fn interleaver_bijective(degree in 1u32..16, word_bits in 1u32..128) {
+        let il = Interleaver::new(degree, word_bits);
+        let mut seen = vec![false; il.row_bits() as usize];
+        for p in 0..il.row_bits() {
+            let l = il.to_logical(PhysicalBit(p));
+            prop_assert!(l.word < degree);
+            prop_assert!(l.bit < word_bits);
+            prop_assert_eq!(il.to_physical(l), PhysicalBit(p));
+            let slot = (l.word * word_bits + l.bit) as usize;
+            prop_assert!(!seen[slot], "logical slot hit twice");
+            seen[slot] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// to_physical rejects nothing that to_logical produced; spread_cluster
+    /// conserves the flipped-cell count for in-row clusters.
+    #[test]
+    fn spread_cluster_conserves_cells(
+        degree in 1u32..8,
+        start in 0u32..64,
+        len in 1u32..16,
+    ) {
+        let il = Interleaver::new(degree, 72);
+        let start = PhysicalBit(start % il.row_bits());
+        let len = len.min(il.row_bits());
+        let spread = il.spread_cluster(start, len);
+        let total: usize = spread.iter().map(|(_, bits)| bits.len()).sum();
+        prop_assert_eq!(total as u32, len);
+    }
+
+    /// Scheme classification is total and sane: single flips are never
+    /// silent under any protection except None.
+    #[test]
+    fn protected_single_flips_never_silent(pos in 0u32..65) {
+        prop_assert_eq!(
+            ProtectionScheme::Parity.classify(&[pos]),
+            UpsetOutcome::Corrected
+        );
+        if pos < 64 {
+            prop_assert_eq!(
+                ProtectionScheme::None.classify(&[pos]),
+                UpsetOutcome::SilentCorruption
+            );
+        }
+    }
+
+    /// LogicalBit/PhysicalBit mapping respects the column-mux rule.
+    #[test]
+    fn column_mux_rule(degree in 1u32..8, word in 0u32..8, bit in 0u32..72) {
+        prop_assume!(word < degree);
+        let il = Interleaver::new(degree, 72);
+        let p = il.to_physical(LogicalBit { word, bit });
+        prop_assert_eq!(p.0 % degree, word);
+        prop_assert_eq!(p.0 / degree, bit);
+    }
+}

@@ -1,0 +1,174 @@
+//! The DVFS operating table the paper deliberately *disabled*.
+//!
+//! §3.1: "the Dynamic Voltage and Frequency Scaling (DVFS) of the
+//! microprocessor is not enabled during our experiments. DVFS uses nominal
+//! voltage levels for each different frequency." Modelling the table
+//! anyway buys two things: the platform model is complete, and the
+//! undervolting story can be quantified *against* DVFS — the paper's
+//! implicit comparison (guardband harvesting beats frequency throttling
+//! when performance matters).
+//!
+//! The table assigns each PLL step its conservative nominal voltage on a
+//! linear V/f rule anchored at the chip's specified corners (980 mV @
+//! 2.4 GHz) with a retention-ish floor for the slowest states. The
+//! characterized *safe* voltage at each frequency sits well below the
+//! DVFS nominal — that gap is the guardband of §4.1.
+
+use serde::{Deserialize, Serialize};
+
+use serscale_types::{Megahertz, Millivolts};
+
+use crate::platform::{OperatingPoint, XGene2};
+
+/// One DVFS performance state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PState {
+    /// The state's clock frequency.
+    pub frequency: Megahertz,
+    /// The conservative (nominal) PMD voltage DVFS would apply.
+    pub voltage: Millivolts,
+}
+
+impl PState {
+    /// The operating point DVFS would set for this state (SoC rail at its
+    /// nominal; DVFS never scales the SoC domain on this platform).
+    pub fn operating_point(&self) -> OperatingPoint {
+        OperatingPoint {
+            pmd: self.voltage,
+            soc: XGene2::SOC_NOMINAL,
+            frequency: self.frequency,
+        }
+    }
+}
+
+/// The platform's DVFS table: 300 MHz → 2.4 GHz in 300 MHz steps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DvfsTable {
+    states: Vec<PState>,
+}
+
+impl DvfsTable {
+    /// The voltage floor of the slowest states (retention + margin).
+    const FLOOR_MV: u32 = 850;
+    /// Linear V/f slope above the floor region, in mV per MHz.
+    const SLOPE_MV_PER_MHZ: f64 = 130.0 / 1500.0;
+
+    /// Builds the default table: 8 P-states on the PLL grid, nominal
+    /// voltage linear in frequency, clamped to the floor, top state at
+    /// the 980 mV chip nominal.
+    pub fn xgene2() -> Self {
+        let states = (1..=8u32)
+            .map(|i| {
+                let frequency = Megahertz::new(i * Megahertz::STEP);
+                DvfsTable { states: vec![] }.nominal_voltage_rule(frequency)
+            })
+            .collect();
+        DvfsTable { states }
+    }
+
+    fn nominal_voltage_rule(&self, frequency: Megahertz) -> PState {
+        let f = f64::from(frequency.get());
+        let raw = 980.0 - (2400.0 - f) * Self::SLOPE_MV_PER_MHZ;
+        let clamped = raw.max(f64::from(Self::FLOOR_MV));
+        // Snap up to the 5 mV regulator grid (nominal must be safe).
+        let step = f64::from(Millivolts::STEP);
+        let mv = ((clamped / step).ceil() * step) as u32;
+        PState { frequency, voltage: Millivolts::new(mv) }
+    }
+
+    /// All P-states, slowest first.
+    pub fn states(&self) -> &[PState] {
+        &self.states
+    }
+
+    /// The state for an exact grid frequency.
+    pub fn state_at(&self, frequency: Megahertz) -> Option<PState> {
+        self.states.iter().copied().find(|s| s.frequency == frequency)
+    }
+
+    /// The DVFS nominal voltage for a grid frequency.
+    pub fn nominal_voltage(&self, frequency: Megahertz) -> Option<Millivolts> {
+        self.state_at(frequency).map(|s| s.voltage)
+    }
+
+    /// The guardband DVFS leaves on the table at a frequency: the gap
+    /// between its conservative nominal and a characterized safe Vmin.
+    ///
+    /// Returns `None` for off-grid frequencies; `Some(0)` if the
+    /// characterization somehow sits above the nominal.
+    pub fn guardband_at(&self, frequency: Megahertz, safe_vmin: Millivolts) -> Option<u32> {
+        self.nominal_voltage(frequency)
+            .map(|nominal| nominal.get().saturating_sub(safe_vmin.get()))
+    }
+}
+
+impl Default for DvfsTable {
+    fn default() -> Self {
+        Self::xgene2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> DvfsTable {
+        DvfsTable::xgene2()
+    }
+
+    #[test]
+    fn eight_states_on_the_pll_grid() {
+        let t = table();
+        assert_eq!(t.states().len(), 8);
+        for (i, s) in t.states().iter().enumerate() {
+            assert_eq!(s.frequency.get(), (i as u32 + 1) * 300);
+            assert!(s.frequency.is_step_aligned());
+            assert!(s.voltage.is_step_aligned());
+        }
+    }
+
+    #[test]
+    fn top_state_is_the_chip_nominal() {
+        let t = table();
+        assert_eq!(t.nominal_voltage(Megahertz::new(2400)), Some(Millivolts::new(980)));
+    }
+
+    #[test]
+    fn voltages_monotone_in_frequency() {
+        let t = table();
+        for pair in t.states().windows(2) {
+            assert!(pair[0].voltage <= pair[1].voltage);
+        }
+    }
+
+    #[test]
+    fn slow_states_hit_the_floor() {
+        let t = table();
+        assert_eq!(t.nominal_voltage(Megahertz::new(300)), Some(Millivolts::new(850)));
+    }
+
+    #[test]
+    fn dvfs_nominal_at_900mhz_leaves_a_big_guardband() {
+        // DVFS would run 900 MHz at ~850–855 mV? No: 980 − 1500·0.0867 =
+        // 850 floor-adjacent… and the characterized safe Vmin is 790 mV.
+        let t = table();
+        let nominal = t.nominal_voltage(Megahertz::new(900)).unwrap();
+        assert!(nominal >= Millivolts::new(850), "nominal = {nominal}");
+        let guardband = t.guardband_at(Megahertz::new(900), Millivolts::new(790)).unwrap();
+        assert!(guardband >= 60, "guardband = {guardband} mV");
+    }
+
+    #[test]
+    fn dvfs_points_validate_against_the_regulator() {
+        let soc = XGene2::new();
+        for s in table().states() {
+            soc.validate(s.operating_point())
+                .unwrap_or_else(|e| panic!("{}: {e}", s.frequency));
+        }
+    }
+
+    #[test]
+    fn off_grid_lookup_is_none() {
+        assert_eq!(table().state_at(Megahertz::new(1000)), None);
+    }
+}

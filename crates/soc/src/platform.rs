@@ -1,0 +1,393 @@
+//! The die: cores, PMDs, SRAM arrays, voltage domains and operating points.
+
+use serde::{Deserialize, Serialize};
+
+use serscale_ecc::ProtectionScheme;
+use serscale_sram::SramArray;
+use serscale_types::{
+    ArrayKind, Bits, Bytes, CoreId, Error, Megahertz, Millivolts, PmdId, Result, VoltageDomain,
+};
+
+/// Which hardware block owns an array instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArrayOwner {
+    /// A private per-core array.
+    Core(CoreId),
+    /// A per-core-pair array (the unified L2).
+    Pmd(PmdId),
+    /// A die-shared array (the L3).
+    Shared,
+}
+
+/// One physical array instance on the die.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrayInstance {
+    array: SramArray,
+    owner: ArrayOwner,
+}
+
+impl ArrayInstance {
+    /// The array's geometry/protection descriptor.
+    pub const fn array(&self) -> &SramArray {
+        &self.array
+    }
+
+    /// Which block owns this instance.
+    pub const fn owner(&self) -> ArrayOwner {
+        self.owner
+    }
+
+    /// Shorthand for the array kind.
+    pub const fn kind(&self) -> ArrayKind {
+        self.array.kind()
+    }
+
+    /// Shorthand for the data capacity in bits.
+    pub const fn data_bits(&self) -> Bits {
+        self.array.data_bits()
+    }
+}
+
+/// A complete voltage/frequency setting of the chip — one column of
+/// Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// PMD-domain (cores, L1/L2, TLBs) supply voltage.
+    pub pmd: Millivolts,
+    /// SoC-domain (L3, DRAM controllers) supply voltage.
+    pub soc: Millivolts,
+    /// Core clock frequency (all PMDs set together in the experiments).
+    pub frequency: Megahertz,
+}
+
+impl OperatingPoint {
+    /// Nominal conditions: 980 mV / 950 mV at 2.4 GHz (Table 3 row 1).
+    pub const fn nominal() -> Self {
+        OperatingPoint {
+            pmd: Millivolts::new(980),
+            soc: Millivolts::new(950),
+            frequency: Megahertz::new(2400),
+        }
+    }
+
+    /// The "safe" reduced setting: 930 mV / 925 mV at 2.4 GHz (row 2).
+    pub const fn safe() -> Self {
+        OperatingPoint {
+            pmd: Millivolts::new(930),
+            soc: Millivolts::new(925),
+            frequency: Megahertz::new(2400),
+        }
+    }
+
+    /// The 2.4 GHz Vmin: 920 mV / 920 mV (row 3).
+    pub const fn vmin_2400() -> Self {
+        OperatingPoint {
+            pmd: Millivolts::new(920),
+            soc: Millivolts::new(920),
+            frequency: Megahertz::new(2400),
+        }
+    }
+
+    /// The 900 MHz Vmin: 790 mV PMD with the SoC held at its 950 mV
+    /// nominal (row 4).
+    pub const fn vmin_900() -> Self {
+        OperatingPoint {
+            pmd: Millivolts::new(790),
+            soc: Millivolts::new(950),
+            frequency: Megahertz::new(900),
+        }
+    }
+
+    /// The four operating points of the paper's campaign, in Table 2/3
+    /// session order.
+    pub const CAMPAIGN: [OperatingPoint; 4] =
+        [Self::nominal(), Self::safe(), Self::vmin_2400(), Self::vmin_900()];
+
+    /// The supply voltage of the given domain at this operating point.
+    /// The standby domain is never scaled and reports its 950 mV nominal.
+    pub const fn voltage_of(&self, domain: VoltageDomain) -> Millivolts {
+        match domain {
+            VoltageDomain::Pmd => self.pmd,
+            VoltageDomain::Soc => self.soc,
+            VoltageDomain::Standby => Millivolts::new(950),
+        }
+    }
+
+    /// A short label like `"980mV@2.4GHz"`.
+    pub fn label(&self) -> String {
+        format!("{}mV@{}", self.pmd.get(), self.frequency)
+    }
+}
+
+/// The modelled 8-core Armv8 server SoC.
+///
+/// Geometry and protection are Table 1's; regulator floors and step sizes
+/// are §3.1's.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct XGene2 {
+    instances: Vec<ArrayInstance>,
+}
+
+impl XGene2 {
+    /// Number of cores.
+    pub const CORES: u8 = 8;
+    /// Number of dual-core PMDs.
+    pub const PMDS: u8 = 4;
+    /// The PMD-domain nominal voltage.
+    pub const PMD_NOMINAL: Millivolts = Millivolts::new(980);
+    /// The SoC-domain nominal voltage.
+    pub const SOC_NOMINAL: Millivolts = Millivolts::new(950);
+    /// Lowest PLL frequency.
+    pub const FREQ_MIN: Megahertz = Megahertz::new(300);
+    /// Highest PLL frequency.
+    pub const FREQ_MAX: Megahertz = Megahertz::new(2400);
+    /// Interleaving degree of the smaller (per-core / per-pair) arrays.
+    const SMALL_ARRAY_INTERLEAVE: u32 = 4;
+    /// Assumed bytes per TLB entry (tag + translation + attributes).
+    const TLB_ENTRY_BYTES: u64 = 16;
+
+    /// Builds the die with Table 1's array inventory.
+    pub fn new() -> Self {
+        let mut instances = Vec::new();
+        for c in 0..Self::CORES {
+            let core = CoreId::new(c);
+            let mut per_core = |kind: ArrayKind, capacity: Bytes| {
+                instances.push(ArrayInstance {
+                    array: SramArray::new(
+                        kind,
+                        capacity,
+                        ProtectionScheme::Parity,
+                        Self::SMALL_ARRAY_INTERLEAVE,
+                    ),
+                    owner: ArrayOwner::Core(core),
+                });
+            };
+            per_core(ArrayKind::L1Instruction, Bytes::kib(32));
+            per_core(ArrayKind::L1Data, Bytes::kib(32));
+            per_core(ArrayKind::DataTlb, Bytes::new(20 * Self::TLB_ENTRY_BYTES));
+            per_core(ArrayKind::InstructionTlb, Bytes::new(20 * Self::TLB_ENTRY_BYTES));
+            per_core(ArrayKind::UnifiedL2Tlb, Bytes::new(1024 * Self::TLB_ENTRY_BYTES));
+        }
+        for p in 0..Self::PMDS {
+            instances.push(ArrayInstance {
+                array: SramArray::new(
+                    ArrayKind::L2Unified,
+                    Bytes::kib(256),
+                    ProtectionScheme::Secded,
+                    Self::SMALL_ARRAY_INTERLEAVE,
+                ),
+                owner: ArrayOwner::Pmd(PmdId::new(p)),
+            });
+        }
+        // The L3 is large, SECDED-protected and — per §4.3 — not
+        // interleaved, which is why it alone reports uncorrectable errors.
+        instances.push(ArrayInstance {
+            array: SramArray::new(ArrayKind::L3Shared, Bytes::mib(8), ProtectionScheme::Secded, 1),
+            owner: ArrayOwner::Shared,
+        });
+        XGene2 { instances }
+    }
+
+    /// Number of cores on the die.
+    pub const fn cores(&self) -> u8 {
+        Self::CORES
+    }
+
+    /// Iterates over every array instance on the die.
+    pub fn arrays(&self) -> impl Iterator<Item = &ArrayInstance> {
+        self.instances.iter()
+    }
+
+    /// Total protected SRAM capacity (the ~10 MB of §3.3).
+    pub fn total_sram(&self) -> Bits {
+        self.instances.iter().map(|i| i.data_bits()).sum()
+    }
+
+    /// Validates an operating point against the regulator/PLL constraints
+    /// of §3.1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when a voltage is above its domain
+    /// nominal, not aligned to the 5 mV step, or implausibly low
+    /// (< 500 mV), or when the frequency is outside 300–2400 MHz or not on
+    /// the 300 MHz grid.
+    pub fn validate(&self, point: OperatingPoint) -> Result<()> {
+        let check_voltage = |what: &str, v: Millivolts, nominal: Millivolts| -> Result<()> {
+            if v > nominal {
+                return Err(Error::InvalidConfig {
+                    what: what.into(),
+                    reason: format!("{v} exceeds the {nominal} nominal"),
+                });
+            }
+            if !v.is_step_aligned() {
+                return Err(Error::InvalidConfig {
+                    what: what.into(),
+                    reason: format!("{v} is not aligned to the 5 mV regulator step"),
+                });
+            }
+            if v < Millivolts::new(500) {
+                return Err(Error::InvalidConfig {
+                    what: what.into(),
+                    reason: format!("{v} is below the 500 mV plausibility floor"),
+                });
+            }
+            Ok(())
+        };
+        check_voltage("pmd voltage", point.pmd, Self::PMD_NOMINAL)?;
+        check_voltage("soc voltage", point.soc, Self::SOC_NOMINAL)?;
+        if point.frequency < Self::FREQ_MIN || point.frequency > Self::FREQ_MAX {
+            return Err(Error::InvalidConfig {
+                what: "frequency".into(),
+                reason: format!("{} outside 300 MHz – 2.4 GHz", point.frequency),
+            });
+        }
+        if !point.frequency.is_step_aligned() {
+            return Err(Error::InvalidConfig {
+                what: "frequency".into(),
+                reason: format!("{} is not on the 300 MHz PLL grid", point.frequency),
+            });
+        }
+        Ok(())
+    }
+
+    /// The Table 1 specification rows, as `(parameter, value)` pairs —
+    /// what `repro --table 1` prints.
+    pub fn spec(&self) -> Vec<(String, String)> {
+        vec![
+            ("ISA".into(), "Armv8 (AArch64)".into()),
+            ("Pipeline / CPU Cores".into(), "64-bit OoO (4-issue) / 8".into()),
+            ("Clock Frequency".into(), "2.4 GHz".into()),
+            ("D/I TLBs".into(), "20 entries per core (Parity)".into()),
+            ("Unified L2 TLB".into(), "1024 entries per core (Parity)".into()),
+            ("L1 Instruction Cache".into(), "32 KB per core (Parity)".into()),
+            ("L1 Data Cache".into(), "32 KB Write-Through per core (Parity)".into()),
+            ("L2 Cache".into(), "256 KB Write-Back per pair of cores (SECDED)".into()),
+            ("L3 Cache".into(), "8 MB Write-Back Shared (SECDED)".into()),
+            ("TDP / Technology".into(), "35 W / 28 nm".into()),
+            ("PMD/SoC Nominal Voltage".into(), "980 mV / 950 mV".into()),
+        ]
+    }
+}
+
+impl Default for XGene2 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serscale_types::CacheLevel;
+
+    #[test]
+    fn array_inventory_matches_table1() {
+        let soc = XGene2::new();
+        let count = |kind: ArrayKind| soc.arrays().filter(|a| a.kind() == kind).count();
+        assert_eq!(count(ArrayKind::L1Instruction), 8);
+        assert_eq!(count(ArrayKind::L1Data), 8);
+        assert_eq!(count(ArrayKind::DataTlb), 8);
+        assert_eq!(count(ArrayKind::InstructionTlb), 8);
+        assert_eq!(count(ArrayKind::UnifiedL2Tlb), 8);
+        assert_eq!(count(ArrayKind::L2Unified), 4);
+        assert_eq!(count(ArrayKind::L3Shared), 1);
+    }
+
+    #[test]
+    fn total_sram_is_about_10_megabytes() {
+        // §3.3 assumes ~10 MB of on-chip SRAM.
+        let total_mb = XGene2::new().total_sram().get() as f64 / 8.0 / 1.0e6;
+        assert!(total_mb > 9.0 && total_mb < 11.0, "total = {total_mb} MB");
+    }
+
+    #[test]
+    fn protection_assignment() {
+        let soc = XGene2::new();
+        for inst in soc.arrays() {
+            let expected = match inst.kind().cache_level() {
+                CacheLevel::L2 | CacheLevel::L3 => ProtectionScheme::Secded,
+                _ => ProtectionScheme::Parity,
+            };
+            assert_eq!(inst.array().protection(), expected, "{:?}", inst.kind());
+        }
+    }
+
+    #[test]
+    fn only_l3_lacks_interleaving() {
+        let soc = XGene2::new();
+        for inst in soc.arrays() {
+            if inst.kind() == ArrayKind::L3Shared {
+                assert_eq!(inst.array().interleave_degree(), 1);
+            } else {
+                assert!(inst.array().interleave_degree() > 1, "{:?}", inst.kind());
+            }
+        }
+    }
+
+    #[test]
+    fn l2_owned_by_pmds_l1_by_cores() {
+        let soc = XGene2::new();
+        for inst in soc.arrays() {
+            match inst.kind() {
+                ArrayKind::L2Unified => assert!(matches!(inst.owner(), ArrayOwner::Pmd(_))),
+                ArrayKind::L3Shared => assert_eq!(inst.owner(), ArrayOwner::Shared),
+                _ => assert!(matches!(inst.owner(), ArrayOwner::Core(_))),
+            }
+        }
+    }
+
+    #[test]
+    fn campaign_operating_points_validate() {
+        let soc = XGene2::new();
+        for point in OperatingPoint::CAMPAIGN {
+            soc.validate(point).unwrap_or_else(|e| panic!("{}: {e}", point.label()));
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_points() {
+        let soc = XGene2::new();
+        // Above nominal.
+        let mut p = OperatingPoint::nominal();
+        p.pmd = Millivolts::new(1000);
+        assert!(soc.validate(p).is_err());
+        // Off-grid voltage.
+        let mut p = OperatingPoint::nominal();
+        p.pmd = Millivolts::new(977);
+        assert!(soc.validate(p).is_err());
+        // Implausibly low.
+        let mut p = OperatingPoint::nominal();
+        p.pmd = Millivolts::new(400);
+        assert!(soc.validate(p).is_err());
+        // Off-grid frequency.
+        let mut p = OperatingPoint::nominal();
+        p.frequency = Megahertz::new(1000);
+        assert!(soc.validate(p).is_err());
+        // Too fast.
+        let mut p = OperatingPoint::nominal();
+        p.frequency = Megahertz::new(2700);
+        assert!(soc.validate(p).is_err());
+    }
+
+    #[test]
+    fn operating_point_domain_lookup() {
+        let p = OperatingPoint::vmin_900();
+        assert_eq!(p.voltage_of(VoltageDomain::Pmd), Millivolts::new(790));
+        assert_eq!(p.voltage_of(VoltageDomain::Soc), Millivolts::new(950));
+        assert_eq!(p.voltage_of(VoltageDomain::Standby), Millivolts::new(950));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(OperatingPoint::nominal().label(), "980mV@2.4 GHz");
+        assert_eq!(OperatingPoint::vmin_900().label(), "790mV@900 MHz");
+    }
+
+    #[test]
+    fn spec_covers_table1() {
+        let spec = XGene2::new().spec();
+        assert_eq!(spec.len(), 11);
+        assert!(spec.iter().any(|(k, v)| k == "L3 Cache" && v.contains("SECDED")));
+    }
+}

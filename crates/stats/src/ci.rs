@@ -1,0 +1,258 @@
+//! Confidence intervals and the special functions behind them.
+//!
+//! The paper quotes all radiation-test error bars at a 95 % confidence level
+//! (§3.5). For counts of rare events the appropriate interval is the exact
+//! (Garwood) Poisson interval, built from chi-square quantiles; for failure
+//! *proportions* (Figure 4's pfail, Figure 8's failure-class shares) the
+//! Wilson score interval is used.
+
+/// The inverse of the standard normal CDF (the probit function), via
+/// Acklam's rational approximation (relative error < 1.15e-9).
+///
+/// # Panics
+///
+/// Panics if `p` is outside the open interval `(0, 1)`.
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probit defined on (0,1), got {p}");
+
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_690e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// The standard normal CDF via `erf`.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// The error function, via Abramowitz–Stegun 7.1.26 (|error| ≤ 1.5e-7).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// The `p`-quantile of the chi-square distribution with `k` degrees of
+/// freedom, via the Wilson–Hilferty cube approximation (adequate for the
+/// k ≥ 2 cases arising from count data; error < 1 % there).
+///
+/// # Panics
+///
+/// Panics if `k` is zero or `p` is outside `(0, 1)`.
+pub fn chi_square_quantile(p: f64, k: u64) -> f64 {
+    assert!(k > 0, "chi-square needs at least one degree of freedom");
+    assert!(p > 0.0 && p < 1.0, "quantile defined on (0,1)");
+    let kf = k as f64;
+    let z = inverse_normal_cdf(p);
+    let term = 1.0 - 2.0 / (9.0 * kf) + z * (2.0 / (9.0 * kf)).sqrt();
+    kf * term.powi(3).max(0.0)
+}
+
+/// The exact (Garwood) two-sided confidence interval for a Poisson mean
+/// given an observed `count`, at confidence `level` (e.g. `0.95`).
+///
+/// Returns `(lower, upper)` bounds on the mean. For `count == 0` the lower
+/// bound is exactly `0`.
+///
+/// # Panics
+///
+/// Panics if `level` is outside `(0, 1)`.
+///
+/// ```
+/// use serscale_stats::ci::poisson_ci;
+///
+/// let (lo, hi) = poisson_ci(100, 0.95);
+/// // The familiar "100 events ⇒ roughly ±20%" radiation-test rule.
+/// assert!(lo > 81.0 && lo < 82.5);
+/// assert!(hi > 121.0 && hi < 122.5);
+/// ```
+pub fn poisson_ci(count: u64, level: f64) -> (f64, f64) {
+    assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+    let alpha = 1.0 - level;
+    let lower =
+        if count == 0 { 0.0 } else { 0.5 * chi_square_quantile(alpha / 2.0, 2 * count) };
+    let upper = 0.5 * chi_square_quantile(1.0 - alpha / 2.0, 2 * count + 2);
+    (lower, upper)
+}
+
+/// The Wilson score interval for a binomial proportion: `successes` out of
+/// `trials` at confidence `level`.
+///
+/// Well-behaved at 0 % and 100 % observed proportions, which Figure 4's
+/// pfail curves hit at both ends of the voltage sweep.
+///
+/// # Panics
+///
+/// Panics if `trials` is zero, `successes > trials`, or `level` is outside
+/// `(0, 1)`.
+pub fn wilson_ci(successes: u64, trials: u64, level: f64) -> (f64, f64) {
+    assert!(trials > 0, "proportion undefined with zero trials");
+    assert!(successes <= trials, "successes cannot exceed trials");
+    assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+    let z = inverse_normal_cdf(1.0 - (1.0 - level) / 2.0);
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// The relative half-width of a Poisson 95 % interval, used to decide when a
+/// session has accumulated statistically significant counts (the paper's
+/// "100 events" rule gives about ±20 %).
+pub fn poisson_relative_uncertainty(count: u64) -> f64 {
+    if count == 0 {
+        return f64::INFINITY;
+    }
+    let (lo, hi) = poisson_ci(count, 0.95);
+    (hi - lo) / (2.0 * count as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probit_known_values() {
+        assert!((inverse_normal_cdf(0.975) - 1.959_964).abs() < 1e-5);
+        assert!((inverse_normal_cdf(0.5)).abs() < 1e-9);
+        assert!((inverse_normal_cdf(0.025) + 1.959_964).abs() < 1e-5);
+        assert!((inverse_normal_cdf(0.841_344_7) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn probit_inverts_cdf() {
+        for &p in &[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let x = inverse_normal_cdf(p);
+            assert!((normal_cdf(x) - p).abs() < 1e-6, "p={p}");
+        }
+    }
+
+    #[test]
+    fn erf_known_values() {
+        assert!(erf(0.0).abs() < 1e-6);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(3.0) - 0.999_977_9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn chi_square_quantiles_reasonable() {
+        // chi2_{0.95, 10} ≈ 18.307
+        assert!((chi_square_quantile(0.95, 10) - 18.307).abs() < 0.2);
+        // chi2_{0.025, 2} ≈ 0.0506 (Wilson–Hilferty is weakest here; allow slack)
+        assert!((chi_square_quantile(0.025, 2) - 0.0506).abs() < 0.06);
+        // chi2_{0.975, 200} ≈ 241.06
+        assert!((chi_square_quantile(0.975, 200) - 241.06).abs() < 0.5);
+    }
+
+    #[test]
+    fn poisson_ci_brackets_count() {
+        for &n in &[1u64, 5, 13, 95, 141, 1669] {
+            let (lo, hi) = poisson_ci(n, 0.95);
+            assert!(lo < n as f64 && (n as f64) < hi, "n={n}: ({lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn poisson_ci_zero_count() {
+        let (lo, hi) = poisson_ci(0, 0.95);
+        assert_eq!(lo, 0.0);
+        // Exact upper bound for 0 events at 95% two-sided is 3.689.
+        assert!((hi - 3.689).abs() < 0.3, "hi = {hi}");
+    }
+
+    #[test]
+    fn poisson_ci_narrows_with_count() {
+        let r10 = poisson_relative_uncertainty(10);
+        let r100 = poisson_relative_uncertainty(100);
+        let r1000 = poisson_relative_uncertainty(1000);
+        assert!(r10 > r100 && r100 > r1000);
+        // ~100 events gives roughly ±20%, the paper's significance rule.
+        assert!((r100 - 0.20).abs() < 0.02, "r100 = {r100}");
+        assert!(poisson_relative_uncertainty(0).is_infinite());
+    }
+
+    #[test]
+    fn wilson_ci_basic() {
+        let (lo, hi) = wilson_ci(50, 100, 0.95);
+        assert!(lo > 0.40 && lo < 0.45);
+        assert!(hi > 0.55 && hi < 0.60);
+    }
+
+    #[test]
+    fn wilson_ci_extremes_stay_in_unit_interval() {
+        let (lo, hi) = wilson_ci(0, 20, 0.95);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.25);
+        let (lo, hi) = wilson_ci(20, 20, 0.95);
+        assert!(lo > 0.75 && lo < 1.0);
+        assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    fn wilson_interval_contains_point_estimate() {
+        for succ in 0..=30u64 {
+            let (lo, hi) = wilson_ci(succ, 30, 0.95);
+            let p = succ as f64 / 30.0;
+            assert!(lo <= p + 1e-12 && p - 1e-12 <= hi, "succ={succ}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero trials")]
+    fn wilson_rejects_zero_trials() {
+        let _ = wilson_ci(0, 0, 0.95);
+    }
+}

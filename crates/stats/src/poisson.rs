@@ -1,0 +1,212 @@
+//! Poisson arrival statistics.
+//!
+//! Under constant flux, neutron-induced upsets arrive as a Poisson process:
+//! the count in a window of fluence `Φ` over a device of cross-section `σ` is
+//! `Poisson(σ·Φ)`, and inter-arrival times are exponential. Both samplers
+//! live here, together with the PMF/CDF used by tests and by the dosimeter
+//! calibration.
+
+use crate::rng::SimRng;
+
+/// Draws a Poisson-distributed count with the given mean.
+///
+/// Uses Knuth's multiplication method for small means and a
+/// continuity-corrected normal approximation for large ones (the crossover
+/// at 30 keeps the approximation error far below the sampling noise of any
+/// realistic campaign).
+///
+/// # Panics
+///
+/// Panics if `mean` is negative or non-finite.
+///
+/// ```
+/// use serscale_stats::{poisson::sample_poisson, SimRng};
+///
+/// let mut rng = SimRng::seed_from(1);
+/// let n = sample_poisson(&mut rng, 4.2);
+/// assert!(n < 100);
+/// ```
+pub fn sample_poisson(rng: &mut SimRng, mean: f64) -> u64 {
+    assert!(mean.is_finite() && mean >= 0.0, "poisson mean must be finite and non-negative");
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean < 30.0 {
+        // Knuth: count multiplications until the product drops below e^-λ.
+        let limit = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.uniform();
+            if p <= limit {
+                return k;
+            }
+            k += 1;
+            // Guard against pathological uniform() == 1.0 streaks.
+            if k > 1_000_000 {
+                return k;
+            }
+        }
+    }
+    // Normal approximation N(λ, λ) with continuity correction.
+    let draw = rng.normal(mean, mean.sqrt());
+    if draw < 0.0 {
+        0
+    } else {
+        (draw + 0.5).floor() as u64
+    }
+}
+
+/// Draws an exponential inter-arrival time for a process with the given
+/// `rate` (events per unit time). Returns `f64::INFINITY` when the rate is
+/// zero (the next event never arrives).
+///
+/// # Panics
+///
+/// Panics if `rate` is negative or non-finite.
+pub fn sample_exponential(rng: &mut SimRng, rate: f64) -> f64 {
+    assert!(rate.is_finite() && rate >= 0.0, "rate must be finite and non-negative");
+    if rate == 0.0 {
+        return f64::INFINITY;
+    }
+    // u in (0, 1] so ln never sees zero.
+    let u = 1.0 - rng.uniform();
+    -u.ln() / rate
+}
+
+/// The Poisson probability mass function `P(X = k | λ)`.
+///
+/// Computed in log space for numerical robustness at large `k`/`λ`.
+pub fn poisson_pmf(k: u64, lambda: f64) -> f64 {
+    assert!(lambda.is_finite() && lambda >= 0.0, "lambda must be finite and non-negative");
+    if lambda == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    let kf = k as f64;
+    (kf * lambda.ln() - lambda - ln_factorial(k)).exp()
+}
+
+/// The Poisson cumulative distribution `P(X ≤ k | λ)`.
+pub fn poisson_cdf(k: u64, lambda: f64) -> f64 {
+    (0..=k).map(|i| poisson_pmf(i, lambda)).sum::<f64>().min(1.0)
+}
+
+/// `ln(k!)` via Stirling's series for large `k` and a small lookup for
+/// small `k`.
+pub fn ln_factorial(k: u64) -> f64 {
+    const TABLE: [f64; 11] = [
+        0.0,
+        0.0,
+        0.693_147_180_559_945_3,
+        1.791_759_469_228_055,
+        3.178_053_830_347_946,
+        4.787_491_742_782_046,
+        6.579_251_212_010_101,
+        8.525_161_361_065_415,
+        10.604_602_902_745_25,
+        12.801_827_480_081_469,
+        15.104_412_573_075_516,
+    ];
+    if k <= 10 {
+        return TABLE[k as usize];
+    }
+    let x = k as f64 + 1.0;
+    // Stirling series for ln Γ(x); accurate to ~1e-10 for x ≥ 11.
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    (x - 0.5) * x.ln() - x
+        + 0.5 * (2.0 * std::f64::consts::PI).ln()
+        + inv * (1.0 / 12.0 - inv2 * (1.0 / 360.0 - inv2 / 1260.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn factorial(k: u64) -> f64 {
+        (1..=k).map(|i| i as f64).product()
+    }
+
+    #[test]
+    fn ln_factorial_matches_direct_product() {
+        for k in 0..=20 {
+            let direct = factorial(k).ln();
+            assert!(
+                (ln_factorial(k) - direct).abs() < 1e-9,
+                "k={k}: {} vs {direct}",
+                ln_factorial(k)
+            );
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &lambda in &[0.5, 3.0, 12.0, 45.0] {
+            let total: f64 = (0..400).map(|k| poisson_pmf(k, lambda)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "lambda={lambda}: sum={total}");
+        }
+    }
+
+    #[test]
+    fn pmf_degenerate_at_zero_lambda() {
+        assert_eq!(poisson_pmf(0, 0.0), 1.0);
+        assert_eq!(poisson_pmf(3, 0.0), 0.0);
+        assert_eq!(sample_poisson(&mut SimRng::seed_from(1), 0.0), 0);
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let mut prev = 0.0;
+        for k in 0..50 {
+            let c = poisson_cdf(k, 10.0);
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert!((poisson_cdf(49, 10.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampler_mean_and_variance_small_lambda() {
+        let mut rng = SimRng::seed_from(11);
+        let lambda = 4.0;
+        let n = 50_000;
+        let draws: Vec<u64> = (0..n).map(|_| sample_poisson(&mut rng, lambda)).collect();
+        let mean = draws.iter().sum::<u64>() as f64 / n as f64;
+        let var = draws.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - lambda).abs() < 0.05, "mean = {mean}");
+        assert!((var - lambda).abs() < 0.2, "var = {var}");
+    }
+
+    #[test]
+    fn sampler_mean_large_lambda() {
+        let mut rng = SimRng::seed_from(12);
+        let lambda = 250.0;
+        let n = 20_000;
+        let mean =
+            (0..n).map(|_| sample_poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
+        assert!((mean - lambda).abs() < 1.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let mut rng = SimRng::seed_from(13);
+        let rate = 0.25;
+        let n = 50_000;
+        let mean = (0..n).map(|_| sample_exponential(&mut rng, rate)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean = {mean}");
+    }
+
+    #[test]
+    fn exponential_zero_rate_never_fires() {
+        let mut rng = SimRng::seed_from(14);
+        assert!(sample_exponential(&mut rng, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut rng = SimRng::seed_from(15);
+        for _ in 0..10_000 {
+            assert!(sample_exponential(&mut rng, 3.0) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Deterministic, forkable randomness.
+//!
+//! Every stochastic component of the simulator draws from a [`SimRng`].
+//! A campaign seeded with the same `u64` replays bit-for-bit, which is what
+//! makes Table 2 / Figures 4–13 regenerable artifacts rather than
+//! one-off samples. Components that run "concurrently" in simulated time
+//! (e.g. the beam scheduler and the weak-cell lottery) each receive an
+//! independent [`fork`](SimRng::fork) so that adding draws to one cannot
+//! perturb the other.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random-number source.
+///
+/// Wraps a fast non-cryptographic generator behind a stable facade; the
+/// concrete algorithm is an implementation detail (C-NEWTYPE-HIDE).
+///
+/// ```
+/// use rand::RngCore;
+/// use serscale_stats::SimRng;
+///
+/// let mut rng = SimRng::seed_from(42);
+/// let x = rng.uniform();
+/// assert!((0.0..1.0).contains(&x));
+///
+/// // Forked streams are independent of later draws on the parent.
+/// let mut fork_a = SimRng::seed_from(42).fork("beam");
+/// let mut parent = SimRng::seed_from(42);
+/// parent.uniform();
+/// let mut fork_b = parent.fork("beam");
+/// assert_eq!(fork_a.next_u64(), fork_b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a campaign seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng { inner: SmallRng::seed_from_u64(seed), seed }
+    }
+
+    /// The seed this generator (or its fork ancestry root) was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child stream named by `label`.
+    ///
+    /// The child's seed depends only on this generator's *seed* and the
+    /// label — not on how many values have been drawn — so components can be
+    /// wired up in any order without perturbing each other's streams.
+    pub fn fork(&self, label: &str) -> SimRng {
+        let child_seed = splitmix(self.seed ^ fnv1a(label));
+        SimRng::seed_from(child_seed)
+    }
+
+    /// Derives an independent child stream from a numeric index, for
+    /// per-core / per-array / per-run streams.
+    pub fn fork_indexed(&self, label: &str, index: u64) -> SimRng {
+        let child_seed = splitmix(self.seed ^ fnv1a(label) ^ splitmix(index));
+        SimRng::seed_from(child_seed)
+    }
+
+    /// Draws a uniform value in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Draws a uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty interval [{lo}, {hi})");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Draws a uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is empty");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.uniform() < p
+        }
+    }
+
+    /// Draws a standard normal deviate via the Box–Muller transform.
+    pub fn standard_normal(&mut self) -> f64 {
+        // Draw u in (0,1] to avoid ln(0).
+        let u = 1.0 - self.uniform();
+        let v = self.uniform();
+        (-2.0 * u.ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos()
+    }
+
+    /// Draws a normal deviate with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sd` is negative.
+    pub fn normal(&mut self, mean: f64, sd: f64) -> f64 {
+        assert!(sd >= 0.0, "standard deviation must be non-negative");
+        mean + sd * self.standard_normal()
+    }
+
+    /// Collects `n` raw 64-bit draws (mostly useful in tests).
+    pub fn take_u64s(mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.inner.next_u64()).collect()
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+/// FNV-1a hash of a label, used for fork-stream derivation.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer, used to decorrelate derived seeds.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        assert_eq!(SimRng::seed_from(1).take_u64s(16), SimRng::seed_from(1).take_u64s(16));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(SimRng::seed_from(1).take_u64s(8), SimRng::seed_from(2).take_u64s(8));
+    }
+
+    #[test]
+    fn forks_are_independent_of_draw_position() {
+        let a = SimRng::seed_from(99).fork("beam").take_u64s(4);
+        let mut parent = SimRng::seed_from(99);
+        for _ in 0..100 {
+            parent.uniform();
+        }
+        let b = parent.fork("beam").take_u64s(4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn forks_with_different_labels_differ() {
+        let root = SimRng::seed_from(5);
+        assert_ne!(root.fork("beam").take_u64s(4), root.fork("cells").take_u64s(4));
+        assert_ne!(
+            root.fork_indexed("core", 0).take_u64s(4),
+            root.fork_indexed("core", 1).take_u64s(4)
+        );
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..1000 {
+            let x = rng.uniform();
+            assert!((0.0..1.0).contains(&x));
+            let y = rng.uniform_in(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(4);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-0.5));
+        assert!(rng.chance(1.5));
+    }
+
+    #[test]
+    fn chance_frequency_tracks_p() {
+        let mut rng = SimRng::seed_from(8);
+        let hits = (0..20_000).filter(|_| rng.chance(0.25)).count();
+        let freq = hits as f64 / 20_000.0;
+        assert!((freq - 0.25).abs() < 0.02, "freq = {freq}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SimRng::seed_from(6);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| rng.normal(5.0, 2.0)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean = {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "sd = {}", var.sqrt());
+    }
+
+    #[test]
+    fn below_range() {
+        let mut rng = SimRng::seed_from(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.below(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,94 @@
+//! The shared error type of the workspace.
+
+use std::error;
+use std::fmt;
+
+/// A specialized result alias for serscale operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced across the serscale workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A configuration value was outside its legal range
+    /// (e.g. a PMD voltage below the regulator floor, or a frequency not
+    /// aligned to the PLL step).
+    InvalidConfig {
+        /// Which parameter was rejected.
+        what: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// An operation referenced a structure the platform does not have
+    /// (e.g. core index ≥ 8).
+    UnknownStructure {
+        /// Description of the missing structure.
+        what: String,
+    },
+    /// A voltage level below the characterized safe Vmin was requested for a
+    /// context requiring fault-free operation.
+    UnsafeVoltage {
+        /// The requested level in mV.
+        requested_mv: u32,
+        /// The safe minimum in mV.
+        vmin_mv: u32,
+    },
+    /// A campaign or session was asked to continue after it had already
+    /// reached a terminal state.
+    SessionFinished,
+    /// A statistical estimator was invoked with insufficient data
+    /// (e.g. a confidence interval on zero exposure).
+    InsufficientData {
+        /// What was being estimated.
+        what: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig { what, reason } => {
+                write!(f, "invalid configuration for {what}: {reason}")
+            }
+            Error::UnknownStructure { what } => write!(f, "unknown hardware structure: {what}"),
+            Error::UnsafeVoltage { requested_mv, vmin_mv } => write!(
+                f,
+                "requested {requested_mv} mV is below the characterized safe Vmin of {vmin_mv} mV"
+            ),
+            Error::SessionFinished => write!(f, "session already reached a terminal state"),
+            Error::InsufficientData { what } => {
+                write!(f, "insufficient data to estimate {what}")
+            }
+        }
+    }
+}
+
+impl error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = Error::UnsafeVoltage { requested_mv: 900, vmin_mv: 920 };
+        let msg = e.to_string();
+        assert!(msg.contains("900 mV"));
+        assert!(msg.contains("920 mV"));
+
+        let e = Error::InvalidConfig { what: "pmd voltage".into(), reason: "not step aligned".into() };
+        assert!(e.to_string().starts_with("invalid configuration"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        let e: Box<dyn std::error::Error> = Box::new(Error::SessionFinished);
+        assert_eq!(e.to_string(), "session already reached a terminal state");
+    }
+}

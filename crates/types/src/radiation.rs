@@ -1,0 +1,481 @@
+//! Radiation-environment units: particle flux, accumulated fluence,
+//! cross-sections, and the FIT failure-rate unit, plus the JEDEC JESD89B
+//! reference constants used throughout the paper.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul};
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// The JESD89B reference neutron flux at New York City sea level for
+/// energies above 10 MeV: ~13 neutrons/cm²/hour (§2.1, Eq. 2 of the paper).
+pub const NYC_SEA_LEVEL_FLUX: Flux = Flux(13.0 / 3600.0);
+
+/// The number of device-hours over which a FIT rate is defined (10⁹ h).
+pub const FIT_HOURS: f64 = 1.0e9;
+
+/// A neutron kinetic energy in MeV.
+///
+/// The TNF spectrum and the JEDEC atmospheric reference are both quoted for
+/// the integrated flux above a 10 MeV threshold; thermal neutrons
+/// (≲ 0.025 eV ≈ 2.5e-8 MeV) are tracked separately.
+///
+/// ```
+/// use serscale_types::NeutronEnergy;
+///
+/// assert!(NeutronEnergy::mev(14.0) > NeutronEnergy::SEE_THRESHOLD);
+/// assert!(NeutronEnergy::THERMAL < NeutronEnergy::SEE_THRESHOLD);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct NeutronEnergy(f64);
+
+impl NeutronEnergy {
+    /// The >10 MeV threshold used for single-event-effect flux accounting.
+    pub const SEE_THRESHOLD: NeutronEnergy = NeutronEnergy(10.0);
+
+    /// A representative thermal-neutron energy (0.025 eV).
+    pub const THERMAL: NeutronEnergy = NeutronEnergy(2.5e-8);
+
+    /// Creates an energy in MeV.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mev` is negative or non-finite.
+    pub fn mev(mev: f64) -> Self {
+        assert!(mev.is_finite() && mev >= 0.0, "energy must be finite and non-negative");
+        NeutronEnergy(mev)
+    }
+
+    /// Returns the energy in MeV.
+    pub const fn as_mev(self) -> f64 {
+        self.0
+    }
+
+    /// True when this energy is above the >10 MeV SEE accounting threshold.
+    pub fn is_see_relevant(self) -> bool {
+        self >= Self::SEE_THRESHOLD
+    }
+}
+
+impl fmt::Display for NeutronEnergy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} MeV", self.0)
+    }
+}
+
+/// A particle flux in neutrons per cm² per second.
+///
+/// ```
+/// use serscale_types::{Flux, SimDuration};
+///
+/// // TNF beam-center flux is 2–3 × 10⁶ n/cm²/s; the paper's halo position
+/// // receives 0.60% of it.
+/// let center = Flux::per_cm2_s(2.5e6);
+/// let halo = center.scaled(0.006);
+/// assert!((halo.as_per_cm2_s() - 1.5e4).abs() < 1.0);
+/// let fluence = halo * SimDuration::from_secs(100.0);
+/// assert!((fluence.as_per_cm2() - 1.5e6).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize, Default)]
+pub struct Flux(f64);
+
+impl Flux {
+    /// Creates a flux from a `neutrons/cm²/s` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is negative or non-finite.
+    pub fn per_cm2_s(f: f64) -> Self {
+        assert!(f.is_finite() && f >= 0.0, "flux must be finite and non-negative, got {f}");
+        Flux(f)
+    }
+
+    /// Creates a flux from a `neutrons/cm²/hour` value (the unit JESD89B
+    /// quotes the NYC reference in).
+    pub fn per_cm2_hour(f: f64) -> Self {
+        Self::per_cm2_s(f / 3600.0)
+    }
+
+    /// Returns the flux in neutrons/cm²/s.
+    pub const fn as_per_cm2_s(&self) -> f64 {
+        self.0
+    }
+
+    /// Returns the flux in neutrons/cm²/hour.
+    pub fn as_per_cm2_hour(self) -> f64 {
+        self.0 * 3600.0
+    }
+
+    /// Returns this flux attenuated (or amplified) by a dimensionless factor,
+    /// e.g. the 0.60% halo transmission measured with the dosimeter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite.
+    pub fn scaled(self, factor: f64) -> Flux {
+        assert!(factor.is_finite() && factor >= 0.0, "scale factor must be non-negative");
+        Flux(self.0 * factor)
+    }
+
+    /// The acceleration factor of this flux over a natural environment:
+    /// how many hours of natural exposure one second under this flux is
+    /// worth.
+    pub fn acceleration_over(self, natural: Flux) -> f64 {
+        self.0 / natural.0
+    }
+}
+
+impl Mul<SimDuration> for Flux {
+    type Output = Fluence;
+    fn mul(self, rhs: SimDuration) -> Fluence {
+        Fluence(self.0 * rhs.as_secs())
+    }
+}
+
+impl fmt::Display for Flux {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3e} n/cm²/s", self.0)
+    }
+}
+
+/// An accumulated particle fluence in neutrons per cm².
+///
+/// A test session in the paper stops when fluence reaches 10¹¹ n/cm² (or 100
+/// error events accumulate, whichever is first).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize, Default)]
+pub struct Fluence(f64);
+
+impl Fluence {
+    /// The zero fluence.
+    pub const ZERO: Fluence = Fluence(0.0);
+
+    /// The ESCC-25100 rule-of-thumb fluence for statistically significant
+    /// radiation-test results: 10¹¹ n/cm² (§3.5).
+    pub const SIGNIFICANCE_THRESHOLD: Fluence = Fluence(1.0e11);
+
+    /// Creates a fluence from a `neutrons/cm²` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is negative or non-finite.
+    pub fn per_cm2(f: f64) -> Self {
+        assert!(f.is_finite() && f >= 0.0, "fluence must be finite and non-negative, got {f}");
+        Fluence(f)
+    }
+
+    /// Returns the fluence in neutrons/cm².
+    pub const fn as_per_cm2(&self) -> f64 {
+        self.0
+    }
+
+    /// The equivalent calendar time a device in the `natural` environment
+    /// would need to accumulate this fluence (Table 2's "years of NYC
+    /// equivalent radiation" row).
+    pub fn natural_equivalent(self, natural: Flux) -> SimDuration {
+        SimDuration::from_secs(self.0 / natural.as_per_cm2_s())
+    }
+}
+
+impl Add for Fluence {
+    type Output = Fluence;
+    fn add(self, rhs: Fluence) -> Fluence {
+        Fluence(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Fluence {
+    fn add_assign(&mut self, rhs: Fluence) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for Fluence {
+    fn sum<I: Iterator<Item = Fluence>>(iter: I) -> Fluence {
+        iter.fold(Fluence::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Fluence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3e} n/cm²", self.0)
+    }
+}
+
+/// A radiation-event cross-section in cm².
+///
+/// The *dynamic cross-section* of the paper (Eq. 1) is
+/// `events / fluence`; multiplied by an environment flux it yields an event
+/// rate, and via [`CrossSection::fit_at`] the FIT rate of Eq. 2.
+///
+/// ```
+/// use serscale_types::{CrossSection, Fluence, NYC_SEA_LEVEL_FLUX};
+///
+/// // 95 events over 1.49e11 n/cm² (Table 2, session 1).
+/// let dcs = CrossSection::from_events(95.0, Fluence::per_cm2(1.49e11));
+/// let fit = dcs.fit_at(NYC_SEA_LEVEL_FLUX);
+/// assert!((fit.get() - 8.29).abs() < 0.05); // paper: total FIT ≈ 8.31
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize, Default)]
+pub struct CrossSection(f64);
+
+impl CrossSection {
+    /// The zero cross-section.
+    pub const ZERO: CrossSection = CrossSection(0.0);
+
+    /// Creates a cross-section from a `cm²` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cm2` is negative or non-finite.
+    pub fn cm2(cm2: f64) -> Self {
+        assert!(
+            cm2.is_finite() && cm2 >= 0.0,
+            "cross-section must be finite and non-negative, got {cm2}"
+        );
+        CrossSection(cm2)
+    }
+
+    /// Computes a dynamic cross-section from an observed event count and the
+    /// fluence over which it was accumulated (Eq. 1 of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fluence` is zero (no exposure, cross-section undefined) or
+    /// `events` is negative.
+    pub fn from_events(events: f64, fluence: Fluence) -> Self {
+        assert!(fluence.as_per_cm2() > 0.0, "cross-section undefined at zero fluence");
+        assert!(events >= 0.0, "event count must be non-negative");
+        CrossSection(events / fluence.as_per_cm2())
+    }
+
+    /// Returns the cross-section in cm².
+    pub const fn as_cm2(&self) -> f64 {
+        self.0
+    }
+
+    /// The expected event rate (events/s) of a device with this
+    /// cross-section in an environment with the given flux.
+    pub fn event_rate(self, flux: Flux) -> f64 {
+        self.0 * flux.as_per_cm2_s()
+    }
+
+    /// The FIT rate (failures per 10⁹ device-hours) of a device with this
+    /// cross-section in an environment with the given flux — Eq. 2 of the
+    /// paper.
+    pub fn fit_at(self, flux: Flux) -> Fit {
+        Fit::new(self.0 * flux.as_per_cm2_hour() * FIT_HOURS)
+    }
+}
+
+impl Add for CrossSection {
+    type Output = CrossSection;
+    fn add(self, rhs: CrossSection) -> CrossSection {
+        CrossSection(self.0 + rhs.0)
+    }
+}
+
+impl Sum for CrossSection {
+    fn sum<I: Iterator<Item = CrossSection>>(iter: I) -> CrossSection {
+        iter.fold(CrossSection::ZERO, Add::add)
+    }
+}
+
+impl Mul<f64> for CrossSection {
+    type Output = CrossSection;
+    fn mul(self, rhs: f64) -> CrossSection {
+        CrossSection(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for CrossSection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3e} cm²", self.0)
+    }
+}
+
+/// A failure rate in FIT: failures per 10⁹ device-hours.
+///
+/// ```
+/// use serscale_types::Fit;
+///
+/// let sdc_nominal = Fit::new(2.54);
+/// let sdc_vmin = Fit::new(41.43);
+/// assert!((sdc_vmin / sdc_nominal - 16.3).abs() < 0.05); // the paper's 16×
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize, Default)]
+pub struct Fit(f64);
+
+impl Fit {
+    /// The zero failure rate.
+    pub const ZERO: Fit = Fit(0.0);
+
+    /// Creates a FIT rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fit` is negative or non-finite.
+    pub fn new(fit: f64) -> Self {
+        assert!(fit.is_finite() && fit >= 0.0, "FIT must be finite and non-negative, got {fit}");
+        Fit(fit)
+    }
+
+    /// Returns the raw FIT value.
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// The mean time to failure implied by this rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is zero.
+    pub fn mttf(self) -> SimDuration {
+        assert!(self.0 > 0.0, "MTTF undefined at zero FIT");
+        SimDuration::from_hours(FIT_HOURS / self.0)
+    }
+
+    /// FIT normalized per Mbit of a memory of `mbits` megabits (the
+    /// "FIT per Mbit" SER unit of Table 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mbits` is not positive.
+    pub fn per_mbit(self, mbits: f64) -> Fit {
+        assert!(mbits > 0.0, "memory size must be positive");
+        Fit(self.0 / mbits)
+    }
+}
+
+impl Add for Fit {
+    type Output = Fit;
+    fn add(self, rhs: Fit) -> Fit {
+        Fit(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Fit {
+    fn add_assign(&mut self, rhs: Fit) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for Fit {
+    fn sum<I: Iterator<Item = Fit>>(iter: I) -> Fit {
+        iter.fold(Fit::ZERO, Add::add)
+    }
+}
+
+impl Div for Fit {
+    type Output = f64;
+    fn div(self, rhs: Fit) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl fmt::Display for Fit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} FIT", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nyc_flux_matches_jedec_value() {
+        assert!((NYC_SEA_LEVEL_FLUX.as_per_cm2_hour() - 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flux_times_duration_is_fluence() {
+        let f = Flux::per_cm2_s(1.5e6);
+        let fl = f * SimDuration::from_minutes(1651.0);
+        assert!((fl.as_per_cm2() - 1.5e6 * 1651.0 * 60.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn table2_session1_fluence_is_reachable() {
+        // Session 1: 1651 minutes at the halo flux gives ≈1.49e11 n/cm².
+        let fl = Flux::per_cm2_s(1.5e6) * SimDuration::from_minutes(1651.0);
+        assert!((fl.as_per_cm2() - 1.49e11).abs() / 1.49e11 < 0.01);
+        assert!(fl >= Fluence::SIGNIFICANCE_THRESHOLD);
+    }
+
+    #[test]
+    fn nyc_equivalent_years_matches_table2() {
+        // Table 2 row 5: 1.49e11 n/cm² ≡ 1.30e6 years of NYC exposure.
+        let years = Fluence::per_cm2(1.49e11)
+            .natural_equivalent(NYC_SEA_LEVEL_FLUX)
+            .as_hours()
+            / (24.0 * 365.25);
+        assert!((years - 1.30e6).abs() / 1.30e6 < 0.02, "years = {years:.3e}");
+    }
+
+    #[test]
+    fn halo_attenuation() {
+        let center = Flux::per_cm2_s(2.5e6);
+        let halo = center.scaled(0.006);
+        assert!((halo.as_per_cm2_s() - 15000.0).abs() < 1e-6);
+        assert!((halo.acceleration_over(NYC_SEA_LEVEL_FLUX) - 15000.0 * 3600.0 / 13.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn dynamic_cross_section_eq1() {
+        let dcs = CrossSection::from_events(1669.0, Fluence::per_cm2(1.49e11));
+        assert!((dcs.as_cm2() - 1.12e-8).abs() / 1.12e-8 < 0.01);
+    }
+
+    #[test]
+    fn fit_eq2_roundtrip() {
+        // FIT = DCS × 13 n/cm²/h × 1e9 h.
+        let dcs = CrossSection::cm2(1.0e-9);
+        let fit = dcs.fit_at(NYC_SEA_LEVEL_FLUX);
+        assert!((fit.get() - 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_ser_fit_per_mbit_matches_table2() {
+        // Session 1: 1669 upsets / 1.49e11 n/cm², 80 Mbit of SRAM → 2.08
+        // FIT/Mbit at NYC (Table 2 row 10 gives 2.08).
+        let dcs = CrossSection::from_events(1669.0, Fluence::per_cm2(1.49e11));
+        let fit = dcs.fit_at(NYC_SEA_LEVEL_FLUX).per_mbit(70.0);
+        assert!((fit.get() - 2.08).abs() < 0.1, "fit/mbit = {fit}");
+    }
+
+    #[test]
+    fn fit_ratio_division() {
+        assert!((Fit::new(41.43) / Fit::new(2.54) - 16.31).abs() < 0.01);
+    }
+
+    #[test]
+    fn mttf_inverse_of_fit() {
+        let fit = Fit::new(1000.0);
+        assert!((fit.mttf().as_hours() - 1.0e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fluence_sum_and_accumulate() {
+        let mut total = Fluence::ZERO;
+        total += Fluence::per_cm2(5.0e10);
+        total += Fluence::per_cm2(5.0e10);
+        assert!(total >= Fluence::SIGNIFICANCE_THRESHOLD);
+        let s: Fluence = [Fluence::per_cm2(1.0), Fluence::per_cm2(2.0)].into_iter().sum();
+        assert!((s.as_per_cm2() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_thresholds() {
+        assert!(NeutronEnergy::mev(14.0).is_see_relevant());
+        assert!(!NeutronEnergy::THERMAL.is_see_relevant());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero fluence")]
+    fn cross_section_rejects_zero_fluence() {
+        let _ = CrossSection::from_events(1.0, Fluence::ZERO);
+    }
+}

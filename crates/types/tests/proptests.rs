@@ -1,0 +1,112 @@
+//! Property tests over the unit newtypes: conversions round-trip,
+//! arithmetic respects dimensional identities.
+
+use proptest::prelude::*;
+
+use serscale_types::{
+    Bits, Bytes, CoreId, CrossSection, Fit, Flux, Fluence, Megahertz, Millivolts, SimDuration,
+    SimInstant, NYC_SEA_LEVEL_FLUX,
+};
+
+proptest! {
+    /// Voltage step arithmetic: down then up round-trips (absent
+    /// saturation), and stepping preserves grid alignment.
+    #[test]
+    fn millivolt_steps_roundtrip(base in 100u32..1200, steps in 0u32..10) {
+        let v = Millivolts::new(base - base % Millivolts::STEP);
+        prop_assume!(v.get() >= steps * Millivolts::STEP);
+        let down = v.stepped_down(steps);
+        prop_assert_eq!(down.stepped_up(steps), v);
+        prop_assert!(down.is_step_aligned());
+        prop_assert_eq!(v - down, steps * Millivolts::STEP);
+    }
+
+    /// Flux × duration = fluence is bilinear.
+    #[test]
+    fn fluence_bilinear(f in 1.0f64..1e7, secs in 1.0f64..1e6, k in 0.1f64..10.0) {
+        let flux = Flux::per_cm2_s(f);
+        let t = SimDuration::from_secs(secs);
+        let base = (flux * t).as_per_cm2();
+        let scaled_flux = (Flux::per_cm2_s(f * k) * t).as_per_cm2();
+        let scaled_time = (flux * SimDuration::from_secs(secs * k)).as_per_cm2();
+        prop_assert!((scaled_flux / base - k).abs() / k < 1e-9);
+        prop_assert!((scaled_time / base - k).abs() / k < 1e-9);
+    }
+
+    /// Eq. 1 + Eq. 2 consistency: FIT(events/fluence) × exposure hours /
+    /// 1e9 recovers the expected event count in the natural environment.
+    #[test]
+    fn fit_roundtrips_to_event_counts(events in 1u64..100_000, fluence in 1e9f64..1e13) {
+        let dcs = CrossSection::from_events(events as f64, Fluence::per_cm2(fluence));
+        let fit = dcs.fit_at(NYC_SEA_LEVEL_FLUX);
+        // Hours to re-accumulate the same fluence naturally:
+        let hours = fluence / NYC_SEA_LEVEL_FLUX.as_per_cm2_hour();
+        let recovered = fit.get() * hours / 1e9;
+        let rel = (recovered - events as f64).abs() / events as f64;
+        prop_assert!(rel < 1e-9);
+    }
+
+    /// FIT per Mbit scales inversely with the memory size.
+    #[test]
+    fn fit_per_mbit_inverse(fit in 0.1f64..1e6, mbit in 0.1f64..1e4, k in 1.1f64..100.0) {
+        let f = Fit::new(fit);
+        let a = f.per_mbit(mbit).get();
+        let b = f.per_mbit(mbit * k).get();
+        prop_assert!((a / b - k).abs() / k < 1e-9);
+    }
+
+    /// MTTF inverts FIT.
+    #[test]
+    fn mttf_inverts_fit(fit in 0.001f64..1e9) {
+        let f = Fit::new(fit);
+        prop_assert!((f.mttf().as_hours() * fit - 1e9).abs() / 1e9 < 1e-9);
+    }
+
+    /// Byte/bit conversions are exact and Mbit is decimal.
+    #[test]
+    fn memory_conversions(bytes in 0u64..(1 << 40)) {
+        let b = Bytes::new(bytes);
+        prop_assert_eq!(b.as_bits(), Bits::new(bytes * 8));
+        let mbit = b.as_bits().as_mbit();
+        prop_assert!((mbit - (bytes * 8) as f64 / 1e6).abs() < 1e-6);
+    }
+
+    /// Instant/duration arithmetic is associative over a chain of steps.
+    #[test]
+    fn instant_chain(steps in prop::collection::vec(0.0f64..1e4, 1..20)) {
+        let mut t = SimInstant::EPOCH;
+        for &s in &steps {
+            t += SimDuration::from_secs(s);
+        }
+        let total: f64 = steps.iter().sum();
+        prop_assert!((t.elapsed_since(SimInstant::EPOCH).as_secs() - total).abs() < 1e-6);
+    }
+
+    /// Core→PMD pairing is consistent both directions.
+    #[test]
+    fn core_pmd_pairing(core in 0u8..8) {
+        let c = CoreId::new(core);
+        prop_assert!(c.pmd().cores().contains(&c));
+        prop_assert_eq!(c.pmd().get(), core / 2);
+    }
+
+    /// Frequency ratios are consistent with GHz conversion.
+    #[test]
+    fn frequency_ratios(a in 300u32..2400, b in 300u32..2400) {
+        let fa = Megahertz::new(a);
+        let fb = Megahertz::new(b);
+        prop_assert!((fa.ratio_to(fb) - fa.as_ghz() / fb.as_ghz()).abs() < 1e-12);
+    }
+
+    /// Flux acceleration: an accelerated second equals `acceleration`
+    /// natural seconds of fluence.
+    #[test]
+    fn acceleration_consistency(f in 1.0f64..1e7) {
+        let beam = Flux::per_cm2_s(f);
+        let acc = beam.acceleration_over(NYC_SEA_LEVEL_FLUX);
+        let beam_second = (beam * SimDuration::from_secs(1.0)).as_per_cm2();
+        let natural_equiv =
+            (NYC_SEA_LEVEL_FLUX * SimDuration::from_secs(acc)).as_per_cm2();
+        prop_assert!((beam_second - natural_equiv).abs() / beam_second < 1e-9);
+    }
+}

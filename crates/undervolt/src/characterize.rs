@@ -1,0 +1,330 @@
+//! The Vmin characterization sweep (§4.1): pfail curves and safe-voltage
+//! tables.
+
+use serde::{Deserialize, Serialize};
+
+use serscale_stats::ci::wilson_ci;
+use serscale_stats::SimRng;
+use serscale_types::{Megahertz, Millivolts};
+use serscale_workload::Benchmark;
+
+use crate::timing::TimingFailureModel;
+
+/// One measured point of a pfail curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PfailPoint {
+    /// The tested voltage.
+    pub voltage: Millivolts,
+    /// Failed executions across all benchmarks.
+    pub failures: u64,
+    /// Total executions across all benchmarks.
+    pub trials: u64,
+}
+
+impl PfailPoint {
+    /// The observed failure probability.
+    pub fn pfail(&self) -> f64 {
+        self.failures as f64 / self.trials as f64
+    }
+
+    /// The Wilson 95 % interval on the failure probability.
+    pub fn pfail_ci(&self) -> (f64, f64) {
+        wilson_ci(self.failures, self.trials, 0.95)
+    }
+}
+
+/// A full pfail-vs-voltage sweep at one frequency — one panel of Figure 4.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PfailCurve {
+    /// The swept frequency.
+    pub frequency: Megahertz,
+    /// Points in descending-voltage order.
+    pub points: Vec<PfailPoint>,
+}
+
+impl PfailCurve {
+    /// The safe Vmin: the lowest tested voltage at which *no* execution
+    /// failed, provided every voltage above it was also failure-free
+    /// (the paper's definition — a single anomalous pass below a failing
+    /// level does not count).
+    pub fn safe_vmin(&self) -> Option<Millivolts> {
+        let mut vmin = None;
+        for p in &self.points {
+            // points are descending in voltage
+            if p.failures == 0 {
+                vmin = Some(p.voltage);
+            } else {
+                break;
+            }
+        }
+        vmin
+    }
+
+    /// The voltage at which failures become certain (first tested level
+    /// with pfail = 100 %), if the sweep reached one.
+    pub fn full_failure_voltage(&self) -> Option<Millivolts> {
+        self.points.iter().find(|p| p.failures == p.trials).map(|p| p.voltage)
+    }
+
+    /// The guardband exposed by the sweep: nominal minus safe Vmin, in mV.
+    pub fn guardband_mv(&self, nominal: Millivolts) -> Option<u32> {
+        self.safe_vmin().map(|v| nominal - v)
+    }
+}
+
+/// The characterization harness: sweeps voltage at a fixed frequency,
+/// running every benchmark `trials_per_benchmark` times per 5 mV step,
+/// exactly as §4.1 describes ("we ran the entire undervolting experiments
+/// hundreds of times for each benchmark and on each frequency").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Characterizer {
+    timing: TimingFailureModel,
+    trials_per_benchmark: u32,
+}
+
+impl Characterizer {
+    /// Creates a harness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials_per_benchmark` is zero.
+    pub fn new(timing: TimingFailureModel, trials_per_benchmark: u32) -> Self {
+        assert!(trials_per_benchmark > 0, "need at least one trial per benchmark");
+        Characterizer { timing, trials_per_benchmark }
+    }
+
+    /// The underlying timing model.
+    pub const fn timing(&self) -> &TimingFailureModel {
+        &self.timing
+    }
+
+    /// Sweeps from the PMD nominal (980 mV) downward in 5 mV steps until a
+    /// level with 100 % failures is reached (or 700 mV, a floor well below
+    /// any realistic Vc at the supported frequencies).
+    pub fn sweep(&self, rng: &mut SimRng, frequency: Megahertz) -> PfailCurve {
+        self.sweep_from(rng, frequency, Millivolts::new(980))
+    }
+
+    /// Sweeps from an explicit starting voltage downward.
+    pub fn sweep_from(
+        &self,
+        rng: &mut SimRng,
+        frequency: Megahertz,
+        start: Millivolts,
+    ) -> PfailCurve {
+        // Benchmarks exert benchmark-grade droop by definition (zero
+        // relative droop; see `serscale-workload`'s virus module).
+        let droops = vec![0.0; Benchmark::ALL.len()];
+        self.sweep_from_with_droops(rng, frequency, start, &droops)
+    }
+
+    /// The micro-virus sweep of \[51\]: each voltage step runs every stress
+    /// kernel instead of the benchmarks, with its calibrated extra supply
+    /// droop applied to the failure point. Exposes a more conservative
+    /// (higher) safe Vmin in a fraction of the trials.
+    pub fn sweep_viruses(
+        &self,
+        rng: &mut SimRng,
+        frequency: Megahertz,
+        virus_droops: &[f64],
+    ) -> PfailCurve {
+        self.sweep_from_with_droops(rng, frequency, Millivolts::new(980), virus_droops)
+    }
+
+    /// The generic downward sweep: one "workload" per entry of `droops`,
+    /// each run `trials_per_benchmark` times per 5 mV step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `droops` is empty.
+    pub fn sweep_from_with_droops(
+        &self,
+        rng: &mut SimRng,
+        frequency: Megahertz,
+        start: Millivolts,
+        droops: &[f64],
+    ) -> PfailCurve {
+        assert!(!droops.is_empty(), "need at least one workload");
+        let mut points = Vec::new();
+        let mut voltage = start;
+        loop {
+            let mut failures = 0u64;
+            let mut trials = 0u64;
+            for &droop in droops {
+                for _ in 0..self.trials_per_benchmark {
+                    trials += 1;
+                    if self
+                        .timing
+                        .sample_run_fails_with_droop(rng, voltage, frequency, droop)
+                    {
+                        failures += 1;
+                    }
+                }
+            }
+            points.push(PfailPoint { voltage, failures, trials });
+            if failures == trials || voltage <= Millivolts::new(700) {
+                break;
+            }
+            voltage = voltage.stepped_down(1);
+        }
+        PfailCurve { frequency, points }
+    }
+}
+
+/// Table 3 of the paper: the voltage settings used in the beam campaign,
+/// derived from the characterization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SafeVoltageTable {
+    /// `(label, frequency, PMD voltage, SoC voltage)` rows.
+    pub rows: Vec<(String, Megahertz, Millivolts, Millivolts)>,
+}
+
+impl SafeVoltageTable {
+    /// Builds the campaign's Table 3 from characterized Vmins: nominal,
+    /// a "safe" intermediate point 10 mV above the 2.4 GHz Vmin, the
+    /// 2.4 GHz Vmin, and the 900 MHz Vmin (SoC held at nominal there, as
+    /// frequency scaling cannot affect the SoC domain).
+    pub fn from_vmins(vmin_2400: Millivolts, vmin_900: Millivolts) -> Self {
+        let soc_nominal = Millivolts::new(950);
+        let rows = vec![
+            (
+                "Nominal".to_owned(),
+                Megahertz::new(2400),
+                Millivolts::new(980),
+                soc_nominal,
+            ),
+            (
+                "Safe".to_owned(),
+                Megahertz::new(2400),
+                vmin_2400.stepped_up(2),
+                // The paper paired 930 mV PMD with 925 mV SoC: 5 mV above
+                // the SoC's own Vmin.
+                vmin_2400.stepped_up(1),
+            ),
+            ("Vmin".to_owned(), Megahertz::new(2400), vmin_2400, vmin_2400),
+            ("Vmin 900 MHz".to_owned(), Megahertz::new(900), vmin_900, soc_nominal),
+        ];
+        SafeVoltageTable { rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn harness() -> Characterizer {
+        Characterizer::new(TimingFailureModel::xgene2(), 100)
+    }
+
+    #[test]
+    fn sweep_finds_paper_vmin_at_2400() {
+        let mut rng = SimRng::seed_from(7);
+        let curve = harness().sweep(&mut rng, Megahertz::new(2400));
+        assert_eq!(curve.safe_vmin(), Some(Millivolts::new(920)));
+    }
+
+    #[test]
+    fn sweep_finds_paper_vmin_at_900() {
+        let mut rng = SimRng::seed_from(7);
+        let curve = harness().sweep(&mut rng, Megahertz::new(900));
+        assert_eq!(curve.safe_vmin(), Some(Millivolts::new(790)));
+    }
+
+    #[test]
+    fn pfail_rises_monotonically_below_vmin_in_expectation() {
+        // The measured curve is noisy, but the underlying trend must show:
+        // last point (full failure) > first failing point.
+        let mut rng = SimRng::seed_from(8);
+        let curve = harness().sweep(&mut rng, Megahertz::new(2400));
+        let first_fail = curve.points.iter().find(|p| p.failures > 0).expect("sweep failed");
+        let last = curve.points.last().expect("nonempty");
+        assert!(last.pfail() > first_fail.pfail());
+        assert_eq!(last.pfail(), 1.0);
+    }
+
+    #[test]
+    fn guardband_matches_paper() {
+        // 980 − 920 = 60 mV of exploitable guardband at 2.4 GHz.
+        let mut rng = SimRng::seed_from(7);
+        let curve = harness().sweep(&mut rng, Megahertz::new(2400));
+        assert_eq!(curve.guardband_mv(Millivolts::new(980)), Some(60));
+    }
+
+    #[test]
+    fn failure_window_is_about_20mv_at_2400() {
+        let mut rng = SimRng::seed_from(9);
+        let curve = harness().sweep(&mut rng, Megahertz::new(2400));
+        let vmin = curve.safe_vmin().unwrap();
+        let dead = curve.full_failure_voltage().unwrap();
+        let window = vmin - dead;
+        assert!((15..=30).contains(&window), "window = {window} mV");
+    }
+
+    #[test]
+    fn failure_window_is_shorter_at_900() {
+        let mut rng_a = SimRng::seed_from(10);
+        let mut rng_b = SimRng::seed_from(10);
+        let c24 = harness().sweep(&mut rng_a, Megahertz::new(2400));
+        let c09 = harness().sweep(&mut rng_b, Megahertz::new(900));
+        let window = |c: &PfailCurve| c.safe_vmin().unwrap() - c.full_failure_voltage().unwrap();
+        assert!(window(&c09) < window(&c24), "{} !< {}", window(&c09), window(&c24));
+    }
+
+    #[test]
+    fn sweep_is_deterministic_under_seed() {
+        let run = |seed| {
+            let mut rng = SimRng::seed_from(seed);
+            harness().sweep(&mut rng, Megahertz::new(2400))
+        };
+        assert_eq!(run(11), run(11));
+    }
+
+    #[test]
+    fn pfail_point_ci_brackets_estimate() {
+        let p = PfailPoint { voltage: Millivolts::new(910), failures: 30, trials: 100 };
+        let (lo, hi) = p.pfail_ci();
+        assert!(lo < 0.30 && 0.30 < hi);
+    }
+
+    #[test]
+    fn virus_sweep_exposes_a_more_conservative_vmin() {
+        // [51]'s headline: micro-viruses find the margin boundary that
+        // benchmarks miss. With a 12 mV worst-case droop, the virus Vmin
+        // sits 2–3 regulator steps above the benchmark Vmin.
+        use serscale_workload::MicroVirus;
+        let h = harness();
+        let mut rng_a = SimRng::seed_from(21);
+        let mut rng_b = SimRng::seed_from(21);
+        let bench_curve = h.sweep(&mut rng_a, Megahertz::new(2400));
+        let virus_curve =
+            h.sweep_viruses(&mut rng_b, Megahertz::new(2400), &MicroVirus::all_droops());
+        let bench_vmin = bench_curve.safe_vmin().expect("benchmark vmin");
+        let virus_vmin = virus_curve.safe_vmin().expect("virus vmin");
+        assert!(virus_vmin > bench_vmin, "{virus_vmin} !> {bench_vmin}");
+        let gap = virus_vmin - bench_vmin;
+        assert!((10..=20).contains(&gap), "gap = {gap} mV");
+    }
+
+    #[test]
+    fn virus_sweep_needs_fewer_trials_for_the_same_boundary() {
+        // Three viruses × N trials vs six benchmarks × N trials per step:
+        // half the executions per step, same (actually stricter) answer.
+        use serscale_workload::MicroVirus;
+        let h = harness();
+        let mut rng = SimRng::seed_from(22);
+        let curve = h.sweep_viruses(&mut rng, Megahertz::new(2400), &MicroVirus::all_droops());
+        assert_eq!(curve.points[0].trials, 300); // 3 viruses × 100
+    }
+
+    #[test]
+    fn table3_from_paper_vmins() {
+        let t = SafeVoltageTable::from_vmins(Millivolts::new(920), Millivolts::new(790));
+        assert_eq!(t.rows.len(), 4);
+        // Row 2 ("Safe"): 930 mV PMD / 925 mV SoC.
+        assert_eq!(t.rows[1].2, Millivolts::new(930));
+        assert_eq!(t.rows[1].3, Millivolts::new(925));
+        // Row 4: 790 mV PMD with SoC at nominal.
+        assert_eq!(t.rows[3].2, Millivolts::new(790));
+        assert_eq!(t.rows[3].3, Millivolts::new(950));
+    }
+}

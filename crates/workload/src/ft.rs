@@ -1,0 +1,281 @@
+//! FT — the 3-D Fast Fourier Transform kernel.
+//!
+//! Mirrors NPB FT's structure: fill a 3-D complex grid with deterministic
+//! pseudo-random data, take the forward 3-D FFT, evolve the spectrum over a
+//! few time steps with an exponential damping factor, inverse-transform and
+//! accumulate a checksum per step. Exercises strided memory access across
+//! all three dimensions.
+
+use crate::kernel::{Corruption, Kernel, KernelOutput, NpbRandom};
+
+/// The FT kernel configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ft {
+    /// Grid side (power of two); the grid has `side³` complex points.
+    side: usize,
+    /// Number of evolution steps.
+    steps: usize,
+}
+
+impl Ft {
+    /// A miniature class-A-shaped instance (16³ grid, 4 steps).
+    pub fn class_a() -> Self {
+        Ft { side: 16, steps: 4 }
+    }
+
+    /// A tiny instance for tests.
+    pub fn tiny() -> Self {
+        Ft { side: 8, steps: 2 }
+    }
+
+    /// Creates an instance with explicit size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side` is not a power of two ≥ 2 or `steps == 0`.
+    pub fn new(side: usize, steps: usize) -> Self {
+        assert!(side >= 2 && side.is_power_of_two(), "side must be a power of two ≥ 2");
+        assert!(steps > 0, "need at least one step");
+        Ft { side, steps }
+    }
+
+    fn run_impl(&self, corruption: Option<Corruption>) -> KernelOutput {
+        let n = self.side;
+        let total = n * n * n;
+        // Interleaved re/im working state.
+        let mut re = vec![0.0f64; total];
+        let mut im = vec![0.0f64; total];
+        let mut rng = NpbRandom::new(314_159_265);
+        for i in 0..total {
+            re[i] = rng.next_f64() - 0.5;
+            im[i] = rng.next_f64() - 0.5;
+        }
+
+        forward_3d(&mut re, &mut im, n);
+
+        let inject_at = corruption.map(|c| c.iteration(self.steps));
+        let mut checksums = Vec::with_capacity(self.steps * 2);
+        for step in 0..self.steps {
+            if inject_at == Some(step) {
+                if let Some(c) = corruption {
+                    // Hit the spectral working state.
+                    c.apply(&mut re);
+                }
+            }
+            // Evolve: multiply each mode by exp(-t·k²)-style damping.
+            evolve(&mut re, &mut im, n, (step + 1) as f64 * 1.0e-4);
+            // Inverse-transform a copy and fold its checksum, as NPB FT
+            // checksums each time step.
+            let mut cre = re.clone();
+            let mut cim = im.clone();
+            inverse_3d(&mut cre, &mut cim, n);
+            let (sre, sim) = checksum(&cre, &cim, n);
+            checksums.push(sre);
+            checksums.push(sim);
+        }
+
+        let values = checksums.clone();
+        KernelOutput::new(values, re.into_iter().chain(im))
+    }
+}
+
+/// NPB-style checksum: sum a stride-walked subset of grid points.
+fn checksum(re: &[f64], im: &[f64], n: usize) -> (f64, f64) {
+    let total = n * n * n;
+    let mut sre = 0.0;
+    let mut sim = 0.0;
+    for j in 1..=1024usize {
+        let q = (j * 17) % total;
+        sre += re[q];
+        sim += im[q];
+    }
+    (sre, sim)
+}
+
+fn evolve(re: &mut [f64], im: &mut [f64], n: usize, t: f64) {
+    for z in 0..n {
+        for y in 0..n {
+            for x in 0..n {
+                let kx = if x <= n / 2 { x } else { n - x } as f64;
+                let ky = if y <= n / 2 { y } else { n - y } as f64;
+                let kz = if z <= n / 2 { z } else { n - z } as f64;
+                let factor = (-t * (kx * kx + ky * ky + kz * kz)).exp();
+                let idx = (z * n + y) * n + x;
+                re[idx] *= factor;
+                im[idx] *= factor;
+            }
+        }
+    }
+}
+
+/// In-place iterative radix-2 Cooley–Tukey over a strided 1-D line.
+fn fft_line(re: &mut [f64], im: &mut [f64], offset: usize, stride: usize, n: usize, inverse: bool) {
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 0..n {
+        if i < j {
+            re.swap(offset + i * stride, offset + j * stride);
+            im.swap(offset + i * stride, offset + j * stride);
+        }
+        let mut m = n >> 1;
+        while m >= 1 && j & m != 0 {
+            j ^= m;
+            m >>= 1;
+        }
+        j |= m;
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut cur_r = 1.0;
+            let mut cur_i = 0.0;
+            for k in 0..len / 2 {
+                let a = offset + (i + k) * stride;
+                let b = offset + (i + k + len / 2) * stride;
+                let tr = re[b] * cur_r - im[b] * cur_i;
+                let ti = re[b] * cur_i + im[b] * cur_r;
+                re[b] = re[a] - tr;
+                im[b] = im[a] - ti;
+                re[a] += tr;
+                im[a] += ti;
+                let nr = cur_r * wr - cur_i * wi;
+                cur_i = cur_r * wi + cur_i * wr;
+                cur_r = nr;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+fn transform_3d(re: &mut [f64], im: &mut [f64], n: usize, inverse: bool) {
+    // X lines.
+    for z in 0..n {
+        for y in 0..n {
+            fft_line(re, im, (z * n + y) * n, 1, n, inverse);
+        }
+    }
+    // Y lines.
+    for z in 0..n {
+        for x in 0..n {
+            fft_line(re, im, z * n * n + x, n, n, inverse);
+        }
+    }
+    // Z lines.
+    for y in 0..n {
+        for x in 0..n {
+            fft_line(re, im, y * n + x, n * n, n, inverse);
+        }
+    }
+    if inverse {
+        let scale = 1.0 / (n * n * n) as f64;
+        for v in re.iter_mut() {
+            *v *= scale;
+        }
+        for v in im.iter_mut() {
+            *v *= scale;
+        }
+    }
+}
+
+fn forward_3d(re: &mut [f64], im: &mut [f64], n: usize) {
+    transform_3d(re, im, n, false);
+}
+
+fn inverse_3d(re: &mut [f64], im: &mut [f64], n: usize) {
+    transform_3d(re, im, n, true);
+}
+
+impl Kernel for Ft {
+    fn name(&self) -> &'static str {
+        "FT"
+    }
+
+    fn run(&self) -> KernelOutput {
+        self.run_impl(None)
+    }
+
+    fn run_corrupted(&self, corruption: Corruption) -> KernelOutput {
+        self.run_impl(Some(corruption))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let ft = Ft::tiny();
+        assert_eq!(ft.run(), ft.run());
+    }
+
+    #[test]
+    fn fft_roundtrip_recovers_input() {
+        let n = 8;
+        let total = n * n * n;
+        let mut rng = NpbRandom::new(99);
+        let orig_re: Vec<f64> = (0..total).map(|_| rng.next_f64()).collect();
+        let orig_im: Vec<f64> = (0..total).map(|_| rng.next_f64()).collect();
+        let mut re = orig_re.clone();
+        let mut im = orig_im.clone();
+        forward_3d(&mut re, &mut im, n);
+        inverse_3d(&mut re, &mut im, n);
+        for i in 0..total {
+            assert!((re[i] - orig_re[i]).abs() < 1e-10, "re[{i}]");
+            assert!((im[i] - orig_im[i]).abs() < 1e-10, "im[{i}]");
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let n = 8;
+        let mut re = vec![0.0; n];
+        let mut im = vec![0.0; n];
+        re[0] = 1.0;
+        fft_line(&mut re, &mut im, 0, 1, n, false);
+        for i in 0..n {
+            assert!((re[i] - 1.0).abs() < 1e-12);
+            assert!(im[i].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let n = 16;
+        let mut rng = NpbRandom::new(5);
+        let mut re: Vec<f64> = (0..n).map(|_| rng.next_f64() - 0.5).collect();
+        let mut im = vec![0.0; n];
+        let time_energy: f64 = re.iter().map(|v| v * v).sum();
+        fft_line(&mut re, &mut im, 0, 1, n, false);
+        let freq_energy: f64 =
+            re.iter().zip(&im).map(|(r, i)| r * r + i * i).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corruption_perturbs_checksums() {
+        let ft = Ft::tiny();
+        let golden = ft.golden();
+        let corrupted = ft.run_corrupted(Corruption::new(0.0, 10, 60));
+        assert!(!corrupted.matches(&golden));
+    }
+
+    #[test]
+    fn evolution_damps_high_modes() {
+        let n = 8;
+        let total = n * n * n;
+        let mut re = vec![1.0; total];
+        let mut im = vec![0.0; total];
+        evolve(&mut re, &mut im, n, 0.1);
+        // DC mode untouched; the (4,4,4) Nyquist corner damped hardest.
+        assert_eq!(re[0], 1.0);
+        let nyquist = (4 * n + 4) * n + 4;
+        assert!(re[nyquist] < 0.01);
+    }
+}

@@ -1,0 +1,178 @@
+//! IS — the Integer Sort kernel.
+//!
+//! Mirrors NPB IS: generate integer keys with a (roughly) Gaussian-shaped
+//! distribution, rank them with a counting sort over several iterations
+//! (each iteration perturbs two keys, as real IS does, to defeat
+//! memoization), and verify that the final ranking is a valid sort. The
+//! output carries the ranking checksum the golden comparison inspects.
+
+use crate::kernel::{Corruption, Kernel, KernelOutput, NpbRandom};
+
+/// The IS kernel configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Is {
+    /// Number of keys.
+    keys: usize,
+    /// Key range: keys are in `[0, range)`.
+    range: u64,
+    /// Ranking iterations.
+    iterations: usize,
+}
+
+impl Is {
+    /// A miniature class-A-shaped instance (64 Ki keys over 2¹¹ buckets).
+    pub fn class_a() -> Self {
+        Is { keys: 1 << 16, range: 1 << 11, iterations: 10 }
+    }
+
+    /// A tiny instance for tests.
+    pub fn tiny() -> Self {
+        Is { keys: 1 << 8, range: 1 << 6, iterations: 3 }
+    }
+
+    /// Creates an instance with explicit size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(keys: usize, range: u64, iterations: usize) -> Self {
+        assert!(keys > 0 && range > 0 && iterations > 0, "IS dimensions must be positive");
+        Is { keys, range, iterations }
+    }
+
+    fn generate_keys(&self) -> Vec<u64> {
+        let mut rng = NpbRandom::new(77_617_777);
+        // Sum of four uniforms ≈ NPB's key distribution shape.
+        (0..self.keys)
+            .map(|_| {
+                let sum: f64 =
+                    (0..4).map(|_| rng.next_f64()).sum::<f64>() / 4.0;
+                ((sum * self.range as f64) as u64).min(self.range - 1)
+            })
+            .collect()
+    }
+
+    fn run_impl(&self, corruption: Option<Corruption>) -> KernelOutput {
+        let mut keys = self.generate_keys();
+        let inject_at = corruption.map(|c| c.iteration(self.iterations));
+
+        let mut counts = vec![0u64; self.range as usize];
+        let mut partial_checksums = Vec::with_capacity(self.iterations);
+
+        for it in 0..self.iterations {
+            if inject_at == Some(it) {
+                if let Some(c) = corruption {
+                    c.apply_u64(&mut keys);
+                    // Keys must stay in range after a flip — real IS would
+                    // index out of bounds and crash; we clamp and let the
+                    // ranking checksum catch the corruption instead, which
+                    // keeps the SDC (rather than crash) path exercised.
+                    for k in keys.iter_mut() {
+                        if *k >= self.range {
+                            *k %= self.range;
+                        }
+                    }
+                }
+            }
+            // NPB IS perturbs two keys each iteration.
+            let a = it % self.keys;
+            let b = (it * 31 + 7) % self.keys;
+            keys[a] = (keys[a] + it as u64) % self.range;
+            keys[b] = (keys[b] + self.range / 2) % self.range;
+
+            // Counting sort (ranking).
+            for c in counts.iter_mut() {
+                *c = 0;
+            }
+            for &k in &keys {
+                counts[k as usize] += 1;
+            }
+            // Prefix sum gives the rank of the first key with each value.
+            let mut acc = 0u64;
+            for c in counts.iter_mut() {
+                let v = *c;
+                *c = acc;
+                acc += v;
+            }
+            // Fold a checksum of a few ranks, like IS's partial verify.
+            let probe = keys[(it * 131) % self.keys];
+            partial_checksums.push(counts[probe as usize] as f64);
+        }
+
+        // Full verification pass: materialize the sorted permutation and
+        // check order.
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        let is_sorted = sorted.windows(2).all(|w| w[0] <= w[1]);
+        let key_sum: u64 = keys.iter().sum();
+
+        let mut values = vec![if is_sorted { 1.0 } else { 0.0 }, key_sum as f64];
+        values.extend(&partial_checksums);
+        KernelOutput::new(values, sorted.into_iter().map(|k| k as f64))
+    }
+}
+
+impl Kernel for Is {
+    fn name(&self) -> &'static str {
+        "IS"
+    }
+
+    fn run(&self) -> KernelOutput {
+        self.run_impl(None)
+    }
+
+    fn run_corrupted(&self, corruption: Corruption) -> KernelOutput {
+        self.run_impl(Some(corruption))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let is = Is::class_a();
+        assert_eq!(is.run(), is.run());
+    }
+
+    #[test]
+    fn output_reports_valid_sort() {
+        let out = Is::class_a().run();
+        assert_eq!(out.values[0], 1.0, "sorted flag must be set");
+    }
+
+    #[test]
+    fn keys_within_range() {
+        let is = Is::tiny();
+        for k in is.generate_keys() {
+            assert!(k < 1 << 6);
+        }
+    }
+
+    #[test]
+    fn key_distribution_is_centered() {
+        // Sum-of-uniforms keys cluster around range/2.
+        let is = Is::class_a();
+        let keys = is.generate_keys();
+        let mean = keys.iter().sum::<u64>() as f64 / keys.len() as f64;
+        let mid = (1 << 11) as f64 / 2.0;
+        assert!((mean - mid).abs() < mid * 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    fn key_corruption_changes_output() {
+        let is = Is::class_a();
+        let golden = is.golden();
+        let corrupted = is.run_corrupted(Corruption::new(0.5, 1234, 9));
+        assert!(!corrupted.matches(&golden));
+    }
+
+    #[test]
+    fn corruption_outcome_is_deterministic() {
+        let is = Is::tiny();
+        let a = is.run_corrupted(Corruption::new(0.3, 42, 3));
+        let b = is.run_corrupted(Corruption::new(0.3, 42, 3));
+        assert_eq!(a, b);
+    }
+}
