@@ -55,7 +55,10 @@ impl SramDosimeter {
     /// Panics if the board has zero bits or zero cross-section.
     pub fn new(bits: Bits, sigma_bit: CrossSection) -> Self {
         assert!(bits.get() > 0, "dosimeter needs at least one bit");
-        assert!(sigma_bit.as_cm2() > 0.0, "dosimeter cross-section must be positive");
+        assert!(
+            sigma_bit.as_cm2() > 0.0,
+            "dosimeter cross-section must be positive"
+        );
         SramDosimeter { bits, sigma_bit }
     }
 
@@ -98,7 +101,10 @@ impl SramDosimeter {
         positioning_jitter: f64,
     ) -> TransmissionMeasurement {
         assert!(halo_repeats > 0, "need at least one halo measurement");
-        assert!(!exposure_each.is_zero(), "exposures must have positive duration");
+        assert!(
+            !exposure_each.is_zero(),
+            "exposures must have positive duration"
+        );
 
         let center_flux = facility.flux_at(BeamPosition::Center);
         let center_counts = self.expose(rng, center_flux, exposure_each).max(1);
@@ -116,7 +122,11 @@ impl SramDosimeter {
 
         TransmissionMeasurement {
             ratio: ratios.mean(),
-            std_error: if halo_repeats > 1 { ratios.std_error() } else { f64::NAN },
+            std_error: if halo_repeats > 1 {
+                ratios.std_error()
+            } else {
+                f64::NAN
+            },
             measurements: halo_repeats,
         }
     }
@@ -150,18 +160,26 @@ mod tests {
         let tnf = BeamFacility::tnf();
         let halo = BeamPosition::halo(0.60);
         let mut rng = SimRng::seed_from(42);
+        // 45-minute exposures: the 5-minute protocol's Poisson noise on the
+        // ratio (~0.03 relative) is as large as the tolerance below, which
+        // makes the assertion a coin flip over seeds. Longer exposures test
+        // the same protocol with the estimator noise well inside the band.
         let m = d.measure_transmission(
             &mut rng,
             &tnf,
             halo,
-            SimDuration::from_minutes(5.0),
+            SimDuration::from_minutes(45.0),
             6,
             0.02,
         );
         assert_eq!(m.measurements, 6);
         assert!((m.ratio - 0.60).abs() < 0.03, "ratio = {}", m.ratio);
         // The paper's ±0.02 combined uncertainty is the right order.
-        assert!(m.std_error > 0.0 && m.std_error < 0.05, "se = {}", m.std_error);
+        assert!(
+            m.std_error > 0.0 && m.std_error < 0.05,
+            "se = {}",
+            m.std_error
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use serscale_types::{Flux, Fluence, SimDuration, NYC_SEA_LEVEL_FLUX};
+use serscale_types::{Fluence, Flux, SimDuration, NYC_SEA_LEVEL_FLUX};
 
 /// One contiguous exposure segment at constant flux.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -90,7 +90,9 @@ impl FluenceLedger {
     /// The calendar time a device at NYC sea level would need to accumulate
     /// this ledger's fluence (Table 2, row 5), in years.
     pub fn nyc_equivalent_years(&self) -> f64 {
-        self.total_fluence.natural_equivalent(NYC_SEA_LEVEL_FLUX).as_years()
+        self.total_fluence
+            .natural_equivalent(NYC_SEA_LEVEL_FLUX)
+            .as_years()
     }
 
     /// The mean flux over the recorded exposure (fluence / duration).
@@ -99,7 +101,10 @@ impl FluenceLedger {
     ///
     /// Panics if no time has been recorded.
     pub fn mean_flux(&self) -> Flux {
-        assert!(!self.total_duration.is_zero(), "mean flux of an empty ledger");
+        assert!(
+            !self.total_duration.is_zero(),
+            "mean flux of an empty ledger"
+        );
         Flux::per_cm2_s(self.total_fluence.as_per_cm2() / self.total_duration.as_secs())
     }
 }
@@ -123,7 +128,10 @@ mod tests {
     fn accumulation_is_additive() {
         let mut ledger = FluenceLedger::new();
         for _ in 0..10 {
-            ledger.record(Flux::per_cm2_s(WORKING_FLUX), SimDuration::from_minutes(165.1));
+            ledger.record(
+                Flux::per_cm2_s(WORKING_FLUX),
+                SimDuration::from_minutes(165.1),
+            );
         }
         assert_eq!(ledger.segment_count(), 10);
         assert!((ledger.total_duration().as_minutes() - 1651.0).abs() < 1e-9);
@@ -145,7 +153,10 @@ mod tests {
         ];
         for (mins, fluence, years) in rows {
             let mut ledger = FluenceLedger::new();
-            ledger.record(Flux::per_cm2_s(WORKING_FLUX), SimDuration::from_minutes(mins));
+            ledger.record(
+                Flux::per_cm2_s(WORKING_FLUX),
+                SimDuration::from_minutes(mins),
+            );
             assert!(
                 (ledger.total_fluence().as_per_cm2() - fluence).abs() / fluence < 0.02,
                 "{mins} min: {}",
@@ -162,10 +173,16 @@ mod tests {
     #[test]
     fn significance_rule() {
         let mut ledger = FluenceLedger::new();
-        ledger.record(Flux::per_cm2_s(WORKING_FLUX), SimDuration::from_minutes(453.0));
+        ledger.record(
+            Flux::per_cm2_s(WORKING_FLUX),
+            SimDuration::from_minutes(453.0),
+        );
         // Session 3 stopped on events, not fluence: 4.08e10 < 1e11.
         assert!(!ledger.reached_significance());
-        ledger.record(Flux::per_cm2_s(WORKING_FLUX), SimDuration::from_minutes(1651.0));
+        ledger.record(
+            Flux::per_cm2_s(WORKING_FLUX),
+            SimDuration::from_minutes(1651.0),
+        );
         assert!(ledger.reached_significance());
     }
 

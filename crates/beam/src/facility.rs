@@ -101,7 +101,10 @@ impl BeamFacility {
             center_flux_min <= center_flux_max,
             "flux band inverted: {center_flux_min} > {center_flux_max}"
         );
-        assert!((0.0..=1.0).contains(&thermal_fraction), "thermal fraction in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&thermal_fraction),
+            "thermal fraction in [0,1]"
+        );
         assert!(
             (0.0..=1.0).contains(&absolute_flux_uncertainty),
             "flux uncertainty in [0,1]"
@@ -182,7 +185,8 @@ mod tests {
     fn paper_working_flux() {
         // §3.4: (2+3)/2 × 0.6 × 10⁶ = 1.5 × 10⁶ n/cm²/s — consistent with
         // Table 2 (1.49e11 n/cm² over 1651 min).
-        let f = BeamFacility::tnf().flux_at(BeamPosition::halo(BeamPosition::PAPER_HALO_TRANSMISSION));
+        let f =
+            BeamFacility::tnf().flux_at(BeamPosition::halo(BeamPosition::PAPER_HALO_TRANSMISSION));
         assert!((f.as_per_cm2_s() - 1.5e6).abs() < 1e-3);
     }
 

@@ -41,12 +41,7 @@ impl StrikeScheduler {
     }
 
     /// Samples how many strikes land on `sigma` within `window`.
-    pub fn sample_count(
-        &self,
-        rng: &mut SimRng,
-        sigma: CrossSection,
-        window: SimDuration,
-    ) -> u64 {
+    pub fn sample_count(&self, rng: &mut SimRng, sigma: CrossSection, window: SimDuration) -> u64 {
         sample_poisson(rng, self.expected_strikes(sigma, window))
     }
 
@@ -89,9 +84,7 @@ mod tests {
         let s = scheduler();
         let sigma = CrossSection::cm2(1.0e-8);
         assert!((s.rate(sigma) - 1.5e-2).abs() < 1e-12);
-        assert!(
-            (s.expected_strikes(sigma, SimDuration::from_minutes(1.0)) - 0.9).abs() < 1e-9
-        );
+        assert!((s.expected_strikes(sigma, SimDuration::from_minutes(1.0)) - 0.9).abs() < 1e-9);
     }
 
     #[test]
@@ -112,10 +105,14 @@ mod tests {
         let expected = s.expected_strikes(sigma, window);
         let mut rng = SimRng::seed_from(21);
         let n = 500;
-        let mean =
-            (0..n).map(|_| s.sample_count(&mut rng, sigma, window) as f64).sum::<f64>()
-                / n as f64;
-        assert!((mean - expected).abs() / expected < 0.05, "{mean} vs {expected}");
+        let mean = (0..n)
+            .map(|_| s.sample_count(&mut rng, sigma, window) as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (mean - expected).abs() / expected < 0.05,
+            "{mean} vs {expected}"
+        );
     }
 
     #[test]
@@ -144,10 +141,16 @@ mod tests {
         let mut rng = SimRng::seed_from(23);
         let n = 300;
         let mean = (0..n)
-            .map(|_| s.sample_arrivals(&mut rng, sigma, SimInstant::EPOCH, window).len() as f64)
+            .map(|_| {
+                s.sample_arrivals(&mut rng, sigma, SimInstant::EPOCH, window)
+                    .len() as f64
+            })
             .sum::<f64>()
             / n as f64;
-        assert!((mean - expected).abs() / expected < 0.1, "{mean} vs {expected}");
+        assert!(
+            (mean - expected).abs() / expected < 0.1,
+            "{mean} vs {expected}"
+        );
     }
 
     #[test]
@@ -174,7 +177,12 @@ mod tests {
         let sigma = CrossSection::cm2(1.0e-7);
         let run = |seed| {
             let mut rng = SimRng::seed_from(seed);
-            s.sample_arrivals(&mut rng, sigma, SimInstant::EPOCH, SimDuration::from_hours(1.0))
+            s.sample_arrivals(
+                &mut rng,
+                sigma,
+                SimInstant::EPOCH,
+                SimDuration::from_hours(1.0),
+            )
         };
         assert_eq!(run(31), run(31));
     }

@@ -38,13 +38,21 @@ impl NeutronSpectrum {
     /// The JEDEC-like ground-level reference shape: γ = 1.25 over
     /// 10 MeV – 10 GeV, no thermal component.
     pub fn atmospheric() -> Self {
-        NeutronSpectrum { gamma: 1.25, e_min_mev: 10.0, e_max_mev: 1.0e4, thermal_fraction: 0.0 }
+        NeutronSpectrum {
+            gamma: 1.25,
+            e_min_mev: 10.0,
+            e_max_mev: 1.0e4,
+            thermal_fraction: 0.0,
+        }
     }
 
     /// The TNF beam-halo shape: same fast tail, ~15 % thermal
     /// contamination (§3.4 of the paper).
     pub fn tnf_halo() -> Self {
-        NeutronSpectrum { thermal_fraction: 0.15, ..Self::atmospheric() }
+        NeutronSpectrum {
+            thermal_fraction: 0.15,
+            ..Self::atmospheric()
+        }
     }
 
     /// Creates a spectrum.
@@ -54,10 +62,21 @@ impl NeutronSpectrum {
     /// Panics on a non-physical configuration (γ ≤ 1 breaks the
     /// normalization; inverted bounds; thermal fraction outside [0,1)).
     pub fn new(gamma: f64, e_min_mev: f64, e_max_mev: f64, thermal_fraction: f64) -> Self {
-        assert!(gamma > 1.0, "spectral index must exceed 1 for a normalizable tail");
+        assert!(
+            gamma > 1.0,
+            "spectral index must exceed 1 for a normalizable tail"
+        );
         assert!(0.0 < e_min_mev && e_min_mev < e_max_mev, "bounds inverted");
-        assert!((0.0..1.0).contains(&thermal_fraction), "thermal fraction in [0,1)");
-        NeutronSpectrum { gamma, e_min_mev, e_max_mev, thermal_fraction }
+        assert!(
+            (0.0..1.0).contains(&thermal_fraction),
+            "thermal fraction in [0,1)"
+        );
+        NeutronSpectrum {
+            gamma,
+            e_min_mev,
+            e_max_mev,
+            thermal_fraction,
+        }
     }
 
     /// The spectral index.
@@ -152,15 +171,15 @@ impl WeibullResponse {
     /// # Panics
     ///
     /// Panics if width or shape are not positive.
-    pub fn new(
-        sigma_sat: CrossSection,
-        threshold_mev: f64,
-        width_mev: f64,
-        shape: f64,
-    ) -> Self {
+    pub fn new(sigma_sat: CrossSection, threshold_mev: f64, width_mev: f64, shape: f64) -> Self {
         assert!(width_mev > 0.0, "width must be positive");
         assert!(shape > 0.0, "shape must be positive");
-        WeibullResponse { sigma_sat, threshold_mev, width_mev, shape }
+        WeibullResponse {
+            sigma_sat,
+            threshold_mev,
+            width_mev,
+            shape,
+        }
     }
 
     /// The saturation cross-section.
@@ -269,7 +288,9 @@ mod tests {
         let s = NeutronSpectrum::tnf_halo();
         let run = |seed| {
             let mut rng = SimRng::seed_from(seed);
-            (0..50).map(|_| s.sample_energy(&mut rng).as_mev()).collect::<Vec<_>>()
+            (0..50)
+                .map(|_| s.sample_energy(&mut rng).as_mev())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(3), run(3));
     }

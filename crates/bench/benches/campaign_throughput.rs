@@ -1,0 +1,46 @@
+//! Throughput of the parallel campaign engine: the same scaled campaign
+//! at increasing worker counts, annotated with trials/second.
+//!
+//! The acceptance target (≥3× at 8 workers vs 1) is only observable on a
+//! machine with ≥8 hardware threads; on smaller hosts the interesting
+//! number is that `jobs > 1` never *loses* to the sequential path by more
+//! than the pool's channel overhead, while the reports stay bit-identical.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use serscale_bench::{run_campaign_jobs, REPRO_SEED};
+
+/// Small enough for bench cadence, large enough that waves actually
+/// shard (~700 trials across the four sessions).
+const SCALE: f64 = 0.01;
+
+fn campaign_throughput(c: &mut Criterion) {
+    let reference = run_campaign_jobs(SCALE, REPRO_SEED, 1);
+    let trials: u64 = reference.sessions.iter().map(|s| s.runs).sum();
+
+    let mut group = c.benchmark_group("campaign_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trials));
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    for jobs in [1usize, 2, 4, 8] {
+        let id = format!(
+            "jobs={jobs}{}",
+            if jobs > cores {
+                " (oversubscribed)"
+            } else {
+                ""
+            }
+        );
+        group.bench_function(&id, |b| {
+            b.iter(|| {
+                let report = run_campaign_jobs(SCALE, REPRO_SEED, jobs);
+                assert_eq!(report, reference, "determinism broken at jobs={jobs}");
+                report
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, campaign_throughput);
+criterion_main!(benches);

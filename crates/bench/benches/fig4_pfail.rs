@@ -12,15 +12,20 @@ fn bench(c: &mut Criterion) {
         5,
     );
     let mut seed = 0u64;
-    println!("{}", serscale_bench::experiments::figure4(serscale_bench::REPRO_SEED, 100));
+    println!(
+        "{}",
+        serscale_bench::experiments::figure4(serscale_bench::REPRO_SEED, 100)
+    );
     let mut group = c.benchmark_group("repro");
     group.sample_size(10);
     group.bench_function("fig4_pfail", |b| {
-        b.iter(|| black_box({
+        b.iter(|| {
+            black_box({
                 seed += 1;
                 let mut rng = serscale_stats::SimRng::seed_from(seed);
                 harness.sweep(&mut rng, serscale_types::Megahertz::new(2400))
-            }));
+            })
+        });
     });
     group.finish();
 }

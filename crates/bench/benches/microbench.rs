@@ -38,7 +38,12 @@ fn bench_secded(c: &mut Criterion) {
 fn bench_strikes(c: &mut Criterion) {
     let mut group = c.benchmark_group("strike");
     group.throughput(Throughput::Elements(1));
-    let l3 = SramArray::new(ArrayKind::L3Shared, Bytes::mib(8), ProtectionScheme::Secded, 1);
+    let l3 = SramArray::new(
+        ArrayKind::L3Shared,
+        Bytes::mib(8),
+        ProtectionScheme::Secded,
+        1,
+    );
     let mbu = MbuModel::tech_28nm();
     group.bench_function("l3_strike_with_cluster_sampling", |b| {
         let mut rng = SimRng::seed_from(1);

@@ -7,7 +7,6 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    
     println!("{}", serscale_bench::experiments::table1());
     let mut group = c.benchmark_group("repro");
     group.sample_size(10);

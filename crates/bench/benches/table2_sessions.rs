@@ -7,8 +7,13 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    
-    println!("{}", serscale_bench::experiments::table2(&serscale_bench::run_campaign(0.05, serscale_bench::REPRO_SEED)));
+    println!(
+        "{}",
+        serscale_bench::experiments::table2(&serscale_bench::run_campaign(
+            0.05,
+            serscale_bench::REPRO_SEED
+        ))
+    );
     let mut group = c.benchmark_group("repro");
     group.sample_size(10);
     group.bench_function("table2_sessions", |b| {

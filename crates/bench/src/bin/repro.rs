@@ -8,33 +8,43 @@
 //! repro --seed 123 --figure 8
 //! repro --ablations           # mechanism ablations (beyond the paper)
 //! repro --sweep               # fine-grained voltage sweep + advisor
+//! repro --jobs 8 --all        # same bits, eight worker threads
+//! repro --golden              # bit-stable summary for the CI golden diff
 //! ```
 
 use std::process::ExitCode;
 
-use serscale_bench::{experiments, run_campaign, REPRO_SEED};
+use serscale_bench::{experiments, run_campaign_jobs, GOLDEN_SCALE, REPRO_SEED};
 
 struct Args {
     scale: f64,
     seed: u64,
+    jobs: usize,
     tables: Vec<u32>,
     figures: Vec<u32>,
     headlines: bool,
     ablations: bool,
     sweep: bool,
     selfcheck: bool,
+    golden: bool,
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         scale: 1.0,
         seed: REPRO_SEED,
+        jobs: default_jobs(),
         tables: Vec::new(),
         figures: Vec::new(),
         headlines: false,
         ablations: false,
         sweep: false,
         selfcheck: false,
+        golden: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -49,11 +59,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--table" => {
                 let n = it.next().ok_or("--table needs a number")?;
-                args.tables.push(n.parse().map_err(|_| format!("bad table number {n}"))?);
+                args.tables
+                    .push(n.parse().map_err(|_| format!("bad table number {n}"))?);
             }
             "--figure" => {
                 let n = it.next().ok_or("--figure needs a number")?;
-                args.figures.push(n.parse().map_err(|_| format!("bad figure number {n}"))?);
+                args.figures
+                    .push(n.parse().map_err(|_| format!("bad figure number {n}"))?);
             }
             "--headlines" => args.headlines = true,
             "--ablations" => args.ablations = true,
@@ -70,10 +82,19 @@ fn parse_args() -> Result<Args, String> {
                 let s = it.next().ok_or("--seed needs a value")?;
                 args.seed = s.parse().map_err(|_| format!("bad seed {s}"))?;
             }
+            "--jobs" => {
+                let s = it.next().ok_or("--jobs needs a value")?;
+                args.jobs = s.parse().map_err(|_| format!("bad jobs count {s}"))?;
+                if args.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--golden" => args.golden = true,
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--all] [--table N]* [--figure N]* [--headlines] \
-                     [--ablations] [--sweep] [--selfcheck] [--scale F] [--seed N]"
+                     [--ablations] [--sweep] [--selfcheck] [--golden] [--scale F] \
+                     [--seed N] [--jobs N]"
                 );
                 std::process::exit(0);
             }
@@ -86,6 +107,7 @@ fn parse_args() -> Result<Args, String> {
         && !args.ablations
         && !args.sweep
         && !args.selfcheck
+        && !args.golden
     {
         return Err("nothing to do; try --all (or --help)".into());
     }
@@ -105,14 +127,25 @@ fn main() -> ExitCode {
         || args.selfcheck
         || args.tables.iter().any(|t| *t >= 2)
         || args.figures.iter().any(|f| *f != 4);
+    if args.golden {
+        // The golden diff is pinned to one (scale, seed) pair; only the
+        // worker count is the caller's to vary — by contract it must not
+        // change a single byte of this output.
+        print!(
+            "{}",
+            serscale_bench::golden_summary(&run_campaign_jobs(GOLDEN_SCALE, REPRO_SEED, args.jobs))
+        );
+    }
+
     let report = if needs_campaign {
         eprintln!(
-            "running campaign at scale {} (seed {}), ~{:.1} simulated beam hours…",
+            "running campaign at scale {} (seed {}), ~{:.1} simulated beam hours on {} worker(s)…",
             args.scale,
             args.seed,
-            64.8 * args.scale
+            64.8 * args.scale,
+            args.jobs
         );
-        Some(run_campaign(args.scale, args.seed))
+        Some(run_campaign_jobs(args.scale, args.seed, args.jobs))
     } else {
         None
     };

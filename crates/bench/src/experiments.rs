@@ -28,7 +28,7 @@ fn sram_mbit() -> f64 {
     XGene2::new().total_sram().as_mbit()
 }
 
-fn session<'a>(report: &'a CampaignReport, point: OperatingPoint) -> &'a SessionReport {
+fn session(report: &CampaignReport, point: OperatingPoint) -> &SessionReport {
     report
         .session_at(point)
         .unwrap_or_else(|| panic!("campaign lacks the {} session", point.label()))
@@ -50,8 +50,11 @@ pub fn table2(report: &CampaignReport) -> String {
          session  V(mV)  dur(min)      fluence(n/cm2)   NYC-years    events  ev/min          upsets  ups/min        FIT/Mbit\n",
     );
     let mbit = sram_mbit();
-    for (i, ((point, _), row)) in
-        serscale_core::campaign::CampaignConfig::paper().sessions.iter().zip(paper::TABLE2).enumerate()
+    for (i, ((point, _), row)) in serscale_core::campaign::CampaignConfig::paper()
+        .sessions
+        .iter()
+        .zip(paper::TABLE2)
+        .enumerate()
     {
         let s = session(report, *point);
         let (_, p_min, p_flu, p_years, p_ev, p_evr, p_up, p_upr, p_ser) = row;
@@ -151,8 +154,11 @@ pub fn figure5(report: &CampaignReport) -> String {
         "Figure 5 — cache upsets/minute per benchmark @ 2.4 GHz (simulated, paper in parens)\n\
          bench      980 mV          930 mV          920 mV\n",
     );
-    let points =
-        [OperatingPoint::nominal(), OperatingPoint::safe(), OperatingPoint::vmin_2400()];
+    let points = [
+        OperatingPoint::nominal(),
+        OperatingPoint::safe(),
+        OperatingPoint::vmin_2400(),
+    ];
     for (name, paper_rates) in paper::FIGURE5 {
         let mut cells = Vec::new();
         for (point, p) in points.iter().zip(paper_rates) {
@@ -164,7 +170,10 @@ pub fn figure5(report: &CampaignReport) -> String {
                     .into_iter()
                     .find(|b| b.name() == name)
                     .expect("benchmark name");
-                s.per_benchmark.get(&b).map(|st| st.upsets_per_minute()).unwrap_or(0.0)
+                s.per_benchmark
+                    .get(&b)
+                    .map(|st| st.upsets_per_minute())
+                    .unwrap_or(0.0)
             };
             cells.push(format!("{rate:.2} ({p:.2})"));
         }
@@ -188,8 +197,11 @@ pub fn figure6(report: &CampaignReport) -> String {
         "Figure 6 — upsets/minute per cache level @ 2.4 GHz (simulated, paper in parens)\n\
          level      980 mV            930 mV            920 mV\n",
     );
-    let points =
-        [OperatingPoint::nominal(), OperatingPoint::safe(), OperatingPoint::vmin_2400()];
+    let points = [
+        OperatingPoint::nominal(),
+        OperatingPoint::safe(),
+        OperatingPoint::vmin_2400(),
+    ];
     for (i, (label, paper_rates)) in paper::FIGURE6.iter().enumerate() {
         let mut cells = Vec::new();
         for (point, p) in points.iter().zip(paper_rates) {
@@ -223,13 +235,19 @@ pub fn figure8(report: &CampaignReport) -> String {
         "Figure 8 — failure-class shares @ 2.4 GHz (simulated, paper in parens)\n\
          V(mV)    AppCrash          SysCrash          SDC\n",
     );
-    let points =
-        [OperatingPoint::nominal(), OperatingPoint::safe(), OperatingPoint::vmin_2400()];
+    let points = [
+        OperatingPoint::nominal(),
+        OperatingPoint::safe(),
+        OperatingPoint::vmin_2400(),
+    ];
     for (point, (v, p_shares)) in points.iter().zip(paper::FIGURE8) {
         let s = session(report, *point);
         let shares = s.failure_shares();
-        let classes =
-            [FailureClass::AppCrash, FailureClass::SysCrash, FailureClass::Sdc];
+        let classes = [
+            FailureClass::AppCrash,
+            FailureClass::SysCrash,
+            FailureClass::Sdc,
+        ];
         let cells: Vec<String> = classes
             .iter()
             .zip(p_shares)
@@ -242,9 +260,8 @@ pub fn figure8(report: &CampaignReport) -> String {
 
 /// Figure 9: power vs upset rate across the four operating points.
 pub fn figure9(report: &CampaignReport) -> String {
-    let mut out = String::from(
-        "Figure 9 — power vs cache upsets/minute (simulated, paper in parens)\n",
-    );
+    let mut out =
+        String::from("Figure 9 — power vs cache upsets/minute (simulated, paper in parens)\n");
     let rows = power_vs_upsets(report, &PowerModel::xgene2());
     for (row, (v, f, p_power, p_rate)) in rows.iter().zip(paper::FIGURE9) {
         let _ = writeln!(
@@ -282,9 +299,15 @@ pub fn figure11(report: &CampaignReport) -> String {
         "Figure 11 — FIT per class @ 2.4 GHz (simulated, paper in parens)\n\
          class      980 mV            930 mV            920 mV\n",
     );
-    let points =
-        [OperatingPoint::nominal(), OperatingPoint::safe(), OperatingPoint::vmin_2400()];
-    let breakdowns: Vec<_> = points.iter().map(|p| fit_breakdown(session(report, *p))).collect();
+    let points = [
+        OperatingPoint::nominal(),
+        OperatingPoint::safe(),
+        OperatingPoint::vmin_2400(),
+    ];
+    let breakdowns: Vec<_> = points
+        .iter()
+        .map(|p| fit_breakdown(session(report, *p)))
+        .collect();
     for (row_idx, (label, paper_fits)) in paper::FIGURE11.iter().enumerate() {
         let mut cells = Vec::new();
         for (b, p) in breakdowns.iter().zip(paper_fits) {
@@ -307,8 +330,11 @@ pub fn figure12(report: &CampaignReport) -> String {
         "Figure 12 — SDC FIT by notification @ 2.4 GHz (simulated, paper in parens)\n\
          V(mV)    w/o notification     w/ corrected notification\n",
     );
-    let points =
-        [OperatingPoint::nominal(), OperatingPoint::safe(), OperatingPoint::vmin_2400()];
+    let points = [
+        OperatingPoint::nominal(),
+        OperatingPoint::safe(),
+        OperatingPoint::vmin_2400(),
+    ];
     for (point, (v, p_without, p_with)) in points.iter().zip(paper::FIGURE12) {
         let split = sdc_notification_split(session(report, *point));
         let _ = writeln!(
@@ -339,8 +365,13 @@ pub fn headlines(report: &CampaignReport) -> String {
     let vmin = session(report, OperatingPoint::vmin_2400());
     let total_ratio = serscale_core::fit::total_fit(vmin).point.get()
         / serscale_core::fit::total_fit(nominal).point.get();
-    let sdc_ratio = serscale_core::fit::class_fit(vmin, FailureClass::Sdc).point.get()
-        / serscale_core::fit::class_fit(nominal, FailureClass::Sdc).point.get().max(1e-12);
+    let sdc_ratio = serscale_core::fit::class_fit(vmin, FailureClass::Sdc)
+        .point
+        .get()
+        / serscale_core::fit::class_fit(nominal, FailureClass::Sdc)
+            .point
+            .get()
+            .max(1e-12);
     let avg_upset_increase =
         vmin.upset_rate().per_minute() / nominal.upset_rate().per_minute() - 1.0;
     let max_bench_increase = Benchmark::ALL
@@ -365,6 +396,68 @@ pub fn headlines(report: &CampaignReport) -> String {
         paper::HEADLINES[2].1,
         sdc_ratio,
         paper::HEADLINES[3].1,
+    )
+}
+
+/// Beyond the paper: the fine-grained voltage sweep and operating-point
+/// advisor (`repro --sweep`).
+pub fn voltage_sweep() -> String {
+    use serscale_core::dut::DeviceUnderTest;
+    use serscale_core::explore::{recommend, sweep_voltage};
+    use serscale_types::{Flux, Millivolts};
+
+    let nominal = OperatingPoint::nominal();
+    let template = DeviceUnderTest::xgene2(nominal, DeviceUnderTest::paper_vmin(nominal.frequency));
+    let sweep = sweep_voltage(
+        Millivolts::new(980),
+        Millivolts::new(920),
+        &template,
+        &PowerModel::xgene2(),
+        Flux::per_cm2_s(1.5e6),
+    );
+    let mut out = String::from(
+        "Voltage sweep (beyond the paper) — 5 mV grid @ 2.4 GHz\n\
+         PMD mV   power      upsets/min   predicted SDC FIT\n",
+    );
+    for p in &sweep {
+        let _ = writeln!(
+            out,
+            "   {:>4}   {:>6.2} W   {:>7.3}      {:>8.2}",
+            p.pmd.get(),
+            p.power.get(),
+            p.upsets_per_minute,
+            p.sdc_fit.get()
+        );
+    }
+    if let Some(pick) = recommend(&sweep, 3.0) {
+        let _ = writeln!(
+            out,
+            "advisor (≤3x nominal SDC FIT): {} — Design implication #2's \"slightly above Vmin\"",
+            pick.pmd
+        );
+    }
+    out
+}
+
+/// Beyond the paper: mechanism ablations (`repro --ablations`).
+pub fn ablations(seed: u64) -> String {
+    use serscale_core::ablation;
+    use serscale_types::Millivolts;
+
+    let (amp_with, amp_without) = ablation::no_margin_amplification();
+    let (ue_plain, ue_interleaved) = ablation::interleaved_l3(seed, 20_000, Millivolts::new(920));
+    let (k_with, k_without) = ablation::voltage_insensitive_sram();
+    let changed = ablation::secded_everywhere(seed, 20_000);
+    format!(
+        "Mechanism ablations (beyond the paper)\n  \
+         near-Vmin margin amplification: sigma_data Vmin/nominal {amp_with:.1}x with, \
+         {amp_without:.2}x without -> removing it erases the SDC cliff\n  \
+         L3 interleaving: UE share/strike {ue_plain:.3} un-interleaved vs \
+         {ue_interleaved:.4} 4-way -> interleaving erases the L3 UEs\n  \
+         Qcrit(V): chip sigma Vmin/nominal {k_with:.2}x with, {k_without:.2}x without \
+         -> a flat model erases Table 2's trend\n  \
+         SECDED on L1 instead of parity: {changed:.4} of SBU outcomes change \
+         -> Design implication #1, nothing to gain\n"
     )
 }
 
@@ -414,68 +507,4 @@ mod tests {
         assert!(text.contains("safe Vmin 920 mV"), "{text}");
         assert!(text.contains("safe Vmin 790 mV"), "{text}");
     }
-}
-
-/// Beyond the paper: the fine-grained voltage sweep and operating-point
-/// advisor (`repro --sweep`).
-pub fn voltage_sweep() -> String {
-    use serscale_core::dut::DeviceUnderTest;
-    use serscale_core::explore::{recommend, sweep_voltage};
-    use serscale_types::{Flux, Millivolts};
-
-    let nominal = OperatingPoint::nominal();
-    let template =
-        DeviceUnderTest::xgene2(nominal, DeviceUnderTest::paper_vmin(nominal.frequency));
-    let sweep = sweep_voltage(
-        Millivolts::new(980),
-        Millivolts::new(920),
-        &template,
-        &PowerModel::xgene2(),
-        Flux::per_cm2_s(1.5e6),
-    );
-    let mut out = String::from(
-        "Voltage sweep (beyond the paper) — 5 mV grid @ 2.4 GHz\n\
-         PMD mV   power      upsets/min   predicted SDC FIT\n",
-    );
-    for p in &sweep {
-        let _ = writeln!(
-            out,
-            "   {:>4}   {:>6.2} W   {:>7.3}      {:>8.2}",
-            p.pmd.get(),
-            p.power.get(),
-            p.upsets_per_minute,
-            p.sdc_fit.get()
-        );
-    }
-    if let Some(pick) = recommend(&sweep, 3.0) {
-        let _ = writeln!(
-            out,
-            "advisor (≤3x nominal SDC FIT): {} — Design implication #2's \"slightly above Vmin\"",
-            pick.pmd
-        );
-    }
-    out
-}
-
-/// Beyond the paper: mechanism ablations (`repro --ablations`).
-pub fn ablations(seed: u64) -> String {
-    use serscale_core::ablation;
-    use serscale_types::Millivolts;
-
-    let (amp_with, amp_without) = ablation::no_margin_amplification();
-    let (ue_plain, ue_interleaved) =
-        ablation::interleaved_l3(seed, 20_000, Millivolts::new(920));
-    let (k_with, k_without) = ablation::voltage_insensitive_sram();
-    let changed = ablation::secded_everywhere(seed, 20_000);
-    format!(
-        "Mechanism ablations (beyond the paper)\n  \
-         near-Vmin margin amplification: sigma_data Vmin/nominal {amp_with:.1}x with, \
-         {amp_without:.2}x without -> removing it erases the SDC cliff\n  \
-         L3 interleaving: UE share/strike {ue_plain:.3} un-interleaved vs \
-         {ue_interleaved:.4} 4-way -> interleaving erases the L3 UEs\n  \
-         Qcrit(V): chip sigma Vmin/nominal {k_with:.2}x with, {k_without:.2}x without \
-         -> a flat model erases Table 2's trend\n  \
-         SECDED on L1 instead of parity: {changed:.4} of SBU outcomes change \
-         -> Design implication #1, nothing to gain\n"
-    )
 }

@@ -27,6 +27,11 @@ use serscale_core::campaign::{Campaign, CampaignConfig, CampaignReport};
 /// regenerable verbatim).
 pub const REPRO_SEED: u64 = 20231028; // MICRO '23 opening day
 
+/// The campaign scale pinned by the golden smoke artifact
+/// (`tests/golden/campaign_smoke.txt`): small enough for CI, large enough
+/// that every session sees events.
+pub const GOLDEN_SCALE: f64 = 0.005;
+
 /// Runs the paper campaign at a given scale (1.0 = the full 64.8 beam
 /// hours of Table 2).
 ///
@@ -34,9 +39,68 @@ pub const REPRO_SEED: u64 = 20231028; // MICRO '23 opening day
 ///
 /// Panics unless `0 < scale ≤ 1`.
 pub fn run_campaign(scale: f64, seed: u64) -> CampaignReport {
+    run_campaign_jobs(scale, seed, 1)
+}
+
+/// [`run_campaign`] on `jobs` worker threads — same report, any thread
+/// count (the engine's determinism contract).
+///
+/// # Panics
+///
+/// Panics unless `0 < scale ≤ 1` and `jobs > 0`.
+pub fn run_campaign_jobs(scale: f64, seed: u64, jobs: usize) -> CampaignReport {
     let mut config = CampaignConfig::paper_scaled(scale);
     config.seed = seed;
-    Campaign::new(config).run()
+    Campaign::new(config).run_parallel(jobs)
+}
+
+/// Renders a campaign report as a line-oriented, bit-stable summary — the
+/// format of the checked-in golden file that CI diffs a fresh scaled run
+/// against. Every number here is exact (counts) or a full-precision
+/// deterministic float, so any physics or determinism regression shows up
+/// as a diff.
+pub fn golden_summary(report: &CampaignReport) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "flux_per_cm2_s {:.6e}", report.flux.as_per_cm2_s());
+    for (freq, vmin) in &report.vmins {
+        let _ = writeln!(out, "vmin {}MHz {}mV", freq.get(), vmin.get());
+    }
+    for session in &report.sessions {
+        let point = session.operating_point;
+        let _ = writeln!(
+            out,
+            "session {} stop={:?} runs={} upsets={} sdc_notified={} \
+             duration_s={:.6} fluence_per_cm2={:.6e}",
+            point.label(),
+            session.stop_reason,
+            session.runs,
+            session.memory_upsets,
+            session.sdc_with_notification,
+            session.duration.as_secs(),
+            session.fluence.as_per_cm2(),
+        );
+        for class in serscale_core::classify::FailureClass::ALL {
+            let _ = writeln!(
+                out,
+                "  failures {:?} {}",
+                class,
+                session.failure_count(class)
+            );
+        }
+        for ((level, severity), count) in session.edac_per_level.iter() {
+            let _ = writeln!(out, "  edac {level:?} {severity:?} {count}");
+        }
+        for (benchmark, stats) in &session.per_benchmark {
+            let _ = writeln!(
+                out,
+                "  benchmark {benchmark} runs={} upsets={} sdcs={}",
+                stats.runs, stats.memory_upsets, stats.sdcs
+            );
+        }
+    }
+    out
 }
 
 /// Formats a percentage with one decimal.

@@ -1,10 +1,13 @@
 //! Reference values transcribed from the paper, used for side-by-side
 //! comparison in every regenerated table and figure.
 
-/// Table 2: the four beam test sessions.
+/// One Table 2 row:
 /// `(pmd_mv, duration_min, fluence, nyc_years, error_events,
 ///   error_rate_per_min, memory_upsets, upset_rate_per_min, ser_fit_mbit)`.
-pub const TABLE2: [(u32, f64, f64, f64, u64, f64, u64, f64, f64); 4] = [
+pub type Table2Row = (u32, f64, f64, f64, u64, f64, u64, f64, f64);
+
+/// Table 2: the four beam test sessions.
+pub const TABLE2: [Table2Row; 4] = [
     (980, 1651.0, 1.49e11, 1.30e6, 95, 5.75e-2, 1669, 1.011, 2.08),
     (930, 1618.0, 1.46e11, 1.28e6, 97, 5.99e-2, 1743, 1.077, 2.22),
     (920, 453.0, 4.08e10, 3.58e5, 141, 3.11e-1, 506, 1.117, 2.30),

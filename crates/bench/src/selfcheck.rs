@@ -33,7 +33,9 @@ pub struct Check {
 /// full-scale numbers.
 pub fn run_checks(report: &CampaignReport) -> Vec<Check> {
     let mut checks = Vec::new();
-    let nominal = report.baseline().expect("campaign must include the nominal session");
+    let nominal = report
+        .baseline()
+        .expect("campaign must include the nominal session");
     let safe = report.session_at(OperatingPoint::safe());
     let vmin = report.session_at(OperatingPoint::vmin_2400());
     let vmin900 = report.session_at(OperatingPoint::vmin_900());
@@ -69,9 +71,7 @@ pub fn run_checks(report: &CampaignReport) -> Vec<Check> {
     let ue_outside_l3: u64 = nominal
         .edac_per_level
         .iter()
-        .filter(|((level, sev), _)| {
-            *sev == EdacSeverity::Uncorrected && *level != CacheLevel::L3
-        })
+        .filter(|((level, sev), _)| *sev == EdacSeverity::Uncorrected && *level != CacheLevel::L3)
         .map(|(_, c)| *c)
         .sum();
     checks.push(Check {
@@ -152,7 +152,10 @@ pub fn run_checks(report: &CampaignReport) -> Vec<Check> {
         if w > wo {
             notified_ok = false;
         }
-        detail.push(format!("{}: {wo:.1}/{w:.1}", session.operating_point.label()));
+        detail.push(format!(
+            "{}: {wo:.1}/{w:.1}",
+            session.operating_point.label()
+        ));
     }
     checks.push(Check {
         claim: "un-notified SDC FIT dominates notified (Fig. 12/13)",
@@ -218,7 +221,11 @@ mod tests {
         }
         let report = serscale_core::campaign::Campaign::new(config).run();
         let checks = run_checks(&report);
-        assert!(checks.len() >= 9, "expected a full checklist, got {}", checks.len());
+        assert!(
+            checks.len() >= 9,
+            "expected a full checklist, got {}",
+            checks.len()
+        );
         let failed: Vec<_> = checks.iter().filter(|c| !c.passed).collect();
         assert!(failed.is_empty(), "failed claims: {failed:#?}");
         let text = render(&checks);

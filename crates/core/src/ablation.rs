@@ -30,8 +30,7 @@ pub fn no_margin_amplification() -> (f64, f64) {
     let f = Megahertz::new(2400);
     let vmin = Millivolts::new(920);
     let nominal = Millivolts::new(980);
-    let with = full.sigma_data(vmin, f, vmin).as_cm2()
-        / full.sigma_data(nominal, f, vmin).as_cm2();
+    let with = full.sigma_data(vmin, f, vmin).as_cm2() / full.sigma_data(nominal, f, vmin).as_cm2();
     // Without the amplification the datapath scales like any stored bit:
     // the pure Qcrit factor.
     let bare = SoftErrorModel::tech_28nm();
@@ -56,7 +55,10 @@ pub fn interleaved_l3(rng_seed: u64, strikes: u32, voltage: Millivolts) -> (f64,
         for _ in 0..strikes {
             let cluster = mbu.sample_cluster_len(rng, voltage);
             let effect = array.strike(rng, cluster);
-            if effect.words.iter().any(|w| w.outcome == UpsetOutcome::DetectedUncorrectable)
+            if effect
+                .words
+                .iter()
+                .any(|w| w.outcome == UpsetOutcome::DetectedUncorrectable)
             {
                 ue += 1;
             }
@@ -92,10 +94,18 @@ pub fn voltage_insensitive_sram() -> (f64, f64) {
 /// over `strikes` samples — expected 0: parity + write-through already
 /// recovers every SBU, the paper's Design implication #1.
 pub fn secded_everywhere(rng_seed: u64, strikes: u32) -> f64 {
-    let parity_l1 =
-        SramArray::new(ArrayKind::L1Data, Bytes::kib(32), ProtectionScheme::Parity, 4);
-    let secded_l1 =
-        SramArray::new(ArrayKind::L1Data, Bytes::kib(32), ProtectionScheme::Secded, 4);
+    let parity_l1 = SramArray::new(
+        ArrayKind::L1Data,
+        Bytes::kib(32),
+        ProtectionScheme::Parity,
+        4,
+    );
+    let secded_l1 = SramArray::new(
+        ArrayKind::L1Data,
+        Bytes::kib(32),
+        ProtectionScheme::Secded,
+        4,
+    );
     let mut rng_a = SimRng::seed_from(rng_seed);
     let mut rng_b = SimRng::seed_from(rng_seed);
     let mut changed = 0u32;
@@ -128,7 +138,10 @@ mod tests {
     fn interleaving_the_l3_eliminates_its_ues() {
         let (uninterleaved, interleaved) = interleaved_l3(1, 4000, Millivolts::new(920));
         // Un-interleaved: the MBU share (~5–7%) becomes UEs.
-        assert!(uninterleaved > 0.03, "uninterleaved UE share = {uninterleaved}");
+        assert!(
+            uninterleaved > 0.03,
+            "uninterleaved UE share = {uninterleaved}"
+        );
         // 4-way interleaving: clusters ≤4 split into correctable singles;
         // only rarer ≥5 clusters can still defeat it.
         assert!(

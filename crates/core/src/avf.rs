@@ -63,7 +63,9 @@ impl FaultInjector {
     /// Panics if `injections_per_benchmark` is zero.
     pub fn new(injections_per_benchmark: u32) -> Self {
         assert!(injections_per_benchmark > 0, "need at least one injection");
-        FaultInjector { injections_per_benchmark }
+        FaultInjector {
+            injections_per_benchmark,
+        }
     }
 
     /// Runs the injection campaign for one benchmark: every injection is a
@@ -83,8 +85,11 @@ impl FaultInjector {
                 corruptions += 1;
             }
         }
-        let (lower, upper) =
-            wilson_ci(u64::from(corruptions), u64::from(self.injections_per_benchmark), 0.95);
+        let (lower, upper) = wilson_ci(
+            u64::from(corruptions),
+            u64::from(self.injections_per_benchmark),
+            0.95,
+        );
         AvfEstimate {
             benchmark,
             injections: self.injections_per_benchmark,
@@ -118,8 +123,12 @@ pub enum BitClass {
 
 impl BitClass {
     /// All classes, least significant first.
-    pub const ALL: [BitClass; 4] =
-        [BitClass::MantissaLow, BitClass::MantissaHigh, BitClass::Exponent, BitClass::Sign];
+    pub const ALL: [BitClass; 4] = [
+        BitClass::MantissaLow,
+        BitClass::MantissaHigh,
+        BitClass::Exponent,
+        BitClass::Sign,
+    ];
 
     /// The class's short name.
     pub const fn name(self) -> &'static str {
@@ -202,11 +211,7 @@ impl FaultInjector {
 /// `consume_probability` plays the "live state" role the beam campaign
 /// uses; the AVF then refines "consumed" into "actually corrupts the
 /// output" with measured masking.
-pub fn predicted_sdc_fit(
-    dut: &DeviceUnderTest,
-    avf: &AvfEstimate,
-    natural_flux: Flux,
-) -> Fit {
+pub fn predicted_sdc_fit(dut: &DeviceUnderTest, avf: &AvfEstimate, natural_flux: Flux) -> Fit {
     let raw_fit = dut.datapath_sigma().fit_at(natural_flux);
     let profile = avf.benchmark.profile();
     Fit::new(raw_fit.get() * profile.consume_probability() * avf.avf())
@@ -289,7 +294,11 @@ mod tests {
         let template = DeviceUnderTest::xgene2(OperatingPoint::nominal(), vmin);
         let table = sdc_fit_vs_voltage(
             &avfs,
-            &[Millivolts::new(980), Millivolts::new(930), Millivolts::new(920)],
+            &[
+                Millivolts::new(980),
+                Millivolts::new(930),
+                Millivolts::new(920),
+            ],
             &template,
         );
         assert_eq!(table.len(), 3);
@@ -305,10 +314,19 @@ mod tests {
         let mut rng = SimRng::seed_from(6);
         let by_class = FaultInjector::new(24).estimate_by_bit_class(&mut rng, Benchmark::Cg);
         let avf = |c: BitClass| {
-            by_class.iter().find(|(class, _)| *class == c).expect("class present").1.avf()
+            by_class
+                .iter()
+                .find(|(class, _)| *class == c)
+                .expect("class present")
+                .1
+                .avf()
         };
         assert!(avf(BitClass::Exponent) >= avf(BitClass::MantissaLow));
-        assert!(avf(BitClass::Exponent) > 0.8, "exponent AVF = {}", avf(BitClass::Exponent));
+        assert!(
+            avf(BitClass::Exponent) > 0.8,
+            "exponent AVF = {}",
+            avf(BitClass::Exponent)
+        );
     }
 
     #[test]

@@ -50,8 +50,14 @@ impl CheckpointScheme {
     ///
     /// Panics if the checkpoint cost is zero (the optimum degenerates).
     pub fn new(checkpoint_cost: SimDuration, restart_cost: SimDuration) -> Self {
-        assert!(!checkpoint_cost.is_zero(), "checkpoint cost must be positive");
-        CheckpointScheme { checkpoint_cost, restart_cost }
+        assert!(
+            !checkpoint_cost.is_zero(),
+            "checkpoint cost must be positive"
+        );
+        CheckpointScheme {
+            checkpoint_cost,
+            restart_cost,
+        }
     }
 
     /// Young/Daly's first-order optimal checkpoint interval for a given
@@ -131,18 +137,14 @@ pub fn ledger(
         power,
         // Energy per unit work ∝ power × wall-time inflation. (Frequency
         // scaling additionally stretches the work itself.)
-        energy_per_work: power.get()
-            * inflation
-            * (2400.0 / f64::from(point.frequency.get())),
+        energy_per_work: power.get() * inflation * (2400.0 / f64::from(point.frequency.get())),
     }
 }
 
 /// Compares scaled operating points against the nominal one: for each, the
 /// *net* energy ratio per unit of useful work (below 1.0 = undervolting
 /// pays even after recovery overheads).
-pub fn compare_to_nominal(
-    ledgers: &[OperatingLedger],
-) -> Vec<(OperatingPoint, f64)> {
+pub fn compare_to_nominal(ledgers: &[OperatingLedger]) -> Vec<(OperatingPoint, f64)> {
     let nominal = ledgers
         .iter()
         .find(|l| l.point == OperatingPoint::nominal())
@@ -225,12 +227,18 @@ mod tests {
         let cmp = compare_to_nominal(&ledgers);
         assert_eq!(cmp.len(), 2);
         // 930 mV: slightly more failures, 8% less power ⇒ wins.
-        let safe = cmp.iter().find(|(p, _)| *p == OperatingPoint::safe()).unwrap();
+        let safe = cmp
+            .iter()
+            .find(|(p, _)| *p == OperatingPoint::safe())
+            .unwrap();
         assert!(safe.1 < 1.0, "930 mV net ratio = {}", safe.1);
         // Vmin: 6.6× failures can erode or reverse the win depending on
         // the environment; at ×1e6 NYC it must at least be worse than the
         // 930 mV point.
-        let vmin = cmp.iter().find(|(p, _)| *p == OperatingPoint::vmin_2400()).unwrap();
+        let vmin = cmp
+            .iter()
+            .find(|(p, _)| *p == OperatingPoint::vmin_2400())
+            .unwrap();
         assert!(vmin.1 > safe.1, "Vmin must pay more recovery than 930 mV");
     }
 

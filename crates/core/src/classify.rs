@@ -32,8 +32,11 @@ pub enum FailureClass {
 
 impl FailureClass {
     /// All classes in Figure 8's plotting order.
-    pub const ALL: [FailureClass; 3] =
-        [FailureClass::AppCrash, FailureClass::SysCrash, FailureClass::Sdc];
+    pub const ALL: [FailureClass; 3] = [
+        FailureClass::AppCrash,
+        FailureClass::SysCrash,
+        FailureClass::Sdc,
+    ];
 }
 
 impl std::fmt::Display for FailureClass {
@@ -113,15 +116,28 @@ impl EscalationModel {
         ctrl_to_syscrash: f64,
         ctrl_to_appcrash: f64,
     ) -> Self {
-        for p in [ue_to_syscrash, ue_to_appcrash, ctrl_to_syscrash, ctrl_to_appcrash] {
+        for p in [
+            ue_to_syscrash,
+            ue_to_appcrash,
+            ctrl_to_syscrash,
+            ctrl_to_appcrash,
+        ] {
             assert!((0.0..=1.0).contains(&p), "probabilities must be in [0,1]");
         }
-        assert!(ue_to_syscrash + ue_to_appcrash <= 1.0, "UE escalation exceeds certainty");
+        assert!(
+            ue_to_syscrash + ue_to_appcrash <= 1.0,
+            "UE escalation exceeds certainty"
+        );
         assert!(
             ctrl_to_syscrash + ctrl_to_appcrash <= 1.0,
             "control escalation exceeds certainty"
         );
-        EscalationModel { ue_to_syscrash, ue_to_appcrash, ctrl_to_syscrash, ctrl_to_appcrash }
+        EscalationModel {
+            ue_to_syscrash,
+            ue_to_appcrash,
+            ctrl_to_syscrash,
+            ctrl_to_appcrash,
+        }
     }
 
     /// Samples the fate of an uncorrectable cache error.
@@ -203,11 +219,20 @@ mod tests {
     fn verdict_to_class() {
         assert_eq!(RunVerdict::Correct.failure_class(), None);
         assert_eq!(
-            RunVerdict::Sdc { with_hw_notification: false }.failure_class(),
+            RunVerdict::Sdc {
+                with_hw_notification: false
+            }
+            .failure_class(),
             Some(FailureClass::Sdc)
         );
-        assert_eq!(RunVerdict::AppCrash.failure_class(), Some(FailureClass::AppCrash));
-        assert_eq!(RunVerdict::SysCrash.failure_class(), Some(FailureClass::SysCrash));
+        assert_eq!(
+            RunVerdict::AppCrash.failure_class(),
+            Some(FailureClass::AppCrash)
+        );
+        assert_eq!(
+            RunVerdict::SysCrash.failure_class(),
+            Some(FailureClass::SysCrash)
+        );
     }
 
     #[test]
@@ -251,7 +276,9 @@ mod tests {
     #[test]
     fn recovery_overheads_ordered() {
         let pc = ControlPc::typical();
-        let sdc = pc.recovery_overhead(RunVerdict::Sdc { with_hw_notification: false });
+        let sdc = pc.recovery_overhead(RunVerdict::Sdc {
+            with_hw_notification: false,
+        });
         let app = pc.recovery_overhead(RunVerdict::AppCrash);
         let sys = pc.recovery_overhead(RunVerdict::SysCrash);
         assert!(sdc.is_zero());

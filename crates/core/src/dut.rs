@@ -40,7 +40,12 @@ impl DetectionEfficiency {
     /// correspondingly higher for the end-to-end session rates to land on
     /// Table 2.
     pub fn calibrated() -> Self {
-        DetectionEfficiency { tlb: 0.172, l1: 0.078, l2: 0.219, l3: 0.140 }
+        DetectionEfficiency {
+            tlb: 0.172,
+            l1: 0.078,
+            l2: 0.219,
+            l3: 0.140,
+        }
     }
 
     /// The efficiency for a cache level.
@@ -172,7 +177,9 @@ impl DeviceUnderTest {
     ) -> CrossSection {
         let domain = instance.array().voltage_domain();
         let v = self.array_voltage(instance);
-        let raw = self.sram_model(domain).sigma_array(instance.data_bits().get(), v);
+        let raw = self
+            .sram_model(domain)
+            .sigma_array(instance.data_bits().get(), v);
         let eta = self.detection.for_level(instance.kind().cache_level());
         raw * (eta * detection_factor)
     }
@@ -180,7 +187,10 @@ impl DeviceUnderTest {
     /// The chip-level observable SRAM cross-section (all arrays) for a
     /// benchmark — what drives the upsets/minute of Figure 5.
     pub fn total_observable_sram_sigma(&self, detection_factor: f64) -> CrossSection {
-        self.soc.arrays().map(|a| self.observable_sigma(a, detection_factor)).sum()
+        self.soc
+            .arrays()
+            .map(|a| self.observable_sigma(a, detection_factor))
+            .sum()
     }
 
     /// The control-logic cross-section at the current point.
@@ -191,7 +201,8 @@ impl DeviceUnderTest {
     /// The datapath cross-section at the current point (with the
     /// near-Vmin amplification).
     pub fn datapath_sigma(&self) -> CrossSection {
-        self.logic.sigma_data(self.point.pmd, self.point.frequency, self.vmin)
+        self.logic
+            .sigma_data(self.point.pmd, self.point.frequency, self.vmin)
     }
 }
 
@@ -216,8 +227,14 @@ mod tests {
 
     #[test]
     fn paper_vmin_lookup() {
-        assert_eq!(DeviceUnderTest::paper_vmin(Megahertz::new(2400)), Millivolts::new(920));
-        assert_eq!(DeviceUnderTest::paper_vmin(Megahertz::new(900)), Millivolts::new(790));
+        assert_eq!(
+            DeviceUnderTest::paper_vmin(Megahertz::new(2400)),
+            Millivolts::new(920)
+        );
+        assert_eq!(
+            DeviceUnderTest::paper_vmin(Megahertz::new(900)),
+            Millivolts::new(790)
+        );
         let mid = DeviceUnderTest::paper_vmin(Megahertz::new(1500));
         assert!(mid > Millivolts::new(790) && mid < Millivolts::new(920));
         assert!(mid.is_step_aligned());
@@ -266,7 +283,10 @@ mod tests {
         let paper = [0.016, 0.028, 0.157, 0.803];
         for (i, (sim, p)) in per_level.iter().zip(paper).enumerate() {
             let target = p * DEAD_TIME_COMP;
-            assert!((sim - target).abs() / target < 0.10, "level {i}: {sim} vs {target}");
+            assert!(
+                (sim - target).abs() / target < 0.10,
+                "level {i}: {sim} vs {target}"
+            );
         }
     }
 
@@ -288,8 +308,14 @@ mod tests {
     fn datapath_sigma_explodes_at_vmin_only() {
         let nominal = dut_at(OperatingPoint::nominal()).datapath_sigma().as_cm2();
         let safe = dut_at(OperatingPoint::safe()).datapath_sigma().as_cm2();
-        let vmin = dut_at(OperatingPoint::vmin_2400()).datapath_sigma().as_cm2();
-        assert!(safe / nominal > 1.5 && safe / nominal < 2.5, "safe ratio {}", safe / nominal);
+        let vmin = dut_at(OperatingPoint::vmin_2400())
+            .datapath_sigma()
+            .as_cm2();
+        assert!(
+            safe / nominal > 1.5 && safe / nominal < 2.5,
+            "safe ratio {}",
+            safe / nominal
+        );
         assert!(vmin / nominal > 12.0, "vmin ratio {}", vmin / nominal);
     }
 

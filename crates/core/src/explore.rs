@@ -45,38 +45,65 @@ pub fn sweep_voltage(
     power_model: &PowerModel,
     beam_flux: Flux,
 ) -> Vec<SweepPoint> {
+    sweep_voltage_jobs(from, to, template, power_model, beam_flux, 1)
+}
+
+/// [`sweep_voltage`] with the grid points sharded over `jobs` worker
+/// threads. Each point is an independent analytic evaluation, so the
+/// result is identical to the sequential sweep at any `jobs`.
+///
+/// # Panics
+///
+/// Panics if `from < to` or `jobs == 0`.
+pub fn sweep_voltage_jobs(
+    from: Millivolts,
+    to: Millivolts,
+    template: &DeviceUnderTest,
+    power_model: &PowerModel,
+    beam_flux: Flux,
+    jobs: usize,
+) -> Vec<SweepPoint> {
     assert!(from >= to, "sweep runs downward: {from} → {to}");
-    let mean_consume: f64 = serscale_workload::Benchmark::ALL
-        .iter()
-        .map(|b| b.profile().consume_probability())
-        .sum::<f64>()
-        / 6.0;
-    let mut points = Vec::new();
+    let mut grid = Vec::new();
     let mut v = from;
     loop {
-        let mut op = template.operating_point();
-        op.pmd = v;
-        // The campaign lowered both rails together, capped at the SoC
-        // nominal (Table 3).
-        op.soc = Millivolts::new(v.get().min(950));
-        let dut = DeviceUnderTest::xgene2(op, template.vmin());
-        let upsets_per_minute =
-            dut.total_observable_sram_sigma(1.0).event_rate(beam_flux) * 60.0;
-        let sdc_fit = Fit::new(
-            dut.datapath_sigma().fit_at(NYC_SEA_LEVEL_FLUX).get() * mean_consume,
-        );
-        points.push(SweepPoint {
-            pmd: v,
-            power: power_model.total_power(op),
-            upsets_per_minute,
-            sdc_fit,
-        });
+        grid.push(v);
         if v <= to {
             break;
         }
         v = v.stepped_down(1);
     }
-    points
+    crate::parallel::par_map(jobs, grid, |v| {
+        sweep_point(v, template, power_model, beam_flux)
+    })
+}
+
+/// Evaluates one grid point of the sweep.
+fn sweep_point(
+    v: Millivolts,
+    template: &DeviceUnderTest,
+    power_model: &PowerModel,
+    beam_flux: Flux,
+) -> SweepPoint {
+    let mean_consume: f64 = serscale_workload::Benchmark::ALL
+        .iter()
+        .map(|b| b.profile().consume_probability())
+        .sum::<f64>()
+        / 6.0;
+    let mut op = template.operating_point();
+    op.pmd = v;
+    // The campaign lowered both rails together, capped at the SoC
+    // nominal (Table 3).
+    op.soc = Millivolts::new(v.get().min(950));
+    let dut = DeviceUnderTest::xgene2(op, template.vmin());
+    let upsets_per_minute = dut.total_observable_sram_sigma(1.0).event_rate(beam_flux) * 60.0;
+    let sdc_fit = Fit::new(dut.datapath_sigma().fit_at(NYC_SEA_LEVEL_FLUX).get() * mean_consume);
+    SweepPoint {
+        pmd: v,
+        power: power_model.total_power(op),
+        upsets_per_minute,
+        sdc_fit,
+    }
 }
 
 /// The advisor: among swept points, pick the lowest-power one whose SDC
@@ -91,7 +118,10 @@ pub fn sweep_voltage(
 /// Panics if `points` is empty or `tolerance < 1`.
 pub fn recommend(points: &[SweepPoint], tolerance: f64) -> Option<SweepPoint> {
     assert!(!points.is_empty(), "sweep produced no points");
-    assert!(tolerance >= 1.0, "tolerance below 1 rejects the baseline itself");
+    assert!(
+        tolerance >= 1.0,
+        "tolerance below 1 rejects the baseline itself"
+    );
     let nominal_fit = points[0].sdc_fit.get().max(1e-12);
     points
         .iter()
@@ -144,7 +174,12 @@ mod tests {
         // steps above Vmin, then explodes.
         let points = sweep();
         let at = |mv: u32| {
-            points.iter().find(|p| p.pmd.get() == mv).expect("grid point").sdc_fit.get()
+            points
+                .iter()
+                .find(|p| p.pmd.get() == mv)
+                .expect("grid point")
+                .sdc_fit
+                .get()
         };
         assert!(at(930) < 3.0 * at(980), "930 mV still gentle");
         assert!(at(920) > 8.0 * at(980), "920 mV is over the cliff");
@@ -166,6 +201,22 @@ mod tests {
             "advisor should harvest most of the guardband: picked {}",
             pick.pmd
         );
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let sequential = sweep();
+        for jobs in [2, 8] {
+            let parallel = sweep_voltage_jobs(
+                Millivolts::new(980),
+                Millivolts::new(920),
+                &template(),
+                &PowerModel::xgene2(),
+                Flux::per_cm2_s(1.5e6),
+                jobs,
+            );
+            assert_eq!(parallel, sequential, "jobs = {jobs}");
+        }
     }
 
     #[test]

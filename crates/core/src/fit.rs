@@ -134,8 +134,7 @@ mod tests {
         let report = session(OperatingPoint::vmin_2400(), 300.0, 5);
         let split = sdc_notification_split(&report);
         let total_sdc = class_fit(&report, FailureClass::Sdc).point.get();
-        let parts =
-            split.without_notification.point.get() + split.with_notification.point.get();
+        let parts = split.without_notification.point.get() + split.with_notification.point.get();
         assert!((parts - total_sdc).abs() < 1e-9);
         // Fig. 12: the unnotified share dominates at every voltage.
         assert!(split.without_notification.point.get() >= split.with_notification.point.get());

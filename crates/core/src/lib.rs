@@ -41,6 +41,9 @@
 //!   the introduction's open question about recovery overheads;
 //! * [`ablation`] — switch each modelled mechanism off and watch its
 //!   measured effect disappear;
+//! * [`parallel`] — the deterministic worker pool behind
+//!   `--jobs N`: order-canonicalized work stealing with panic isolation,
+//!   yielding bit-identical campaign reports at any thread count;
 //! * [`trace`] — the campaign logbook: an ordered, renderable event trace
 //!   of every run, EDAC report and recovery;
 //! * [`report`] — neutral plain-text campaign summaries with 95 %
@@ -82,6 +85,7 @@ pub mod classify;
 pub mod dut;
 pub mod explore;
 pub mod fit;
+pub mod parallel;
 pub mod policy;
 pub mod report;
 pub mod runner;

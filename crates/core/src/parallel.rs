@@ -1,0 +1,230 @@
+//! A deterministic worker pool for embarrassingly parallel shards.
+//!
+//! The campaign engine splits a session into independent trials and a
+//! voltage sweep into independent grid points; this module provides the
+//! pool that executes such shards across threads while keeping the
+//! *results* exactly what the sequential code would have produced:
+//!
+//! * **Order canonicalization** — every shard is tagged with its input
+//!   index and the output vector is reassembled in input order, so callers
+//!   can reduce left-to-right exactly as the sequential loop does.
+//! * **No shared mutable state** — each worker builds its own scratch
+//!   state (e.g. a [`BenchmarkRunner`](crate::runner::BenchmarkRunner)
+//!   with its kernel caches) via a factory closure; shards communicate
+//!   only through bounded channels.
+//! * **Panic isolation** — a panicking shard does not tear down the pool
+//!   mid-flight. The pool stops feeding new work, drains the in-flight
+//!   results, joins every worker, and only then resumes the first panic
+//!   payload on the caller's thread, so the process-visible behavior
+//!   matches the sequential loop panicking at that shard.
+//!
+//! Determinism across thread counts is *not* the pool's job alone: shards
+//! must not read ambient state that depends on scheduling. The campaign
+//! side guarantees that by deriving each trial's RNG with
+//! [`SimRng::stream`](serscale_stats::SimRng::stream), which is a pure
+//! function of (seed, session, trial).
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crossbeam::channel;
+use crossbeam::thread;
+
+/// What a worker reports back for one shard.
+enum ShardOutcome<O> {
+    Done(O),
+    Panicked(Box<dyn std::any::Any + Send>),
+}
+
+/// Maps `work` over `items` on `jobs` worker threads, returning outputs
+/// in input order.
+///
+/// Each worker calls `make_state()` once and threads the resulting scratch
+/// value through every shard it steals. With `jobs == 1` (or fewer than
+/// two items) everything runs inline on the calling thread — the reference
+/// path the determinism tests compare against.
+///
+/// # Panics
+///
+/// Panics if `jobs == 0`, and re-raises the first shard panic after the
+/// pool has drained (see module docs).
+pub fn par_map_with<S, I, O, M, F>(jobs: usize, items: Vec<I>, make_state: M, work: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(&mut S, I) -> O + Sync,
+{
+    assert!(jobs > 0, "a pool needs at least one worker");
+    if jobs == 1 || items.len() < 2 {
+        let mut state = make_state();
+        return items
+            .into_iter()
+            .map(|item| work(&mut state, item))
+            .collect();
+    }
+
+    let total = items.len();
+    let jobs = jobs.min(total);
+    // Small bounded buffers: enough to keep workers from starving between
+    // collector wakeups, small enough that a stop-rule overshoot or a
+    // panic leaves little queued work behind.
+    let (work_tx, work_rx) = channel::bounded::<(usize, I)>(2 * jobs);
+    let (out_tx, out_rx) = channel::bounded::<(usize, ShardOutcome<O>)>(2 * jobs);
+    let abort = AtomicBool::new(false);
+
+    let scope_result = thread::scope(|scope| {
+        for _ in 0..jobs {
+            let shard_rx = work_rx.clone();
+            let result_tx = out_tx.clone();
+            let make_state = &make_state;
+            let work = &work;
+            let abort = &abort;
+            scope.spawn(move |_| {
+                let mut state = make_state();
+                for (index, item) in shard_rx.iter() {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let outcome = match catch_unwind(AssertUnwindSafe(|| work(&mut state, item))) {
+                        Ok(output) => ShardOutcome::Done(output),
+                        Err(payload) => {
+                            abort.store(true, Ordering::Relaxed);
+                            ShardOutcome::Panicked(payload)
+                        }
+                    };
+                    if result_tx.send((index, outcome)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        // The scope-local handles must go: workers hold the only remaining
+        // clones, so the collector's iterator can observe the disconnect.
+        drop(work_rx);
+        drop(out_tx);
+
+        // Feed from a dedicated thread so a full work queue can never
+        // deadlock against a full result queue.
+        let abort_ref = &abort;
+        scope.spawn(move |_| {
+            for pair in items.into_iter().enumerate() {
+                if abort_ref.load(Ordering::Relaxed) || work_tx.send(pair).is_err() {
+                    break;
+                }
+            }
+        });
+
+        let mut slots: Vec<Option<O>> = (0..total).map(|_| None).collect();
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for (index, outcome) in out_rx.iter() {
+            match outcome {
+                ShardOutcome::Done(output) => slots[index] = Some(output),
+                ShardOutcome::Panicked(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        (slots, first_panic)
+    });
+
+    let (slots, first_panic) = match scope_result {
+        Ok(collected) => collected,
+        Err(payload) => resume_unwind(payload),
+    };
+    if let Some(payload) = first_panic {
+        resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("pool drained without a panic, so every shard reported"))
+        .collect()
+}
+
+/// [`par_map_with`] for stateless shards.
+///
+/// # Panics
+///
+/// Panics if `jobs == 0`, and re-raises shard panics like
+/// [`par_map_with`].
+pub fn par_map<I, O, F>(jobs: usize, items: Vec<I>, work: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    par_map_with(jobs, items, || (), |(), item| work(item))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn outputs_come_back_in_input_order() {
+        for jobs in [1, 2, 3, 8] {
+            let got = par_map(jobs, (0..257u64).collect(), |x| x * x);
+            let want: Vec<u64> = (0..257).map(|x| x * x).collect();
+            assert_eq!(got, want, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(par_map(4, Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(par_map(4, vec![9], |x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn worker_state_is_built_per_worker_and_reused() {
+        let factories = AtomicUsize::new(0);
+        let jobs = 3;
+        let out = par_map_with(
+            jobs,
+            (0..100u64).collect(),
+            || {
+                factories.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |calls, item| {
+                *calls += 1;
+                item
+            },
+        );
+        assert_eq!(out.len(), 100);
+        let built = factories.load(Ordering::Relaxed);
+        assert!(built <= jobs, "at most one state per worker, got {built}");
+    }
+
+    #[test]
+    fn shard_panic_propagates_after_drain() {
+        let caught = catch_unwind(|| {
+            par_map(4, (0..64u32).collect(), |x| {
+                if x == 13 {
+                    panic!("shard 13 exploded");
+                }
+                x
+            })
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(message.contains("shard 13"), "got: {message}");
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let reference = par_map(1, (0..500u64).collect(), |x| x.wrapping_mul(0x9e37));
+        for jobs in [2, 5, 16] {
+            let got = par_map(jobs, (0..500u64).collect(), |x| x.wrapping_mul(0x9e37));
+            assert_eq!(got, reference, "jobs = {jobs}");
+        }
+    }
+}

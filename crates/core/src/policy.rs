@@ -86,9 +86,7 @@ pub fn compare_policies(margin_steps: u32) -> Vec<PolicyRow> {
             };
             let sdc_fit = |point: OperatingPoint| {
                 let dut = DeviceUnderTest::xgene2(point, vmin);
-                Fit::new(
-                    dut.datapath_sigma().fit_at(NYC_SEA_LEVEL_FLUX).get() * mean_consume,
-                )
+                Fit::new(dut.datapath_sigma().fit_at(NYC_SEA_LEVEL_FLUX).get() * mean_consume)
             };
             PolicyRow {
                 frequency,

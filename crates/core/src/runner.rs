@@ -93,8 +93,12 @@ impl BenchmarkRunner {
     }
 
     fn golden(&mut self, benchmark: Benchmark) -> &KernelOutput {
-        self.kernels.entry(benchmark).or_insert_with(|| benchmark.kernel());
-        self.goldens.entry(benchmark).or_insert_with(|| self.kernels[&benchmark].golden())
+        self.kernels
+            .entry(benchmark)
+            .or_insert_with(|| benchmark.kernel());
+        self.goldens
+            .entry(benchmark)
+            .or_insert_with(|| self.kernels[&benchmark].golden())
     }
 
     /// Runs one benchmark execution starting at `start` simulated time.
@@ -120,8 +124,10 @@ impl BenchmarkRunner {
         // rng while iterating.
         let arrays: Vec<_> = self.dut.soc().arrays().copied().collect();
         for instance in &arrays {
-            let sigma =
-                self.dut.observable_sigma(instance, profile.detection_factor()).as_cm2();
+            let sigma = self
+                .dut
+                .observable_sigma(instance, profile.detection_factor())
+                .as_cm2();
             let strikes = sample_poisson(rng, sigma * flux * dt);
             sram_strikes += strikes;
             for _ in 0..strikes {
@@ -170,15 +176,13 @@ impl BenchmarkRunner {
         }
 
         // --- Unprotected core logic -------------------------------------
-        let ctrl_faults =
-            sample_poisson(rng, self.dut.control_sigma().as_cm2() * flux * dt);
+        let ctrl_faults = sample_poisson(rng, self.dut.control_sigma().as_cm2() * flux * dt);
         for _ in 0..ctrl_faults {
             if let Some(class) = self.escalation.escalate_control(rng) {
                 crash = Some(worst(crash, class));
             }
         }
-        let data_faults =
-            sample_poisson(rng, self.dut.datapath_sigma().as_cm2() * flux * dt);
+        let data_faults = sample_poisson(rng, self.dut.datapath_sigma().as_cm2() * flux * dt);
         for _ in 0..data_faults {
             if rng.chance(profile.consume_probability()) {
                 silent_corruptions += 1;
@@ -213,8 +217,7 @@ impl BenchmarkRunner {
                 // unrelated corrected error happened to be logged during
                 // the same run, so the output mismatch arrives alongside a
                 // CE notification.
-                let coincident_ce =
-                    edac.iter().any(|r| r.severity == EdacSeverity::Corrected);
+                let coincident_ce = edac.iter().any(|r| r.severity == EdacSeverity::Corrected);
                 RunVerdict::Sdc {
                     with_hw_notification: corruption_with_notification || coincident_ce,
                 }
@@ -224,7 +227,13 @@ impl BenchmarkRunner {
         };
 
         let wall_time = duration + self.control_pc.recovery_overhead(verdict);
-        RunOutcome { benchmark, verdict, edac, wall_time, sram_strikes }
+        RunOutcome {
+            benchmark,
+            verdict,
+            edac,
+            wall_time,
+            sram_strikes,
+        }
     }
 }
 
@@ -258,7 +267,10 @@ mod tests {
 
     fn runner(point: OperatingPoint) -> BenchmarkRunner {
         let vmin = DeviceUnderTest::paper_vmin(point.frequency);
-        BenchmarkRunner::new(DeviceUnderTest::xgene2(point, vmin), Flux::per_cm2_s(WORKING_FLUX))
+        BenchmarkRunner::new(
+            DeviceUnderTest::xgene2(point, vmin),
+            Flux::per_cm2_s(WORKING_FLUX),
+        )
     }
 
     #[test]

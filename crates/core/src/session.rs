@@ -1,5 +1,19 @@
 //! A beam test session: one voltage setting, benchmarks cycling under
 //! beam until the stopping rules fire — one column of Table 2.
+//!
+//! ## Execution model
+//!
+//! A session is a sequence of *trials*: trial `t` runs benchmark
+//! `Benchmark::ALL[t % 6]` on its own RNG stream
+//! (`session_rng.stream("trial", &[t])`), so every trial's physics is a
+//! pure function of the session seed and the trial index — never of which
+//! thread ran it or in what order. The driver executes trials in
+//! speculative waves (inline, or on the [`crate::parallel`] pool when
+//! `jobs > 1`) and then *merges* the outcomes strictly in trial order:
+//! the simulated clock, the fluence ledger, the stopping rules and every
+//! observer callback are applied by the single-threaded merge exactly as
+//! the sequential loop would, and outcomes past the stopping trial are
+//! discarded. The report is therefore bit-identical for any `jobs`.
 
 use std::collections::BTreeMap;
 
@@ -9,14 +23,12 @@ use serscale_beam::FluenceLedger;
 use serscale_soc::edac::{EdacSeverity, LevelCounts};
 use serscale_soc::platform::OperatingPoint;
 use serscale_stats::{RateEstimate, SimRng};
-use serscale_types::{
-    Fluence, Flux, SimDuration, SimInstant, NYC_SEA_LEVEL_FLUX,
-};
+use serscale_types::{Fluence, Flux, SimDuration, SimInstant, NYC_SEA_LEVEL_FLUX};
 use serscale_workload::Benchmark;
 
 use crate::classify::{FailureClass, RunVerdict};
 use crate::dut::DeviceUnderTest;
-use crate::runner::BenchmarkRunner;
+use crate::runner::{BenchmarkRunner, RunOutcome};
 
 /// When a session ends.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -150,8 +162,11 @@ impl SessionReport {
         FailureClass::ALL
             .into_iter()
             .map(|c| {
-                let share =
-                    if total > 0.0 { self.failure_count(c) as f64 / total } else { 0.0 };
+                let share = if total > 0.0 {
+                    self.failure_count(c) as f64 / total
+                } else {
+                    0.0
+                };
                 (c, share)
             })
             .collect()
@@ -160,7 +175,9 @@ impl SessionReport {
     /// Years of natural NYC sea-level exposure equivalent to this
     /// session's fluence — Table 2 row 5.
     pub fn nyc_equivalent_years(&self) -> f64 {
-        self.fluence.natural_equivalent(NYC_SEA_LEVEL_FLUX).as_years()
+        self.fluence
+            .natural_equivalent(NYC_SEA_LEVEL_FLUX)
+            .as_years()
     }
 
     /// The memory SER in FIT per Mbit at NYC — Table 2 row 10.
@@ -170,10 +187,8 @@ impl SessionReport {
     /// Panics if `sram_mbit` is not positive.
     pub fn memory_ser_fit_per_mbit(&self, sram_mbit: f64) -> f64 {
         assert!(sram_mbit > 0.0, "memory size must be positive");
-        let dcs = serscale_types::CrossSection::from_events(
-            self.memory_upsets as f64,
-            self.fluence,
-        );
+        let dcs =
+            serscale_types::CrossSection::from_events(self.memory_upsets as f64, self.fluence);
         dcs.fit_at(NYC_SEA_LEVEL_FLUX).per_mbit(sram_mbit).get()
     }
 
@@ -184,7 +199,11 @@ impl SessionReport {
         level: serscale_types::CacheLevel,
         severity: EdacSeverity,
     ) -> f64 {
-        let count = self.edac_per_level.get(&(level, severity)).copied().unwrap_or(0);
+        let count = self
+            .edac_per_level
+            .get(&(level, severity))
+            .copied()
+            .unwrap_or(0);
         count as f64 / self.duration.as_minutes()
     }
 }
@@ -209,12 +228,26 @@ impl TestSession {
             flux.as_per_cm2_s() > 0.0 || limits.max_duration.is_some(),
             "a beam-off session needs a max_duration to terminate"
         );
-        TestSession { runner: BenchmarkRunner::new(dut, flux), limits }
+        TestSession {
+            runner: BenchmarkRunner::new(dut, flux),
+            limits,
+        }
     }
 
     /// Runs the session to a stopping rule and reports.
     pub fn run(&mut self, rng: &mut SimRng) -> SessionReport {
         self.run_observed(rng, &mut crate::trace::NoopObserver)
+    }
+
+    /// Runs the session on `jobs` worker threads. The report is
+    /// bit-identical to `run` with the same `rng` for every `jobs` value
+    /// (see the module docs for why).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs == 0`.
+    pub fn run_parallel(&mut self, rng: &mut SimRng, jobs: usize) -> SessionReport {
+        self.run_observed_with(rng, jobs, &mut crate::trace::NoopObserver)
     }
 
     /// Runs the session, reporting every event through an observer (see
@@ -225,88 +258,238 @@ impl TestSession {
         rng: &mut SimRng,
         observer: &mut dyn crate::trace::SessionObserver,
     ) -> SessionReport {
+        self.run_observed_with(rng, 1, observer)
+    }
+
+    /// The general entry point: `jobs` workers, every event reported
+    /// through `observer`. The merge that drives the observer is
+    /// single-threaded and in trial order, so observers need no
+    /// synchronization and see the same trace at any `jobs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs == 0`.
+    pub fn run_observed_with(
+        &mut self,
+        rng: &mut SimRng,
+        jobs: usize,
+        observer: &mut dyn crate::trace::SessionObserver,
+    ) -> SessionReport {
+        assert!(jobs > 0, "a session needs at least one worker");
         let flux = self.runner.flux();
         let point = self.runner.dut().operating_point();
-        let mut ledger = FluenceLedger::new();
-        let mut clock = SimInstant::EPOCH;
-        let mut failures: BTreeMap<FailureClass, u64> = BTreeMap::new();
-        let mut per_benchmark: BTreeMap<Benchmark, BenchmarkStats> = BTreeMap::new();
-        let mut edac_per_level = LevelCounts::new();
-        let mut memory_upsets = 0u64;
-        let mut sdc_with_notification = 0u64;
-        let mut runs = 0u64;
-        let stop_reason;
+        // One draw keeps the caller's generator advancing (two back-to-back
+        // sessions off one rng stay distinct); every trial stream derives
+        // from this root alone, independent of scheduling.
+        let session_rng = SimRng::seed_from(rng.next_seed());
 
-        let mut next = 0usize;
-        loop {
-            let benchmark = Benchmark::ALL[next % Benchmark::ALL.len()];
-            next += 1;
-            let run_start = clock;
-            let outcome = self.runner.run_once(rng, benchmark, clock);
-            clock += outcome.wall_time;
-            ledger.record(flux, outcome.wall_time);
-            runs += 1;
-
-            observer.on_run(run_start, benchmark, outcome.verdict);
-            for record in &outcome.edac {
-                observer.on_edac(*record);
-            }
-            let run_only = self.runner.run_duration(benchmark);
-            if outcome.wall_time > run_only {
-                observer.on_recovery(run_start + run_only, outcome.wall_time - run_only);
-            }
-
-            let stats = per_benchmark.entry(benchmark).or_default();
-            stats.runs += 1;
-            stats.memory_upsets += outcome.edac.len() as u64;
-            stats.execution_time += self.runner.run_duration(benchmark);
-
-            memory_upsets += outcome.edac.len() as u64;
-            for record in &outcome.edac {
-                *edac_per_level.entry((record.cache_level(), record.severity)).or_insert(0) +=
-                    1;
-            }
-            if let Some(class) = outcome.verdict.failure_class() {
-                *failures.entry(class).or_insert(0) += 1;
-                if class == FailureClass::Sdc {
-                    stats.sdcs += 1;
-                    if outcome.verdict
-                        == (RunVerdict::Sdc { with_hw_notification: true })
-                    {
-                        sdc_with_notification += 1;
-                    }
+        let mut acc = Accumulator::new(flux, self.limits);
+        let mut next_trial = 0u64;
+        let stop_reason = 'session: loop {
+            let wave = self.wave_size(&acc, jobs, next_trial);
+            let trials: Vec<u64> = (next_trial..next_trial + wave as u64).collect();
+            let outcomes = if jobs == 1 {
+                let runner = &mut self.runner;
+                trials
+                    .into_iter()
+                    .map(|t| run_trial(runner, &session_rng, t))
+                    .collect()
+            } else {
+                let dut = self.runner.dut().clone();
+                let root = &session_rng;
+                crate::parallel::par_map_with(
+                    jobs,
+                    trials,
+                    move || BenchmarkRunner::new(dut.clone(), flux),
+                    |runner, trial| run_trial(runner, root, trial),
+                )
+            };
+            // Canonical merge: trial order, stop rules exact; outcomes past
+            // the stopping trial are speculation and fall on the floor.
+            for outcome in outcomes {
+                let run_only = self.runner.run_duration(outcome.benchmark);
+                if let Some(reason) = acc.absorb(outcome, run_only, observer) {
+                    break 'session reason;
                 }
             }
+            next_trial += wave as u64;
+        };
 
-            let error_events: u64 = failures.values().sum();
-            if error_events >= self.limits.max_error_events {
-                stop_reason = StopReason::ErrorEvents;
-                break;
+        observer.on_session_end(acc.clock, stop_reason);
+        acc.into_report(point, stop_reason)
+    }
+
+    /// How many trials to launch speculatively before the next merge.
+    ///
+    /// Purely a throughput knob: any positive value yields the same
+    /// report. Estimates the trials left from whichever stopping rule will
+    /// fire first, so overshoot past the stopping trial stays small.
+    fn wave_size(&self, acc: &Accumulator, jobs: usize, trials_done: u64) -> usize {
+        const MAX_WAVE: usize = 4096;
+        let min_wave = 32.max(jobs * 4).min(MAX_WAVE);
+
+        let mean_trial_secs = Benchmark::ALL
+            .iter()
+            .map(|b| self.runner.run_duration(*b).as_secs())
+            .sum::<f64>()
+            / Benchmark::ALL.len() as f64;
+
+        let mut remaining_secs = f64::INFINITY;
+        if let Some(max) = self.limits.max_duration {
+            remaining_secs = remaining_secs.min((max - acc.ledger.total_duration()).as_secs());
+        }
+        let flux = acc.flux.as_per_cm2_s();
+        if flux > 0.0 {
+            let fluence_left =
+                self.limits.max_fluence.as_per_cm2() - acc.ledger.total_fluence().as_per_cm2();
+            remaining_secs = remaining_secs.min((fluence_left / flux).max(0.0));
+        }
+        let events = acc.error_events();
+        if self.limits.max_error_events != u64::MAX && events > 0 {
+            let elapsed = acc.ledger.total_duration().as_secs();
+            if elapsed > 0.0 {
+                let need = self.limits.max_error_events.saturating_sub(events) as f64;
+                // 20% margin: underestimating the event rate just costs one
+                // more (cheap) wave, overestimating wastes speculation.
+                remaining_secs =
+                    remaining_secs.min(need * elapsed / events as f64 * 1.2 + mean_trial_secs);
             }
-            if ledger.total_fluence() >= self.limits.max_fluence {
-                stop_reason = StopReason::Fluence;
-                break;
-            }
-            if let Some(max) = self.limits.max_duration {
-                if ledger.total_duration() >= max {
-                    stop_reason = StopReason::BeamTime;
-                    break;
+        }
+
+        let estimate = if remaining_secs.is_finite() {
+            // Clamp in f64: a far-off fluence rule can put the estimate
+            // beyond usize range.
+            ((remaining_secs / mean_trial_secs).ceil() + 1.0).min(MAX_WAVE as f64) as usize
+        } else {
+            // No rule is predictable yet (e.g. an event-limited session
+            // before its first event): grow geometrically.
+            trials_done.min(MAX_WAVE as u64) as usize
+        };
+        estimate.clamp(min_wave, MAX_WAVE)
+    }
+}
+
+/// Runs trial `t` of a session: benchmark `ALL[t % 6]` on the
+/// counter-derived stream for `t`, timestamped from the epoch (the merge
+/// re-bases timestamps onto the session clock).
+fn run_trial(runner: &mut BenchmarkRunner, session_rng: &SimRng, trial: u64) -> RunOutcome {
+    let benchmark = Benchmark::ALL[(trial % Benchmark::ALL.len() as u64) as usize];
+    let mut rng = session_rng.stream("trial", &[trial]);
+    runner.run_once(&mut rng, benchmark, SimInstant::EPOCH)
+}
+
+/// The shard-merge state: everything the sequential loop used to carry,
+/// folded over outcomes in canonical (trial) order.
+struct Accumulator {
+    flux: Flux,
+    limits: SessionLimits,
+    ledger: FluenceLedger,
+    clock: SimInstant,
+    failures: BTreeMap<FailureClass, u64>,
+    per_benchmark: BTreeMap<Benchmark, BenchmarkStats>,
+    edac_per_level: LevelCounts,
+    memory_upsets: u64,
+    sdc_with_notification: u64,
+    runs: u64,
+}
+
+impl Accumulator {
+    fn new(flux: Flux, limits: SessionLimits) -> Self {
+        Accumulator {
+            flux,
+            limits,
+            ledger: FluenceLedger::new(),
+            clock: SimInstant::EPOCH,
+            failures: BTreeMap::new(),
+            per_benchmark: BTreeMap::new(),
+            edac_per_level: LevelCounts::new(),
+            memory_upsets: 0,
+            sdc_with_notification: 0,
+            runs: 0,
+        }
+    }
+
+    fn error_events(&self) -> u64 {
+        self.failures.values().sum()
+    }
+
+    /// Folds one trial outcome in, drives the observer, and evaluates the
+    /// stopping rules — the exact body of the old sequential loop.
+    fn absorb(
+        &mut self,
+        outcome: crate::runner::RunOutcome,
+        run_only: SimDuration,
+        observer: &mut dyn crate::trace::SessionObserver,
+    ) -> Option<StopReason> {
+        let benchmark = outcome.benchmark;
+        let run_start = self.clock;
+        self.clock += outcome.wall_time;
+        self.ledger.record(self.flux, outcome.wall_time);
+        self.runs += 1;
+
+        observer.on_run(run_start, benchmark, outcome.verdict);
+        for record in &outcome.edac {
+            // Trials run at the epoch; re-base onto the session clock.
+            let mut rebased = *record;
+            rebased.time = run_start + record.time.elapsed_since(SimInstant::EPOCH);
+            observer.on_edac(rebased);
+        }
+        if outcome.wall_time > run_only {
+            observer.on_recovery(run_start + run_only, outcome.wall_time - run_only);
+        }
+
+        let stats = self.per_benchmark.entry(benchmark).or_default();
+        stats.runs += 1;
+        stats.memory_upsets += outcome.edac.len() as u64;
+        stats.execution_time += run_only;
+
+        self.memory_upsets += outcome.edac.len() as u64;
+        for record in &outcome.edac {
+            *self
+                .edac_per_level
+                .entry((record.cache_level(), record.severity))
+                .or_insert(0) += 1;
+        }
+        if let Some(class) = outcome.verdict.failure_class() {
+            *self.failures.entry(class).or_insert(0) += 1;
+            if class == FailureClass::Sdc {
+                stats.sdcs += 1;
+                if outcome.verdict
+                    == (RunVerdict::Sdc {
+                        with_hw_notification: true,
+                    })
+                {
+                    self.sdc_with_notification += 1;
                 }
             }
         }
 
-        observer.on_session_end(clock, stop_reason);
+        if self.error_events() >= self.limits.max_error_events {
+            return Some(StopReason::ErrorEvents);
+        }
+        if self.ledger.total_fluence() >= self.limits.max_fluence {
+            return Some(StopReason::Fluence);
+        }
+        if let Some(max) = self.limits.max_duration {
+            if self.ledger.total_duration() >= max {
+                return Some(StopReason::BeamTime);
+            }
+        }
+        None
+    }
+
+    fn into_report(self, point: OperatingPoint, stop_reason: StopReason) -> SessionReport {
         SessionReport {
             operating_point: point,
             stop_reason,
-            duration: ledger.total_duration(),
-            fluence: ledger.total_fluence(),
-            runs,
-            failures,
-            sdc_with_notification,
-            memory_upsets,
-            edac_per_level,
-            per_benchmark,
+            duration: self.ledger.total_duration(),
+            fluence: self.ledger.total_fluence(),
+            runs: self.runs,
+            failures: self.failures,
+            sdc_with_notification: self.sdc_with_notification,
+            memory_upsets: self.memory_upsets,
+            edac_per_level: self.edac_per_level,
+            per_benchmark: self.per_benchmark,
         }
     }
 }
@@ -411,12 +594,20 @@ mod tests {
     #[test]
     fn failure_shares_sum_to_one_when_events_exist() {
         let report = short_session(OperatingPoint::vmin_2400(), 400.0, 8);
-        assert!(report.error_events() > 20, "events = {}", report.error_events());
+        assert!(
+            report.error_events() > 20,
+            "events = {}",
+            report.error_events()
+        );
         let shares = report.failure_shares();
         let total: f64 = shares.values().sum();
         assert!((total - 1.0).abs() < 1e-9);
         // At Vmin the SDC share dominates (Fig. 8 rightmost panel: 92%).
-        assert!(shares[&FailureClass::Sdc] > 0.6, "sdc share = {}", shares[&FailureClass::Sdc]);
+        assert!(
+            shares[&FailureClass::Sdc] > 0.6,
+            "sdc share = {}",
+            shares[&FailureClass::Sdc]
+        );
     }
 
     #[test]

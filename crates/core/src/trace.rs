@@ -108,13 +108,23 @@ impl Logbook {
         let mut out = String::new();
         for event in &self.events {
             let line = match event {
-                LogEvent::Run { start, benchmark, verdict } => match verdict {
+                LogEvent::Run {
+                    start,
+                    benchmark,
+                    verdict,
+                } => match verdict {
                     RunVerdict::Correct => {
                         format!("{start} RUN  {benchmark}: ok")
                     }
-                    RunVerdict::Sdc { with_hw_notification } => format!(
+                    RunVerdict::Sdc {
+                        with_hw_notification,
+                    } => format!(
                         "{start} RUN  {benchmark}: SDC (output mismatch{})",
-                        if *with_hw_notification { ", CE notification seen" } else { "" }
+                        if *with_hw_notification {
+                            ", CE notification seen"
+                        } else {
+                            ""
+                        }
                     ),
                     RunVerdict::AppCrash => {
                         format!("{start} RUN  {benchmark}: APPLICATION CRASH")
@@ -140,7 +150,11 @@ impl Logbook {
 
 impl SessionObserver for Logbook {
     fn on_run(&mut self, start: SimInstant, benchmark: Benchmark, verdict: RunVerdict) {
-        self.events.push(LogEvent::Run { start, benchmark, verdict });
+        self.events.push(LogEvent::Run {
+            start,
+            benchmark,
+            verdict,
+        });
     }
 
     fn on_edac(&mut self, record: EdacRecord) {
@@ -220,11 +234,12 @@ mod tests {
         for event in logbook.events() {
             match event {
                 LogEvent::Run { verdict, .. } => {
-                    assert!(!expecting_recovery, "crash without recovery before next run");
-                    expecting_recovery = matches!(
-                        verdict,
-                        RunVerdict::AppCrash | RunVerdict::SysCrash
+                    assert!(
+                        !expecting_recovery,
+                        "crash without recovery before next run"
                     );
+                    expecting_recovery =
+                        matches!(verdict, RunVerdict::AppCrash | RunVerdict::SysCrash);
                 }
                 LogEvent::Recovery { .. } => {
                     assert!(expecting_recovery, "recovery without a preceding crash");
@@ -234,7 +249,10 @@ mod tests {
                 _ => {}
             }
         }
-        assert!(saw_recovery, "a 5-hour Vmin session must include recoveries");
+        assert!(
+            saw_recovery,
+            "a 5-hour Vmin session must include recoveries"
+        );
     }
 
     #[test]
@@ -256,8 +274,7 @@ mod tests {
     fn observed_and_plain_runs_agree() {
         let point = OperatingPoint::safe();
         let make = || {
-            let dut =
-                DeviceUnderTest::xgene2(point, DeviceUnderTest::paper_vmin(point.frequency));
+            let dut = DeviceUnderTest::xgene2(point, DeviceUnderTest::paper_vmin(point.frequency));
             TestSession::new(
                 dut,
                 Flux::per_cm2_s(1.5e6),

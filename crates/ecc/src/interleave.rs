@@ -88,8 +88,16 @@ impl Interleaver {
     ///
     /// Panics if the physical index is outside the row.
     pub fn to_logical(&self, p: PhysicalBit) -> LogicalBit {
-        assert!(p.0 < self.row_bits(), "physical bit {} outside row of {}", p.0, self.row_bits());
-        LogicalBit { word: p.0 % self.degree, bit: p.0 / self.degree }
+        assert!(
+            p.0 < self.row_bits(),
+            "physical bit {} outside row of {}",
+            p.0,
+            self.row_bits()
+        );
+        LogicalBit {
+            word: p.0 % self.degree,
+            bit: p.0 / self.degree,
+        }
     }
 
     /// Maps a logical word/bit back to its physical cell.
@@ -98,8 +106,18 @@ impl Interleaver {
     ///
     /// Panics if the logical coordinates are out of range.
     pub fn to_physical(&self, l: LogicalBit) -> PhysicalBit {
-        assert!(l.word < self.degree, "word {} outside degree {}", l.word, self.degree);
-        assert!(l.bit < self.word_bits, "bit {} outside word of {}", l.bit, self.word_bits);
+        assert!(
+            l.word < self.degree,
+            "word {} outside degree {}",
+            l.word,
+            self.degree
+        );
+        assert!(
+            l.bit < self.word_bits,
+            "bit {} outside word of {}",
+            l.bit,
+            self.word_bits
+        );
         PhysicalBit(l.bit * self.degree + l.word)
     }
 
@@ -148,12 +166,17 @@ mod tests {
     fn adjacent_cells_map_to_distinct_words() {
         let il = Interleaver::new(4, 72);
         for base in [0u32, 40, 100] {
-            let words: Vec<u32> =
-                (0..4).map(|i| il.to_logical(PhysicalBit(base + i)).word).collect();
+            let words: Vec<u32> = (0..4)
+                .map(|i| il.to_logical(PhysicalBit(base + i)).word)
+                .collect();
             let mut sorted = words.clone();
             sorted.sort_unstable();
             sorted.dedup();
-            assert_eq!(sorted.len(), 4, "cluster at {base} not fully spread: {words:?}");
+            assert_eq!(
+                sorted.len(),
+                4,
+                "cluster at {base} not fully spread: {words:?}"
+            );
         }
     }
 

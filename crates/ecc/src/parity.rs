@@ -48,7 +48,10 @@ pub enum ParityCheck {
 impl ParityWord {
     /// Encodes a data word with its even-parity bit.
     pub fn encode(data: u64) -> Self {
-        ParityWord { data, parity: parity_bit(data) }
+        ParityWord {
+            data,
+            parity: parity_bit(data),
+        }
     }
 
     /// The stored (possibly corrupted) data word.
@@ -97,7 +100,10 @@ mod tests {
     #[test]
     fn clean_word_checks_clean() {
         for data in [0u64, 1, u64::MAX, 0xDEAD_BEEF] {
-            assert_eq!(ParityWord::encode(data).check(), ParityCheck::Clean { data });
+            assert_eq!(
+                ParityWord::encode(data).check(),
+                ParityCheck::Clean { data }
+            );
         }
     }
 

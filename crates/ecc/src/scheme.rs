@@ -49,7 +49,10 @@ pub enum UpsetOutcome {
 impl UpsetOutcome {
     /// Whether this outcome produces a corrected-error EDAC log entry.
     pub const fn logs_corrected(self) -> bool {
-        matches!(self, UpsetOutcome::Corrected | UpsetOutcome::MiscorrectedReported)
+        matches!(
+            self,
+            UpsetOutcome::Corrected | UpsetOutcome::MiscorrectedReported
+        )
     }
 
     /// Whether this outcome produces an uncorrected-error EDAC log entry.
@@ -59,7 +62,10 @@ impl UpsetOutcome {
 
     /// Whether the architectural data is corrupt after hardware handling.
     pub const fn corrupts_data(self) -> bool {
-        matches!(self, UpsetOutcome::MiscorrectedReported | UpsetOutcome::SilentCorruption)
+        matches!(
+            self,
+            UpsetOutcome::MiscorrectedReported | UpsetOutcome::SilentCorruption
+        )
     }
 }
 
@@ -175,41 +181,66 @@ mod tests {
 
     #[test]
     fn unprotected_any_flip_is_silent() {
-        assert_eq!(ProtectionScheme::None.classify(&[0]), UpsetOutcome::SilentCorruption);
-        assert_eq!(ProtectionScheme::None.classify(&[3, 7, 12]), UpsetOutcome::SilentCorruption);
+        assert_eq!(
+            ProtectionScheme::None.classify(&[0]),
+            UpsetOutcome::SilentCorruption
+        );
+        assert_eq!(
+            ProtectionScheme::None.classify(&[3, 7, 12]),
+            UpsetOutcome::SilentCorruption
+        );
     }
 
     #[test]
     fn unprotected_cancelled_flips_are_harmless() {
-        assert_eq!(ProtectionScheme::None.classify(&[5, 5]), UpsetOutcome::Corrected);
+        assert_eq!(
+            ProtectionScheme::None.classify(&[5, 5]),
+            UpsetOutcome::Corrected
+        );
     }
 
     #[test]
     fn parity_single_flip_corrected() {
         for p in [0u32, 17, 63, 64] {
-            assert_eq!(ProtectionScheme::Parity.classify(&[p]), UpsetOutcome::Corrected);
+            assert_eq!(
+                ProtectionScheme::Parity.classify(&[p]),
+                UpsetOutcome::Corrected
+            );
         }
     }
 
     #[test]
     fn parity_double_flip_escapes_silently() {
-        assert_eq!(ProtectionScheme::Parity.classify(&[3, 9]), UpsetOutcome::SilentCorruption);
+        assert_eq!(
+            ProtectionScheme::Parity.classify(&[3, 9]),
+            UpsetOutcome::SilentCorruption
+        );
     }
 
     #[test]
     fn parity_double_flip_involving_parity_bit_escapes() {
-        assert_eq!(ProtectionScheme::Parity.classify(&[3, 64]), UpsetOutcome::SilentCorruption);
+        assert_eq!(
+            ProtectionScheme::Parity.classify(&[3, 64]),
+            UpsetOutcome::SilentCorruption
+        );
     }
 
     #[test]
     fn parity_triple_flip_detected() {
-        assert_eq!(ProtectionScheme::Parity.classify(&[1, 2, 3]), UpsetOutcome::Corrected);
+        assert_eq!(
+            ProtectionScheme::Parity.classify(&[1, 2, 3]),
+            UpsetOutcome::Corrected
+        );
     }
 
     #[test]
     fn secded_single_corrected_double_detected() {
         for p in 0..72 {
-            assert_eq!(ProtectionScheme::Secded.classify(&[p]), UpsetOutcome::Corrected, "{p}");
+            assert_eq!(
+                ProtectionScheme::Secded.classify(&[p]),
+                UpsetOutcome::Corrected,
+                "{p}"
+            );
         }
         assert_eq!(
             ProtectionScheme::Secded.classify(&[10, 50]),

@@ -120,7 +120,10 @@ impl Codeword {
     ///
     /// Panics if bits above position 71 are set.
     pub fn from_raw(raw: u128) -> Self {
-        assert!(raw >> CODEWORD_BITS == 0, "codeword is {CODEWORD_BITS} bits");
+        assert!(
+            raw >> CODEWORD_BITS == 0,
+            "codeword is {CODEWORD_BITS} bits"
+        );
         Codeword(raw)
     }
 
@@ -131,7 +134,10 @@ impl Codeword {
     ///
     /// Panics if `position > 71`.
     pub fn flip(&mut self, position: u32) {
-        assert!(position < CODEWORD_BITS, "codeword has bits 0..{CODEWORD_BITS}");
+        assert!(
+            position < CODEWORD_BITS,
+            "codeword has bits 0..{CODEWORD_BITS}"
+        );
         self.0 ^= 1u128 << position;
     }
 
@@ -173,15 +179,23 @@ impl Codeword {
         let syndrome = self.syndrome();
         let parity_odd = self.overall_parity_odd();
         match (syndrome, parity_odd) {
-            (0, false) => DecodeOutcome::Clean { data: self.extract_data() },
+            (0, false) => DecodeOutcome::Clean {
+                data: self.extract_data(),
+            },
             (0, true) => {
                 // Only the overall-parity bit is wrong; data is intact.
-                DecodeOutcome::Corrected { data: self.extract_data(), position: 0 }
+                DecodeOutcome::Corrected {
+                    data: self.extract_data(),
+                    position: 0,
+                }
             }
             (s, true) if s <= 71 => {
                 let mut fixed = *self;
                 fixed.flip(s);
-                DecodeOutcome::Corrected { data: fixed.extract_data(), position: s }
+                DecodeOutcome::Corrected {
+                    data: fixed.extract_data(),
+                    position: s,
+                }
             }
             // Even overall parity with nonzero syndrome ⇒ an even number of
             // flips ⇒ uncorrectable; syndrome >71 is inconsistent.
@@ -194,13 +208,22 @@ impl Codeword {
 mod tests {
     use super::*;
 
-    const PATTERNS: [u64; 6] =
-        [0, u64::MAX, 0xDEAD_BEEF_CAFE_F00D, 0x5555_5555_5555_5555, 1, 1 << 63];
+    const PATTERNS: [u64; 6] = [
+        0,
+        u64::MAX,
+        0xDEAD_BEEF_CAFE_F00D,
+        0x5555_5555_5555_5555,
+        1,
+        1 << 63,
+    ];
 
     #[test]
     fn clean_roundtrip() {
         for data in PATTERNS {
-            assert_eq!(Codeword::encode(data).decode(), DecodeOutcome::Clean { data });
+            assert_eq!(
+                Codeword::encode(data).decode(),
+                DecodeOutcome::Clean { data }
+            );
         }
     }
 

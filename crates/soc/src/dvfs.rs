@@ -73,7 +73,10 @@ impl DvfsTable {
         // Snap up to the 5 mV regulator grid (nominal must be safe).
         let step = f64::from(Millivolts::STEP);
         let mv = ((clamped / step).ceil() * step) as u32;
-        PState { frequency, voltage: Millivolts::new(mv) }
+        PState {
+            frequency,
+            voltage: Millivolts::new(mv),
+        }
     }
 
     /// All P-states, slowest first.
@@ -83,7 +86,10 @@ impl DvfsTable {
 
     /// The state for an exact grid frequency.
     pub fn state_at(&self, frequency: Megahertz) -> Option<PState> {
-        self.states.iter().copied().find(|s| s.frequency == frequency)
+        self.states
+            .iter()
+            .copied()
+            .find(|s| s.frequency == frequency)
     }
 
     /// The DVFS nominal voltage for a grid frequency.
@@ -130,7 +136,10 @@ mod tests {
     #[test]
     fn top_state_is_the_chip_nominal() {
         let t = table();
-        assert_eq!(t.nominal_voltage(Megahertz::new(2400)), Some(Millivolts::new(980)));
+        assert_eq!(
+            t.nominal_voltage(Megahertz::new(2400)),
+            Some(Millivolts::new(980))
+        );
     }
 
     #[test]
@@ -144,7 +153,10 @@ mod tests {
     #[test]
     fn slow_states_hit_the_floor() {
         let t = table();
-        assert_eq!(t.nominal_voltage(Megahertz::new(300)), Some(Millivolts::new(850)));
+        assert_eq!(
+            t.nominal_voltage(Megahertz::new(300)),
+            Some(Millivolts::new(850))
+        );
     }
 
     #[test]
@@ -154,7 +166,9 @@ mod tests {
         let t = table();
         let nominal = t.nominal_voltage(Megahertz::new(900)).unwrap();
         assert!(nominal >= Millivolts::new(850), "nominal = {nominal}");
-        let guardband = t.guardband_at(Megahertz::new(900), Millivolts::new(790)).unwrap();
+        let guardband = t
+            .guardband_at(Megahertz::new(900), Millivolts::new(790))
+            .unwrap();
         assert!(guardband >= 60, "guardband = {guardband} mV");
     }
 

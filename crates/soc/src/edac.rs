@@ -75,7 +75,9 @@ impl EdacRecord {
         let time = SimInstant::from_secs(ts.trim().parse::<f64>().ok()?.max(0.0));
         let rest = rest.trim().strip_prefix("EDAC ")?;
         let (array_str, rest) = rest.split_once(':')?;
-        let array = ArrayKind::ALL.into_iter().find(|a| a.to_string() == array_str)?;
+        let array = ArrayKind::ALL
+            .into_iter()
+            .find(|a| a.to_string() == array_str)?;
         let severity = if rest.contains(" CE ") {
             EdacSeverity::Corrected
         } else if rest.contains(" UE ") {
@@ -83,7 +85,11 @@ impl EdacRecord {
         } else {
             return None;
         };
-        Some(EdacRecord { time, array, severity })
+        Some(EdacRecord {
+            time,
+            array,
+            severity,
+        })
     }
 }
 
@@ -141,7 +147,10 @@ impl EdacLog {
     }
 
     fn count_severity(&self, severity: EdacSeverity) -> u64 {
-        self.records.iter().filter(|r| r.severity == severity).count() as u64
+        self.records
+            .iter()
+            .filter(|r| r.severity == severity)
+            .count() as u64
     }
 
     /// Aggregates counts per (cache level, severity) — the shape of
@@ -176,7 +185,11 @@ mod tests {
     use super::*;
 
     fn rec(t: f64, array: ArrayKind, severity: EdacSeverity) -> EdacRecord {
-        EdacRecord { time: SimInstant::from_secs(t), array, severity }
+        EdacRecord {
+            time: SimInstant::from_secs(t),
+            array,
+            severity,
+        }
     }
 
     #[test]
@@ -225,7 +238,11 @@ mod tests {
     fn dmesg_roundtrip() {
         for array in ArrayKind::ALL {
             for severity in [EdacSeverity::Corrected, EdacSeverity::Uncorrected] {
-                let r = EdacRecord { time: SimInstant::from_secs(33.25), array, severity };
+                let r = EdacRecord {
+                    time: SimInstant::from_secs(33.25),
+                    array,
+                    severity,
+                };
                 let parsed = EdacRecord::from_dmesg_line(&r.to_dmesg_line())
                     .unwrap_or_else(|| panic!("unparseable: {}", r.to_dmesg_line()));
                 assert_eq!(parsed, r);

@@ -112,7 +112,9 @@ impl LogicSusceptibility {
         vmin: Millivolts,
     ) -> f64 {
         let margin_mv = f64::from(voltage.get().saturating_sub(vmin.get()));
-        let freq_term = frequency.ratio_to(self.nominal_frequency).powf(self.frequency_gamma);
+        let freq_term = frequency
+            .ratio_to(self.nominal_frequency)
+            .powf(self.frequency_gamma);
         1.0 + self.amplification * freq_term * (-margin_mv / self.margin_tau_mv).exp()
     }
 

@@ -100,8 +100,12 @@ impl OperatingPoint {
 
     /// The four operating points of the paper's campaign, in Table 2/3
     /// session order.
-    pub const CAMPAIGN: [OperatingPoint; 4] =
-        [Self::nominal(), Self::safe(), Self::vmin_2400(), Self::vmin_900()];
+    pub const CAMPAIGN: [OperatingPoint; 4] = [
+        Self::nominal(),
+        Self::safe(),
+        Self::vmin_2400(),
+        Self::vmin_900(),
+    ];
 
     /// The supply voltage of the given domain at this operating point.
     /// The standby domain is never scaled and reports its 950 mV nominal.
@@ -165,8 +169,14 @@ impl XGene2 {
             per_core(ArrayKind::L1Instruction, Bytes::kib(32));
             per_core(ArrayKind::L1Data, Bytes::kib(32));
             per_core(ArrayKind::DataTlb, Bytes::new(20 * Self::TLB_ENTRY_BYTES));
-            per_core(ArrayKind::InstructionTlb, Bytes::new(20 * Self::TLB_ENTRY_BYTES));
-            per_core(ArrayKind::UnifiedL2Tlb, Bytes::new(1024 * Self::TLB_ENTRY_BYTES));
+            per_core(
+                ArrayKind::InstructionTlb,
+                Bytes::new(20 * Self::TLB_ENTRY_BYTES),
+            );
+            per_core(
+                ArrayKind::UnifiedL2Tlb,
+                Bytes::new(1024 * Self::TLB_ENTRY_BYTES),
+            );
         }
         for p in 0..Self::PMDS {
             instances.push(ArrayInstance {
@@ -182,7 +192,12 @@ impl XGene2 {
         // The L3 is large, SECDED-protected and — per §4.3 — not
         // interleaved, which is why it alone reports uncorrectable errors.
         instances.push(ArrayInstance {
-            array: SramArray::new(ArrayKind::L3Shared, Bytes::mib(8), ProtectionScheme::Secded, 1),
+            array: SramArray::new(
+                ArrayKind::L3Shared,
+                Bytes::mib(8),
+                ProtectionScheme::Secded,
+                1,
+            ),
             owner: ArrayOwner::Shared,
         });
         XGene2 { instances }
@@ -256,13 +271,28 @@ impl XGene2 {
     pub fn spec(&self) -> Vec<(String, String)> {
         vec![
             ("ISA".into(), "Armv8 (AArch64)".into()),
-            ("Pipeline / CPU Cores".into(), "64-bit OoO (4-issue) / 8".into()),
+            (
+                "Pipeline / CPU Cores".into(),
+                "64-bit OoO (4-issue) / 8".into(),
+            ),
             ("Clock Frequency".into(), "2.4 GHz".into()),
             ("D/I TLBs".into(), "20 entries per core (Parity)".into()),
-            ("Unified L2 TLB".into(), "1024 entries per core (Parity)".into()),
-            ("L1 Instruction Cache".into(), "32 KB per core (Parity)".into()),
-            ("L1 Data Cache".into(), "32 KB Write-Through per core (Parity)".into()),
-            ("L2 Cache".into(), "256 KB Write-Back per pair of cores (SECDED)".into()),
+            (
+                "Unified L2 TLB".into(),
+                "1024 entries per core (Parity)".into(),
+            ),
+            (
+                "L1 Instruction Cache".into(),
+                "32 KB per core (Parity)".into(),
+            ),
+            (
+                "L1 Data Cache".into(),
+                "32 KB Write-Through per core (Parity)".into(),
+            ),
+            (
+                "L2 Cache".into(),
+                "256 KB Write-Back per pair of cores (SECDED)".into(),
+            ),
             ("L3 Cache".into(), "8 MB Write-Back Shared (SECDED)".into()),
             ("TDP / Technology".into(), "35 W / 28 nm".into()),
             ("PMD/SoC Nominal Voltage".into(), "980 mV / 950 mV".into()),
@@ -341,7 +371,8 @@ mod tests {
     fn campaign_operating_points_validate() {
         let soc = XGene2::new();
         for point in OperatingPoint::CAMPAIGN {
-            soc.validate(point).unwrap_or_else(|e| panic!("{}: {e}", point.label()));
+            soc.validate(point)
+                .unwrap_or_else(|e| panic!("{}: {e}", point.label()));
         }
     }
 
@@ -388,6 +419,8 @@ mod tests {
     fn spec_covers_table1() {
         let spec = XGene2::new().spec();
         assert_eq!(spec.len(), 11);
-        assert!(spec.iter().any(|(k, v)| k == "L3 Cache" && v.contains("SECDED")));
+        assert!(spec
+            .iter()
+            .any(|(k, v)| k == "L3 Cache" && v.contains("SECDED")));
     }
 }

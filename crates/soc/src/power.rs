@@ -70,7 +70,10 @@ impl PowerModel {
             ("soc_dynamic", soc_dynamic),
             ("soc_static", soc_static),
         ] {
-            assert!(v.is_finite() && v >= 0.0, "{name} must be finite and non-negative");
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "{name} must be finite and non-negative"
+            );
         }
         PowerModel {
             pmd_dynamic,
@@ -120,7 +123,8 @@ impl PowerModel {
     /// Fractional power savings of `point` relative to `baseline`
     /// (Figure 10's y-axis).
     pub fn savings(&self, point: OperatingPoint, baseline: OperatingPoint) -> f64 {
-        self.total_power(point).savings_vs(self.total_power(baseline))
+        self.total_power(point)
+            .savings_vs(self.total_power(baseline))
     }
 }
 
@@ -146,7 +150,11 @@ mod tests {
         let model = PowerModel::xgene2();
         for (point, paper) in PAPER_POINTS {
             let p = model.total_power(point).get();
-            assert!((p - paper).abs() < 0.30, "{}: {p} vs {paper}", point.label());
+            assert!(
+                (p - paper).abs() < 0.30,
+                "{}: {p} vs {paper}",
+                point.label()
+            );
         }
     }
 

@@ -127,17 +127,24 @@ impl SlimPro {
                         self.point = candidate;
                         Response::Ack
                     }
-                    Err(e) => Response::Rejected { reason: e.to_string() },
+                    Err(e) => Response::Rejected {
+                        reason: e.to_string(),
+                    },
                 }
             }
             Command::SetFrequency { frequency } => {
-                let candidate = OperatingPoint { frequency, ..self.point };
+                let candidate = OperatingPoint {
+                    frequency,
+                    ..self.point
+                };
                 match self.platform.validate(candidate) {
                     Ok(()) => {
                         self.point = candidate;
                         Response::Ack
                     }
-                    Err(e) => Response::Rejected { reason: e.to_string() },
+                    Err(e) => Response::Rejected {
+                        reason: e.to_string(),
+                    },
                 }
             }
             Command::ReadSensors => {
@@ -167,9 +174,17 @@ impl SlimPro {
         // the clock change; we only ever descend in the campaign, so the
         // simple order is safe for its transitions.
         for command in [
-            Command::SetFrequency { frequency: target.frequency },
-            Command::SetVoltage { domain: VoltageDomain::Pmd, level: target.pmd },
-            Command::SetVoltage { domain: VoltageDomain::Soc, level: target.soc },
+            Command::SetFrequency {
+                frequency: target.frequency,
+            },
+            Command::SetVoltage {
+                domain: VoltageDomain::Pmd,
+                level: target.pmd,
+            },
+            Command::SetVoltage {
+                domain: VoltageDomain::Soc,
+                level: target.soc,
+            },
         ] {
             if let Response::Rejected { reason } = self.execute(command) {
                 return Err(reason);
@@ -201,7 +216,8 @@ mod tests {
     fn campaign_transitions_apply() {
         let mut sp = SlimPro::new();
         for target in OperatingPoint::CAMPAIGN {
-            sp.apply_point(target).unwrap_or_else(|e| panic!("{}: {e}", target.label()));
+            sp.apply_point(target)
+                .unwrap_or_else(|e| panic!("{}: {e}", target.label()));
             assert_eq!(sp.operating_point(), target);
         }
     }
@@ -269,7 +285,9 @@ mod tests {
     #[test]
     fn bad_frequency_rejected() {
         let mut sp = SlimPro::new();
-        let r = sp.execute(Command::SetFrequency { frequency: Megahertz::new(1000) });
+        let r = sp.execute(Command::SetFrequency {
+            frequency: Megahertz::new(1000),
+        });
         assert!(matches!(r, Response::Rejected { .. }));
     }
 }

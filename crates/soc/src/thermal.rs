@@ -24,7 +24,10 @@ impl ThermalModel {
     /// which puts the die at 42–43 °C at the 20.4 W nominal draw, inside
     /// the paper's measured 40–45 °C band.
     pub fn beam_room() -> Self {
-        ThermalModel { ambient: Celsius::new(20.0), theta_ja: 1.1 }
+        ThermalModel {
+            ambient: Celsius::new(20.0),
+            theta_ja: 1.1,
+        }
     }
 
     /// Creates a model.
@@ -33,7 +36,10 @@ impl ThermalModel {
     ///
     /// Panics if `theta_ja` is not positive and finite.
     pub fn new(ambient: Celsius, theta_ja: f64) -> Self {
-        assert!(theta_ja.is_finite() && theta_ja > 0.0, "θJA must be positive");
+        assert!(
+            theta_ja.is_finite() && theta_ja > 0.0,
+            "θJA must be positive"
+        );
         ThermalModel { ambient, theta_ja }
     }
 
@@ -110,8 +116,7 @@ mod tests {
         let thermal = ThermalModel::beam_room();
         let power_model = PowerModel::xgene2();
         let hot = thermal.die_temperature(power_model.total_power(OperatingPoint::nominal()));
-        let cool =
-            thermal.die_temperature(power_model.total_power(OperatingPoint::vmin_900()));
+        let cool = thermal.die_temperature(power_model.total_power(OperatingPoint::vmin_900()));
         assert!(cool < hot);
         assert!(hot.get() - cool.get() > 8.0, "{hot} vs {cool}");
     }

@@ -86,7 +86,9 @@ impl SramArray {
         assert!(cluster_len >= 1, "a strike flips at least one cell");
         let row_bits = self.interleaver.row_bits();
         let start = PhysicalBit(rng.below(u64::from(row_bits)) as u32);
-        let spread = self.interleaver.spread_cluster(start, cluster_len.min(row_bits));
+        let spread = self
+            .interleaver
+            .spread_cluster(start, cluster_len.min(row_bits));
         let words = spread
             .into_iter()
             .map(|(_, bits)| WordHit {
@@ -94,7 +96,11 @@ impl SramArray {
                 flipped_bits: bits.len() as u32,
             })
             .collect();
-        StrikeEffect { array: self.kind, cluster_len, words }
+        StrikeEffect {
+            array: self.kind,
+            cluster_len,
+            words,
+        }
     }
 }
 
@@ -121,12 +127,18 @@ pub struct StrikeEffect {
 impl StrikeEffect {
     /// Number of corrected-error log entries this strike generates.
     pub fn corrected_count(&self) -> usize {
-        self.words.iter().filter(|w| w.outcome.logs_corrected()).count()
+        self.words
+            .iter()
+            .filter(|w| w.outcome.logs_corrected())
+            .count()
     }
 
     /// Number of uncorrected-error log entries this strike generates.
     pub fn uncorrected_count(&self) -> usize {
-        self.words.iter().filter(|w| w.outcome.logs_uncorrected()).count()
+        self.words
+            .iter()
+            .filter(|w| w.outcome.logs_uncorrected())
+            .count()
     }
 
     /// Whether any word ends up silently corrupt (with or without a
@@ -138,7 +150,9 @@ impl StrikeEffect {
     /// Whether data corruption coincides with a corrected-error
     /// notification — the paper's rare Fig. 12 case.
     pub fn corrupt_with_notification(&self) -> bool {
-        self.words.iter().any(|w| w.outcome == UpsetOutcome::MiscorrectedReported)
+        self.words
+            .iter()
+            .any(|w| w.outcome == UpsetOutcome::MiscorrectedReported)
     }
 }
 
@@ -147,11 +161,21 @@ mod tests {
     use super::*;
 
     fn l1() -> SramArray {
-        SramArray::new(ArrayKind::L1Data, Bytes::kib(32), ProtectionScheme::Parity, 4)
+        SramArray::new(
+            ArrayKind::L1Data,
+            Bytes::kib(32),
+            ProtectionScheme::Parity,
+            4,
+        )
     }
 
     fn l3() -> SramArray {
-        SramArray::new(ArrayKind::L3Shared, Bytes::mib(8), ProtectionScheme::Secded, 1)
+        SramArray::new(
+            ArrayKind::L3Shared,
+            Bytes::mib(8),
+            ProtectionScheme::Secded,
+            1,
+        )
     }
 
     #[test]
@@ -230,14 +254,19 @@ mod tests {
                 miscorrected += 1;
             }
         }
-        assert!(miscorrected > 0, "triple clusters should occasionally mis-correct");
+        assert!(
+            miscorrected > 0,
+            "triple clusters should occasionally mis-correct"
+        );
     }
 
     #[test]
     fn strike_is_deterministic_under_seed() {
         let run = |seed| {
             let mut rng = SimRng::seed_from(seed);
-            (0..50).map(|_| l3().strike(&mut rng, 2)).collect::<Vec<_>>()
+            (0..50)
+                .map(|_| l3().strike(&mut rng, 2))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(77), run(77));
     }

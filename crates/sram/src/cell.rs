@@ -40,8 +40,12 @@ pub enum FailureMode {
 
 impl FailureMode {
     /// All modes.
-    pub const ALL: [FailureMode; 4] =
-        [FailureMode::Read, FailureMode::Write, FailureMode::ReadStability, FailureMode::Hold];
+    pub const ALL: [FailureMode; 4] = [
+        FailureMode::Read,
+        FailureMode::Write,
+        FailureMode::ReadStability,
+        FailureMode::Hold,
+    ];
 
     /// Offset of this mode's mean failure voltage relative to the
     /// population mean, in mV. Write paths fail first (need the most
@@ -84,8 +88,15 @@ impl WeakCellPopulation {
     ///
     /// Panics if `sigma_mv` is not positive and finite.
     pub fn new(bits: u64, mean_vfail: Millivolts, sigma_mv: f64) -> Self {
-        assert!(sigma_mv.is_finite() && sigma_mv > 0.0, "sigma must be positive");
-        WeakCellPopulation { bits, mean_vfail, sigma_mv }
+        assert!(
+            sigma_mv.is_finite() && sigma_mv > 0.0,
+            "sigma must be positive"
+        );
+        WeakCellPopulation {
+            bits,
+            mean_vfail,
+            sigma_mv,
+        }
     }
 
     /// The number of cells in the array.
@@ -226,8 +237,10 @@ mod tests {
         let lambda = p.expected_failing_cells(v);
         let mut rng = SimRng::seed_from(5);
         let n = 2000;
-        let mean =
-            (0..n).map(|_| p.sample_failing_cells(&mut rng, v) as f64).sum::<f64>() / n as f64;
+        let mean = (0..n)
+            .map(|_| p.sample_failing_cells(&mut rng, v) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - lambda).abs() / lambda < 0.05, "{mean} vs {lambda}");
     }
 }

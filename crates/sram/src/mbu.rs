@@ -72,8 +72,16 @@ impl MbuModel {
             voltage_sensitivity.is_finite() && voltage_sensitivity >= 0.0,
             "voltage sensitivity must be finite and non-negative"
         );
-        assert!(max_cluster >= 1, "clusters contain at least the struck cell");
-        MbuModel { p_extra_nominal, nominal_voltage, voltage_sensitivity, max_cluster }
+        assert!(
+            max_cluster >= 1,
+            "clusters contain at least the struck cell"
+        );
+        MbuModel {
+            p_extra_nominal,
+            nominal_voltage,
+            voltage_sensitivity,
+            max_cluster,
+        }
     }
 
     /// The default 28 nm model calibrated against the paper (see constant
@@ -102,8 +110,11 @@ impl MbuModel {
         let mut mean = 0.0;
         let mut prob_reach = 1.0;
         for len in 1..=self.max_cluster {
-            let p_stop =
-                if len == self.max_cluster { prob_reach } else { prob_reach * (1.0 - p) };
+            let p_stop = if len == self.max_cluster {
+                prob_reach
+            } else {
+                prob_reach * (1.0 - p)
+            };
             mean += len as f64 * p_stop;
             prob_reach *= p;
         }

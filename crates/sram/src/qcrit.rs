@@ -69,8 +69,15 @@ impl SoftErrorModel {
             voltage_sensitivity.is_finite() && voltage_sensitivity >= 0.0,
             "voltage sensitivity must be finite and non-negative"
         );
-        assert!(nominal_voltage.get() > 0, "nominal voltage must be positive");
-        SoftErrorModel { sigma_nominal, nominal_voltage, voltage_sensitivity }
+        assert!(
+            nominal_voltage.get() > 0,
+            "nominal voltage must be positive"
+        );
+        SoftErrorModel {
+            sigma_nominal,
+            nominal_voltage,
+            voltage_sensitivity,
+        }
     }
 
     /// The 28 nm model the whole workspace defaults to: σ₀ = 10⁻¹⁵ cm²/bit

@@ -77,7 +77,11 @@ impl TechnologyNode {
 
     /// The three modelled nodes, oldest first.
     pub fn lineup() -> [TechnologyNode; 3] {
-        [Self::planar_45nm(), Self::planar_28nm(), Self::finfet_16nm()]
+        [
+            Self::planar_45nm(),
+            Self::planar_28nm(),
+            Self::finfet_16nm(),
+        ]
     }
 
     /// The node name.
@@ -148,8 +152,18 @@ mod tests {
     fn voltage_sensitivity_worsens_with_scaling() {
         let [n45, n28, n16] = TechnologyNode::lineup();
         let tax = |n: &TechnologyNode| n.undervolt_tax(0.06);
-        assert!(tax(&n45) < tax(&n28), "45nm tax {} vs 28nm {}", tax(&n45), tax(&n28));
-        assert!(tax(&n28) < tax(&n16), "28nm tax {} vs 16nm {}", tax(&n28), tax(&n16));
+        assert!(
+            tax(&n45) < tax(&n28),
+            "45nm tax {} vs 28nm {}",
+            tax(&n45),
+            tax(&n28)
+        );
+        assert!(
+            tax(&n28) < tax(&n16),
+            "28nm tax {} vs 16nm {}",
+            tax(&n28),
+            tax(&n16)
+        );
     }
 
     #[test]
@@ -174,7 +188,11 @@ mod tests {
     #[test]
     fn zero_undervolt_is_free() {
         for node in TechnologyNode::lineup() {
-            assert!((node.undervolt_tax(0.0) - 1.0).abs() < 1e-9, "{}", node.name());
+            assert!(
+                (node.undervolt_tax(0.0) - 1.0).abs() < 1e-9,
+                "{}",
+                node.name()
+            );
         }
     }
 }

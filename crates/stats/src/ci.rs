@@ -19,7 +19,7 @@ pub fn inverse_normal_cdf(p: f64) -> f64 {
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,
         -2.759_285_104_469_687e2,
-        1.383_577_518_672_690e2,
+        1.383_577_518_672_69e2,
         -3.066_479_806_614_716e1,
         2.506_628_277_459_239,
     ];
@@ -73,8 +73,7 @@ pub fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -116,10 +115,16 @@ pub fn chi_square_quantile(p: f64, k: u64) -> f64 {
 /// assert!(hi > 121.0 && hi < 122.5);
 /// ```
 pub fn poisson_ci(count: u64, level: f64) -> (f64, f64) {
-    assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+    assert!(
+        level > 0.0 && level < 1.0,
+        "confidence level must be in (0,1)"
+    );
     let alpha = 1.0 - level;
-    let lower =
-        if count == 0 { 0.0 } else { 0.5 * chi_square_quantile(alpha / 2.0, 2 * count) };
+    let lower = if count == 0 {
+        0.0
+    } else {
+        0.5 * chi_square_quantile(alpha / 2.0, 2 * count)
+    };
     let upper = 0.5 * chi_square_quantile(1.0 - alpha / 2.0, 2 * count + 2);
     (lower, upper)
 }
@@ -137,7 +142,10 @@ pub fn poisson_ci(count: u64, level: f64) -> (f64, f64) {
 pub fn wilson_ci(successes: u64, trials: u64, level: f64) -> (f64, f64) {
     assert!(trials > 0, "proportion undefined with zero trials");
     assert!(successes <= trials, "successes cannot exceed trials");
-    assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+    assert!(
+        level > 0.0 && level < 1.0,
+        "confidence level must be in (0,1)"
+    );
     let z = inverse_normal_cdf(1.0 - (1.0 - level) / 2.0);
     let n = trials as f64;
     let p = successes as f64 / n;

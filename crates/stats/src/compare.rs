@@ -39,12 +39,7 @@ impl RateComparison {
 ///
 /// Panics if either exposure is zero or both counts are zero (the ratio
 /// and the test are undefined).
-pub fn poisson_rate_test(
-    n1: u64,
-    t1: SimDuration,
-    n2: u64,
-    t2: SimDuration,
-) -> RateComparison {
+pub fn poisson_rate_test(n1: u64, t1: SimDuration, n2: u64, t2: SimDuration) -> RateComparison {
     assert!(!t1.is_zero() && !t2.is_zero(), "exposures must be positive");
     assert!(n1 + n2 > 0, "no events at all: nothing to compare");
     let r1 = n1 as f64 / t1.as_secs();
@@ -57,14 +52,20 @@ pub fn poisson_rate_test(
     let sd = (n * p0 * (1.0 - p0)).sqrt();
     if sd == 0.0 {
         // Degenerate exposure split; no discriminating power.
-        return RateComparison { rate_ratio, p_value: 1.0 };
+        return RateComparison {
+            rate_ratio,
+            p_value: 1.0,
+        };
     }
     // Two-sided, continuity corrected.
     let x = n1 as f64;
     let z = (x - mean).abs() - 0.5;
     let z = z.max(0.0) / sd;
     let p_value = (2.0 * (1.0 - normal_cdf(z))).clamp(0.0, 1.0);
-    RateComparison { rate_ratio, p_value }
+    RateComparison {
+        rate_ratio,
+        p_value,
+    }
 }
 
 #[cfg(test)]

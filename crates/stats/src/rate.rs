@@ -41,7 +41,12 @@ impl RateEstimate {
     pub fn from_count(count: u64, exposure: SimDuration) -> Self {
         assert!(!exposure.is_zero(), "rate undefined over zero exposure");
         let (lo, hi) = poisson_ci(count, CONFIDENCE_LEVEL);
-        RateEstimate { count, exposure, ci_lower_count: lo, ci_upper_count: hi }
+        RateEstimate {
+            count,
+            exposure,
+            ci_lower_count: lo,
+            ci_upper_count: hi,
+        }
     }
 
     /// The observed event count.
@@ -177,7 +182,11 @@ pub struct FitEstimate {
 impl FitEstimate {
     /// A zero FIT estimate (no events observed ⇒ point estimate zero, upper
     /// bound still positive when built from an interval).
-    pub const ZERO: FitEstimate = FitEstimate { point: Fit::ZERO, lower: Fit::ZERO, upper: Fit::ZERO };
+    pub const ZERO: FitEstimate = FitEstimate {
+        point: Fit::ZERO,
+        lower: Fit::ZERO,
+        upper: Fit::ZERO,
+    };
 
     /// Adds two independent FIT estimates (intervals added conservatively).
     pub fn saturating_add(self, other: FitEstimate) -> FitEstimate {

@@ -40,7 +40,10 @@ pub struct SimRng {
 impl SimRng {
     /// Creates a generator from a campaign seed.
     pub fn seed_from(seed: u64) -> Self {
-        SimRng { inner: SmallRng::seed_from_u64(seed), seed }
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+            seed,
+        }
     }
 
     /// The seed this generator (or its fork ancestry root) was created from.
@@ -63,6 +66,42 @@ impl SimRng {
     pub fn fork_indexed(&self, label: &str, index: u64) -> SimRng {
         let child_seed = splitmix(self.seed ^ fnv1a(label) ^ splitmix(index));
         SimRng::seed_from(child_seed)
+    }
+
+    /// Derives an independent child stream from a counter path — the
+    /// multi-level generalization of [`fork_indexed`](Self::fork_indexed).
+    ///
+    /// The derivation is *counter-based*: the child's seed is a pure
+    /// function of this generator's seed, the domain label and the path
+    /// components — never of how many values have been drawn anywhere.
+    /// That is what lets a parallel executor hand trial `t` of session `s`
+    /// the stream `root.stream("trial", &[s, t])` from any worker thread,
+    /// in any order, and still reproduce the sequential run bit for bit.
+    ///
+    /// Distinct paths yield distinct streams: the components are folded in
+    /// order through the SplitMix64 finalizer, so `[a, b]` ≠ `[b, a]` and
+    /// `[a]` ≠ `[a, 0]` (each component application also mixes in the
+    /// position).
+    ///
+    /// ```
+    /// use serscale_stats::SimRng;
+    ///
+    /// let root = SimRng::seed_from(7);
+    /// let a = root.stream("trial", &[3, 11]).take_u64s(2);
+    /// // Same path later, elsewhere, after any number of draws: same stream.
+    /// let mut busy = SimRng::seed_from(7);
+    /// busy.uniform();
+    /// assert_eq!(a, busy.stream("trial", &[3, 11]).take_u64s(2));
+    /// assert_ne!(a, root.stream("trial", &[11, 3]).take_u64s(2));
+    /// ```
+    pub fn stream(&self, domain: &str, path: &[u64]) -> SimRng {
+        let mut h = splitmix(self.seed ^ fnv1a(domain));
+        for (position, component) in path.iter().enumerate() {
+            // Mix position and value separately so that permutations and
+            // prefix extensions land on different states.
+            h = splitmix(h ^ splitmix(*component).rotate_left(17) ^ position as u64);
+        }
+        SimRng::seed_from(h)
     }
 
     /// Draws a uniform value in `[0, 1)`.
@@ -119,6 +158,13 @@ impl SimRng {
         mean + sd * self.standard_normal()
     }
 
+    /// Draws one raw 64-bit value, advancing the stream — the natural way
+    /// to mint a child seed when the parent *should* advance (contrast
+    /// [`fork`](Self::fork)/[`stream`](Self::stream), which do not).
+    pub fn next_seed(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
     /// Collects `n` raw 64-bit draws (mostly useful in tests).
     pub fn take_u64s(mut self, n: usize) -> Vec<u64> {
         (0..n).map(|_| self.inner.next_u64()).collect()
@@ -167,12 +213,18 @@ mod tests {
 
     #[test]
     fn same_seed_same_stream() {
-        assert_eq!(SimRng::seed_from(1).take_u64s(16), SimRng::seed_from(1).take_u64s(16));
+        assert_eq!(
+            SimRng::seed_from(1).take_u64s(16),
+            SimRng::seed_from(1).take_u64s(16)
+        );
     }
 
     #[test]
     fn different_seeds_differ() {
-        assert_ne!(SimRng::seed_from(1).take_u64s(8), SimRng::seed_from(2).take_u64s(8));
+        assert_ne!(
+            SimRng::seed_from(1).take_u64s(8),
+            SimRng::seed_from(2).take_u64s(8)
+        );
     }
 
     #[test]
@@ -189,11 +241,53 @@ mod tests {
     #[test]
     fn forks_with_different_labels_differ() {
         let root = SimRng::seed_from(5);
-        assert_ne!(root.fork("beam").take_u64s(4), root.fork("cells").take_u64s(4));
+        assert_ne!(
+            root.fork("beam").take_u64s(4),
+            root.fork("cells").take_u64s(4)
+        );
         assert_ne!(
             root.fork_indexed("core", 0).take_u64s(4),
             root.fork_indexed("core", 1).take_u64s(4)
         );
+    }
+
+    #[test]
+    fn streams_are_position_independent() {
+        let a = SimRng::seed_from(12).stream("trial", &[2, 40]).take_u64s(4);
+        let mut parent = SimRng::seed_from(12);
+        for _ in 0..57 {
+            parent.uniform();
+        }
+        assert_eq!(a, parent.stream("trial", &[2, 40]).take_u64s(4));
+    }
+
+    #[test]
+    fn streams_distinguish_paths() {
+        let root = SimRng::seed_from(13);
+        let take = |path: &[u64]| root.stream("trial", path).take_u64s(4);
+        assert_ne!(take(&[1, 2]), take(&[2, 1]), "order must matter");
+        assert_ne!(take(&[1]), take(&[1, 0]), "length must matter");
+        assert_ne!(take(&[]), take(&[0]), "empty path is its own stream");
+        assert_ne!(
+            root.stream("trial", &[5]).take_u64s(4),
+            root.stream("vmin", &[5]).take_u64s(4),
+            "domain must matter"
+        );
+    }
+
+    #[test]
+    fn stream_collisions_absent_over_a_grid() {
+        // The parallel executor derives one stream per (session, trial);
+        // colliding streams would silently correlate trials. Scan a grid
+        // far larger than any real campaign wave.
+        let root = SimRng::seed_from(0x005e_5510_2023);
+        let mut seen = std::collections::HashSet::new();
+        for session in 0..8u64 {
+            for trial in 0..4096u64 {
+                let first = root.stream("trial", &[session, trial]).next_u64();
+                assert!(seen.insert(first), "collision at ({session}, {trial})");
+            }
+        }
     }
 
     #[test]

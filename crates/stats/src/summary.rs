@@ -26,7 +26,13 @@ pub struct Summary {
 impl Summary {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        Summary { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds an observation.
@@ -70,7 +76,10 @@ impl Summary {
     ///
     /// Panics if fewer than two observations have been added.
     pub fn sample_variance(&self) -> f64 {
-        assert!(self.n > 1, "sample variance needs at least two observations");
+        assert!(
+            self.n > 1,
+            "sample variance needs at least two observations"
+        );
         self.m2 / (self.n - 1) as f64
     }
 

@@ -51,7 +51,10 @@ impl fmt::Display for Error {
                 write!(f, "invalid configuration for {what}: {reason}")
             }
             Error::UnknownStructure { what } => write!(f, "unknown hardware structure: {what}"),
-            Error::UnsafeVoltage { requested_mv, vmin_mv } => write!(
+            Error::UnsafeVoltage {
+                requested_mv,
+                vmin_mv,
+            } => write!(
                 f,
                 "requested {requested_mv} mV is below the characterized safe Vmin of {vmin_mv} mV"
             ),
@@ -71,12 +74,18 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = Error::UnsafeVoltage { requested_mv: 900, vmin_mv: 920 };
+        let e = Error::UnsafeVoltage {
+            requested_mv: 900,
+            vmin_mv: 920,
+        };
         let msg = e.to_string();
         assert!(msg.contains("900 mV"));
         assert!(msg.contains("920 mV"));
 
-        let e = Error::InvalidConfig { what: "pmd voltage".into(), reason: "not step aligned".into() };
+        let e = Error::InvalidConfig {
+            what: "pmd voltage".into(),
+            reason: "not step aligned".into(),
+        };
         assert!(e.to_string().starts_with("invalid configuration"));
     }
 

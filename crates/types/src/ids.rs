@@ -112,7 +112,12 @@ pub enum CacheLevel {
 
 impl CacheLevel {
     /// All levels in hierarchy order.
-    pub const ALL: [CacheLevel; 4] = [CacheLevel::Tlb, CacheLevel::L1, CacheLevel::L2, CacheLevel::L3];
+    pub const ALL: [CacheLevel; 4] = [
+        CacheLevel::Tlb,
+        CacheLevel::L1,
+        CacheLevel::L2,
+        CacheLevel::L3,
+    ];
 }
 
 impl fmt::Display for CacheLevel {

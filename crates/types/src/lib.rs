@@ -42,7 +42,7 @@ pub use error::{Error, Result};
 pub use ids::{ArrayKind, CacheLevel, CoreId, PmdId, ThreadId, VoltageDomain};
 pub use memory::{Bits, Bytes, MemSize};
 pub use radiation::{
-    CrossSection, Fit, Flux, Fluence, NeutronEnergy, FIT_HOURS, NYC_SEA_LEVEL_FLUX,
+    CrossSection, Fit, Fluence, Flux, NeutronEnergy, FIT_HOURS, NYC_SEA_LEVEL_FLUX,
 };
 pub use time::{SimDuration, SimInstant};
 pub use units::{Celsius, Megahertz, Millivolts, Watts};

@@ -45,7 +45,10 @@ impl NeutronEnergy {
     ///
     /// Panics if `mev` is negative or non-finite.
     pub fn mev(mev: f64) -> Self {
-        assert!(mev.is_finite() && mev >= 0.0, "energy must be finite and non-negative");
+        assert!(
+            mev.is_finite() && mev >= 0.0,
+            "energy must be finite and non-negative"
+        );
         NeutronEnergy(mev)
     }
 
@@ -89,7 +92,10 @@ impl Flux {
     ///
     /// Panics if `f` is negative or non-finite.
     pub fn per_cm2_s(f: f64) -> Self {
-        assert!(f.is_finite() && f >= 0.0, "flux must be finite and non-negative, got {f}");
+        assert!(
+            f.is_finite() && f >= 0.0,
+            "flux must be finite and non-negative, got {f}"
+        );
         Flux(f)
     }
 
@@ -116,7 +122,10 @@ impl Flux {
     ///
     /// Panics if `factor` is negative or non-finite.
     pub fn scaled(self, factor: f64) -> Flux {
-        assert!(factor.is_finite() && factor >= 0.0, "scale factor must be non-negative");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be non-negative"
+        );
         Flux(self.0 * factor)
     }
 
@@ -162,7 +171,10 @@ impl Fluence {
     ///
     /// Panics if `f` is negative or non-finite.
     pub fn per_cm2(f: f64) -> Self {
-        assert!(f.is_finite() && f >= 0.0, "fluence must be finite and non-negative, got {f}");
+        assert!(
+            f.is_finite() && f >= 0.0,
+            "fluence must be finite and non-negative, got {f}"
+        );
         Fluence(f)
     }
 
@@ -246,7 +258,10 @@ impl CrossSection {
     /// Panics if `fluence` is zero (no exposure, cross-section undefined) or
     /// `events` is negative.
     pub fn from_events(events: f64, fluence: Fluence) -> Self {
-        assert!(fluence.as_per_cm2() > 0.0, "cross-section undefined at zero fluence");
+        assert!(
+            fluence.as_per_cm2() > 0.0,
+            "cross-section undefined at zero fluence"
+        );
         assert!(events >= 0.0, "event count must be non-negative");
         CrossSection(events / fluence.as_per_cm2())
     }
@@ -318,7 +333,10 @@ impl Fit {
     ///
     /// Panics if `fit` is negative or non-finite.
     pub fn new(fit: f64) -> Self {
-        assert!(fit.is_finite() && fit >= 0.0, "FIT must be finite and non-negative, got {fit}");
+        assert!(
+            fit.is_finite() && fit >= 0.0,
+            "FIT must be finite and non-negative, got {fit}"
+        );
         Fit(fit)
     }
 
@@ -412,7 +430,10 @@ mod tests {
             .natural_equivalent(NYC_SEA_LEVEL_FLUX)
             .as_hours()
             / (24.0 * 365.25);
-        assert!((years - 1.30e6).abs() / 1.30e6 < 0.02, "years = {years:.3e}");
+        assert!(
+            (years - 1.30e6).abs() / 1.30e6 < 0.02,
+            "years = {years:.3e}"
+        );
     }
 
     #[test]
@@ -463,7 +484,9 @@ mod tests {
         total += Fluence::per_cm2(5.0e10);
         total += Fluence::per_cm2(5.0e10);
         assert!(total >= Fluence::SIGNIFICANCE_THRESHOLD);
-        let s: Fluence = [Fluence::per_cm2(1.0), Fluence::per_cm2(2.0)].into_iter().sum();
+        let s: Fluence = [Fluence::per_cm2(1.0), Fluence::per_cm2(2.0)]
+            .into_iter()
+            .sum();
         assert!((s.as_per_cm2() - 3.0).abs() < 1e-12);
     }
 

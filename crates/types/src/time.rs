@@ -32,7 +32,10 @@ impl SimDuration {
     ///
     /// Panics if `secs` is negative or non-finite.
     pub fn from_secs(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration must be finite and non-negative"
+        );
         SimDuration(secs)
     }
 
@@ -153,7 +156,10 @@ impl SimInstant {
     ///
     /// Panics if `secs` is negative or non-finite.
     pub fn from_secs(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "instant must be finite and non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "instant must be finite and non-negative"
+        );
         SimInstant(secs)
     }
 
@@ -168,7 +174,10 @@ impl SimInstant {
     ///
     /// Panics in debug builds if `earlier` is after `self`.
     pub fn elapsed_since(self, earlier: SimInstant) -> SimDuration {
-        debug_assert!(earlier.0 <= self.0, "elapsed_since called with a later instant");
+        debug_assert!(
+            earlier.0 <= self.0,
+            "elapsed_since called with a later instant"
+        );
         SimDuration((self.0 - earlier.0).max(0.0))
     }
 }
@@ -229,8 +238,7 @@ mod tests {
 
     #[test]
     fn duration_sum() {
-        let total: SimDuration =
-            (0..10).map(|_| SimDuration::from_secs(0.5)).sum();
+        let total: SimDuration = (0..10).map(|_| SimDuration::from_secs(0.5)).sum();
         assert!((total.as_secs() - 5.0).abs() < 1e-12);
     }
 

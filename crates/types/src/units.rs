@@ -66,7 +66,7 @@ impl Millivolts {
 
     /// True when this voltage is aligned to the regulator step granularity.
     pub const fn is_step_aligned(self) -> bool {
-        self.0 % Self::STEP == 0
+        self.0.is_multiple_of(Self::STEP)
     }
 }
 
@@ -139,7 +139,7 @@ impl Megahertz {
 
     /// True when this frequency is aligned to the PLL step granularity.
     pub const fn is_step_aligned(self) -> bool {
-        self.0 % Self::STEP == 0
+        self.0.is_multiple_of(Self::STEP)
     }
 }
 
@@ -174,7 +174,10 @@ impl Watts {
     ///
     /// Panics if `w` is negative or non-finite; power draw is physical.
     pub fn new(w: f64) -> Self {
-        assert!(w.is_finite() && w >= 0.0, "power must be finite and non-negative, got {w}");
+        assert!(
+            w.is_finite() && w >= 0.0,
+            "power must be finite and non-negative, got {w}"
+        );
         Watts(w)
     }
 

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 
 use serscale_types::{
-    Bits, Bytes, CoreId, CrossSection, Fit, Flux, Fluence, Megahertz, Millivolts, SimDuration,
+    Bits, Bytes, CoreId, CrossSection, Fit, Fluence, Flux, Megahertz, Millivolts, SimDuration,
     SimInstant, NYC_SEA_LEVEL_FLUX,
 };
 

@@ -63,7 +63,10 @@ impl PfailCurve {
     /// The voltage at which failures become certain (first tested level
     /// with pfail = 100 %), if the sweep reached one.
     pub fn full_failure_voltage(&self) -> Option<Millivolts> {
-        self.points.iter().find(|p| p.failures == p.trials).map(|p| p.voltage)
+        self.points
+            .iter()
+            .find(|p| p.failures == p.trials)
+            .map(|p| p.voltage)
     }
 
     /// The guardband exposed by the sweep: nominal minus safe Vmin, in mV.
@@ -89,8 +92,14 @@ impl Characterizer {
     ///
     /// Panics if `trials_per_benchmark` is zero.
     pub fn new(timing: TimingFailureModel, trials_per_benchmark: u32) -> Self {
-        assert!(trials_per_benchmark > 0, "need at least one trial per benchmark");
-        Characterizer { timing, trials_per_benchmark }
+        assert!(
+            trials_per_benchmark > 0,
+            "need at least one trial per benchmark"
+        );
+        Characterizer {
+            timing,
+            trials_per_benchmark,
+        }
     }
 
     /// The underlying timing model.
@@ -161,7 +170,11 @@ impl Characterizer {
                     }
                 }
             }
-            points.push(PfailPoint { voltage, failures, trials });
+            points.push(PfailPoint {
+                voltage,
+                failures,
+                trials,
+            });
             if failures == trials || voltage <= Millivolts::new(700) {
                 break;
             }
@@ -201,8 +214,18 @@ impl SafeVoltageTable {
                 // the SoC's own Vmin.
                 vmin_2400.stepped_up(1),
             ),
-            ("Vmin".to_owned(), Megahertz::new(2400), vmin_2400, vmin_2400),
-            ("Vmin 900 MHz".to_owned(), Megahertz::new(900), vmin_900, soc_nominal),
+            (
+                "Vmin".to_owned(),
+                Megahertz::new(2400),
+                vmin_2400,
+                vmin_2400,
+            ),
+            (
+                "Vmin 900 MHz".to_owned(),
+                Megahertz::new(900),
+                vmin_900,
+                soc_nominal,
+            ),
         ];
         SafeVoltageTable { rows }
     }
@@ -236,7 +259,11 @@ mod tests {
         // last point (full failure) > first failing point.
         let mut rng = SimRng::seed_from(8);
         let curve = harness().sweep(&mut rng, Megahertz::new(2400));
-        let first_fail = curve.points.iter().find(|p| p.failures > 0).expect("sweep failed");
+        let first_fail = curve
+            .points
+            .iter()
+            .find(|p| p.failures > 0)
+            .expect("sweep failed");
         let last = curve.points.last().expect("nonempty");
         assert!(last.pfail() > first_fail.pfail());
         assert_eq!(last.pfail(), 1.0);
@@ -267,7 +294,12 @@ mod tests {
         let c24 = harness().sweep(&mut rng_a, Megahertz::new(2400));
         let c09 = harness().sweep(&mut rng_b, Megahertz::new(900));
         let window = |c: &PfailCurve| c.safe_vmin().unwrap() - c.full_failure_voltage().unwrap();
-        assert!(window(&c09) < window(&c24), "{} !< {}", window(&c09), window(&c24));
+        assert!(
+            window(&c09) < window(&c24),
+            "{} !< {}",
+            window(&c09),
+            window(&c24)
+        );
     }
 
     #[test]
@@ -281,7 +313,11 @@ mod tests {
 
     #[test]
     fn pfail_point_ci_brackets_estimate() {
-        let p = PfailPoint { voltage: Millivolts::new(910), failures: 30, trials: 100 };
+        let p = PfailPoint {
+            voltage: Millivolts::new(910),
+            failures: 30,
+            trials: 100,
+        };
         let (lo, hi) = p.pfail_ci();
         assert!(lo < 0.30 && 0.30 < hi);
     }

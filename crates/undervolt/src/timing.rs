@@ -67,7 +67,13 @@ impl TimingFailureModel {
         assert!(vc_at_ref > 0.0, "critical voltage must be positive");
         assert!(sigma_at_ref > 0.0, "spread must be positive");
         assert!(sigma_slope >= 0.0, "spread slope must be non-negative");
-        TimingFailureModel { vc_at_ref, ref_frequency, slope_mv_per_mhz, sigma_at_ref, sigma_slope }
+        TimingFailureModel {
+            vc_at_ref,
+            ref_frequency,
+            slope_mv_per_mhz,
+            sigma_at_ref,
+            sigma_slope,
+        }
     }
 
     /// A copy of this model with the critical voltage shifted by
@@ -75,7 +81,10 @@ impl TimingFailureModel {
     /// chip population (see `variation`).
     pub fn with_vc_offset(&self, offset_mv: f64) -> TimingFailureModel {
         assert!(offset_mv.is_finite(), "offset must be finite");
-        TimingFailureModel { vc_at_ref: (self.vc_at_ref + offset_mv).max(1.0), ..*self }
+        TimingFailureModel {
+            vc_at_ref: (self.vc_at_ref + offset_mv).max(1.0),
+            ..*self
+        }
     }
 
     /// The temperature coefficient of the critical voltage, in mV/°C
@@ -108,8 +117,7 @@ impl TimingFailureModel {
     /// The failure-point spread at the given frequency, in mV. Shrinks at
     /// lower frequencies (longer cycles leave less marginal territory).
     pub fn sigma_mv(&self, frequency: Megahertz) -> f64 {
-        let dghz =
-            (f64::from(self.ref_frequency.get()) - f64::from(frequency.get())) / 1000.0;
+        let dghz = (f64::from(self.ref_frequency.get()) - f64::from(frequency.get())) / 1000.0;
         (self.sigma_at_ref - self.sigma_slope * dghz).max(1.0)
     }
 
@@ -140,7 +148,10 @@ impl TimingFailureModel {
         frequency: Megahertz,
         droop_mv: f64,
     ) -> f64 {
-        assert!(droop_mv.is_finite() && droop_mv >= 0.0, "droop must be non-negative");
+        assert!(
+            droop_mv.is_finite() && droop_mv >= 0.0,
+            "droop must be non-negative"
+        );
         let z = (self.critical_voltage_mv(frequency) + droop_mv - f64::from(voltage.get()))
             / self.sigma_mv(frequency);
         normal_cdf(z)
@@ -233,7 +244,9 @@ mod tests {
         let v = Millivolts::new(905);
         let p = m.pfail(v, F24);
         let n = 20_000;
-        let fails = (0..n).filter(|_| m.sample_run_fails(&mut rng, v, F24)).count();
+        let fails = (0..n)
+            .filter(|_| m.sample_run_fails(&mut rng, v, F24))
+            .count();
         let freq = fails as f64 / n as f64;
         assert!((freq - p).abs() < 0.02, "{freq} vs {p}");
     }

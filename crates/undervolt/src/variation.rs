@@ -36,7 +36,10 @@ impl ChipPopulation {
     /// platform family (\[74\] measured guardbands differing by tens of mV
     /// across server-grade Armv8 parts).
     pub fn xgene2_fleet() -> Self {
-        ChipPopulation { golden: TimingFailureModel::xgene2(), vc_sigma_mv: 8.0 }
+        ChipPopulation {
+            golden: TimingFailureModel::xgene2(),
+            vc_sigma_mv: 8.0,
+        }
     }
 
     /// Creates a population.
@@ -49,7 +52,10 @@ impl ChipPopulation {
             vc_sigma_mv.is_finite() && vc_sigma_mv >= 0.0,
             "chip spread must be finite and non-negative"
         );
-        ChipPopulation { golden, vc_sigma_mv }
+        ChipPopulation {
+            golden,
+            vc_sigma_mv,
+        }
     }
 
     /// The chip-to-chip critical-voltage sigma.
@@ -122,7 +128,11 @@ impl FleetCharacterization {
     /// Mean and standard deviation of the per-chip Vmins, in mV.
     pub fn vmin_stats(&self) -> (f64, f64) {
         let s: Summary = self.vmins.iter().map(|v| f64::from(v.get())).collect();
-        let sd = if s.count() > 1 { s.sample_std_dev() } else { 0.0 };
+        let sd = if s.count() > 1 {
+            s.sample_std_dev()
+        } else {
+            0.0
+        };
         (s.mean(), sd)
     }
 

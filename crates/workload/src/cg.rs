@@ -19,12 +19,18 @@ pub struct Cg {
 impl Cg {
     /// A miniature class-A-shaped instance (1024 unknowns, 25 iterations).
     pub fn class_a() -> Self {
-        Cg { side: 32, iterations: 60 }
+        Cg {
+            side: 32,
+            iterations: 60,
+        }
     }
 
     /// A tiny instance for tests.
     pub fn tiny() -> Self {
-        Cg { side: 8, iterations: 10 }
+        Cg {
+            side: 8,
+            iterations: 10,
+        }
     }
 
     /// Creates an instance with explicit size.
@@ -101,8 +107,12 @@ impl Cg {
 
         // True residual from the (possibly corrupted) solution.
         self.apply_laplacian(&x, &mut ap);
-        let residual: f64 =
-            b.iter().zip(&ap).map(|(bi, axi)| (bi - axi) * (bi - axi)).sum::<f64>().sqrt();
+        let residual: f64 = b
+            .iter()
+            .zip(&ap)
+            .map(|(bi, axi)| (bi - axi) * (bi - axi))
+            .sum::<f64>()
+            .sqrt();
         let xsum: f64 = x.iter().sum();
         KernelOutput::new(vec![residual, xsum], x)
     }

@@ -21,12 +21,18 @@ impl Ep {
     /// A miniature class-A-shaped instance (tens of thousands of pairs;
     /// milliseconds of work).
     pub fn class_a() -> Self {
-        Ep { pairs: 1 << 15, seed: 271_828_183 }
+        Ep {
+            pairs: 1 << 15,
+            seed: 271_828_183,
+        }
     }
 
     /// A tiny instance for tests.
     pub fn tiny() -> Self {
-        Ep { pairs: 1 << 8, seed: 271_828_183 }
+        Ep {
+            pairs: 1 << 8,
+            seed: 271_828_183,
+        }
     }
 
     /// Creates an instance with explicit size.

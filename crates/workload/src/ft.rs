@@ -34,7 +34,10 @@ impl Ft {
     ///
     /// Panics if `side` is not a power of two ≥ 2 or `steps == 0`.
     pub fn new(side: usize, steps: usize) -> Self {
-        assert!(side >= 2 && side.is_power_of_two(), "side must be a power of two ≥ 2");
+        assert!(
+            side >= 2 && side.is_power_of_two(),
+            "side must be a power of two ≥ 2"
+        );
         assert!(steps > 0, "need at least one step");
         Ft { side, steps }
     }

@@ -22,12 +22,20 @@ pub struct Is {
 impl Is {
     /// A miniature class-A-shaped instance (64 Ki keys over 2¹¹ buckets).
     pub fn class_a() -> Self {
-        Is { keys: 1 << 16, range: 1 << 11, iterations: 10 }
+        Is {
+            keys: 1 << 16,
+            range: 1 << 11,
+            iterations: 10,
+        }
     }
 
     /// A tiny instance for tests.
     pub fn tiny() -> Self {
-        Is { keys: 1 << 8, range: 1 << 6, iterations: 3 }
+        Is {
+            keys: 1 << 8,
+            range: 1 << 6,
+            iterations: 3,
+        }
     }
 
     /// Creates an instance with explicit size.
@@ -36,8 +44,15 @@ impl Is {
     ///
     /// Panics if any dimension is zero.
     pub fn new(keys: usize, range: u64, iterations: usize) -> Self {
-        assert!(keys > 0 && range > 0 && iterations > 0, "IS dimensions must be positive");
-        Is { keys, range, iterations }
+        assert!(
+            keys > 0 && range > 0 && iterations > 0,
+            "IS dimensions must be positive"
+        );
+        Is {
+            keys,
+            range,
+            iterations,
+        }
     }
 
     fn generate_keys(&self) -> Vec<u64> {
@@ -45,8 +60,7 @@ impl Is {
         // Sum of four uniforms ≈ NPB's key distribution shape.
         (0..self.keys)
             .map(|_| {
-                let sum: f64 =
-                    (0..4).map(|_| rng.next_f64()).sum::<f64>() / 4.0;
+                let sum: f64 = (0..4).map(|_| rng.next_f64()).sum::<f64>() / 4.0;
                 ((sum * self.range as f64) as u64).min(self.range - 1)
             })
             .collect()

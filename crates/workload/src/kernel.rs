@@ -48,7 +48,11 @@ impl KernelOutput {
 
 impl fmt::Display for KernelOutput {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "checksum {:016x}, values {:?}", self.checksum, self.values)
+        write!(
+            f,
+            "checksum {:016x}, values {:?}",
+            self.checksum, self.values
+        )
     }
 }
 
@@ -70,9 +74,16 @@ impl Corruption {
     ///
     /// Panics if `at_fraction` is outside `[0, 1)` or `bit > 63`.
     pub fn new(at_fraction: f64, word: usize, bit: u8) -> Self {
-        assert!((0.0..1.0).contains(&at_fraction), "fraction must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&at_fraction),
+            "fraction must be in [0,1)"
+        );
         assert!(bit < 64, "64-bit words have bits 0..=63");
-        Corruption { at_fraction, word, bit }
+        Corruption {
+            at_fraction,
+            word,
+            bit,
+        }
     }
 
     /// Applies this corruption to a slice of f64 state.
@@ -134,7 +145,11 @@ pub struct NpbRandom {
 impl NpbRandom {
     /// Creates a stream from a seed.
     pub fn new(seed: u64) -> Self {
-        NpbRandom { state: seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493) }
+        NpbRandom {
+            state: seed
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493),
+        }
     }
 
     /// The next raw 64-bit value.

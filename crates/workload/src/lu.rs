@@ -23,12 +23,18 @@ const OMEGA: f64 = 1.2;
 impl Lu {
     /// A miniature class-A-shaped instance (64×64 grid, 30 sweeps).
     pub fn class_a() -> Self {
-        Lu { side: 64, sweeps: 30 }
+        Lu {
+            side: 64,
+            sweeps: 30,
+        }
     }
 
     /// A tiny instance for tests.
     pub fn tiny() -> Self {
-        Lu { side: 12, sweeps: 8 }
+        Lu {
+            side: 12,
+            sweeps: 8,
+        }
     }
 
     /// Creates an instance with explicit size.
@@ -165,7 +171,10 @@ mod tests {
         let golden = lu.golden();
         let corrupted = lu.run_corrupted(Corruption::new(0.1, 2000, 30));
         let rel = (corrupted.values[0] - golden.values[0]).abs() / golden.values[0].max(1e-30);
-        assert!(rel < 0.5, "early small upset should not derail convergence (rel = {rel})");
+        assert!(
+            rel < 0.5,
+            "early small upset should not derail convergence (rel = {rel})"
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ pub struct Mg {
 impl Mg {
     /// A miniature class-A-shaped instance (32³ fine grid, 4 V-cycles).
     pub fn class_a() -> Self {
-        Mg { side: 32, cycles: 4 }
+        Mg {
+            side: 32,
+            cycles: 4,
+        }
     }
 
     /// A tiny instance for tests.
@@ -33,7 +36,10 @@ impl Mg {
     ///
     /// Panics if `side` is not a power of two ≥ 4 or `cycles == 0`.
     pub fn new(side: usize, cycles: usize) -> Self {
-        assert!(side >= 4 && side.is_power_of_two(), "side must be a power of two ≥ 4");
+        assert!(
+            side >= 4 && side.is_power_of_two(),
+            "side must be a power of two ≥ 4"
+        );
         assert!(cycles > 0, "need at least one V-cycle");
         Mg { side, cycles }
     }
@@ -140,7 +146,12 @@ fn prolong_add(u: &mut [f64], coarse: &[f64], nf: usize) {
     for z in 0..nf - 1 {
         for y in 0..nf - 1 {
             for x in 0..nf - 1 {
-                let c = coarse[idx(nc, (x / 2).min(nc - 1), (y / 2).min(nc - 1), (z / 2).min(nc - 1))];
+                let c = coarse[idx(
+                    nc,
+                    (x / 2).min(nc - 1),
+                    (y / 2).min(nc - 1),
+                    (z / 2).min(nc - 1),
+                )];
                 u[idx(nf, x, y, z)] += c;
             }
         }

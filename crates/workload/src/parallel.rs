@@ -25,9 +25,14 @@ use crate::kernel::{Corruption, Kernel, KernelOutput, NpbRandom};
 /// Panics if a worker thread panics.
 pub fn run_suite_parallel(kernels: &[Box<dyn Kernel + Sync>]) -> Vec<KernelOutput> {
     thread::scope(|scope| {
-        let handles: Vec<_> =
-            kernels.iter().map(|k| scope.spawn(move |_| k.run())).collect();
-        handles.into_iter().map(|h| h.join().expect("kernel thread panicked")).collect()
+        let handles: Vec<_> = kernels
+            .iter()
+            .map(|k| scope.spawn(move |_| k.run()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("kernel thread panicked"))
+            .collect()
     })
     .expect("thread scope failed")
 }
@@ -44,7 +49,11 @@ pub struct EpParallel {
 impl EpParallel {
     /// A class-A-shaped instance on 8 threads.
     pub fn class_a() -> Self {
-        EpParallel { pairs: 1 << 15, seed: 271_828_183, threads: 8 }
+        EpParallel {
+            pairs: 1 << 15,
+            seed: 271_828_183,
+            threads: 8,
+        }
     }
 
     /// Creates an instance.
@@ -55,7 +64,11 @@ impl EpParallel {
     pub fn new(pairs: u32, seed: u64, threads: u32) -> Self {
         assert!(pairs > 0, "EP needs at least one pair");
         assert!(threads > 0, "need at least one thread");
-        EpParallel { pairs, seed, threads }
+        EpParallel {
+            pairs,
+            seed,
+            threads,
+        }
     }
 
     /// The worker count.
@@ -74,9 +87,8 @@ impl EpParallel {
     /// with a corruption applied to *that worker's* state mid-loop.
     fn worker_state(&self, worker: u32, corruption: Option<Corruption>) -> [f64; 12] {
         let mut state = [0.0f64; 12];
-        let mut rng = NpbRandom::new(
-            self.seed ^ (u64::from(worker) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
+        let mut rng =
+            NpbRandom::new(self.seed ^ (u64::from(worker) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let n = self.share(worker);
         let inject_at = corruption.map(|c| c.iteration(n as usize));
         for i in 0..n as usize {

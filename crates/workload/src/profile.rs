@@ -196,8 +196,11 @@ mod tests {
 
     #[test]
     fn detection_factors_average_to_one() {
-        let mean: f64 =
-            Benchmark::ALL.iter().map(|b| b.profile().detection_factor()).sum::<f64>() / 6.0;
+        let mean: f64 = Benchmark::ALL
+            .iter()
+            .map(|b| b.profile().detection_factor())
+            .sum::<f64>()
+            / 6.0;
         assert!((mean - 1.0).abs() < 0.01, "mean = {mean}");
     }
 

@@ -31,8 +31,11 @@ pub enum MicroVirus {
 
 impl MicroVirus {
     /// All viruses, worst droop first.
-    pub const ALL: [MicroVirus; 3] =
-        [MicroVirus::PowerVirus, MicroVirus::CacheThrash, MicroVirus::BranchStorm];
+    pub const ALL: [MicroVirus; 3] = [
+        MicroVirus::PowerVirus,
+        MicroVirus::CacheThrash,
+        MicroVirus::BranchStorm,
+    ];
 
     /// The virus's short name.
     pub const fn name(self) -> &'static str {
@@ -87,7 +90,10 @@ pub struct PowerVirusKernel {
 impl PowerVirusKernel {
     /// A millisecond-scale instance.
     pub fn default_size() -> Self {
-        PowerVirusKernel { phases: 64, lanes: 256 }
+        PowerVirusKernel {
+            phases: 64,
+            lanes: 256,
+        }
     }
 
     fn run_impl(&self, corruption: Option<Corruption>) -> KernelOutput {
@@ -142,7 +148,10 @@ pub struct CacheThrashKernel {
 impl CacheThrashKernel {
     /// A buffer big enough to sweep through L1 and L2 footprints.
     pub fn default_size() -> Self {
-        CacheThrashKernel { slots: 1 << 15, hops: 1 << 16 }
+        CacheThrashKernel {
+            slots: 1 << 15,
+            hops: 1 << 16,
+        }
     }
 
     fn run_impl(&self, corruption: Option<Corruption>) -> KernelOutput {
@@ -166,7 +175,9 @@ impl CacheThrashKernel {
                 }
             }
             at = next[at] as usize;
-            signature = signature.rotate_left(7).wrapping_add(at as u64 ^ hop as u64);
+            signature = signature
+                .rotate_left(7)
+                .wrapping_add(at as u64 ^ hop as u64);
         }
         KernelOutput::new(
             vec![signature as f64, at as f64],
@@ -223,7 +234,7 @@ impl BranchStormKernel {
                 *lfsr ^= 0xB400_0000_0000_0000;
                 taken += 1;
                 weave += (*lfsr & 0xFF) as i64;
-            } else if *lfsr % 3 == 0 {
+            } else if (*lfsr).is_multiple_of(3) {
                 weave -= (*lfsr & 0x7F) as i64;
             } else {
                 weave ^= 1;
@@ -293,7 +304,11 @@ mod tests {
         let out = BranchStormKernel::default_size().run();
         let taken = out.values[0];
         let total = (1 << 16) as f64;
-        assert!((taken / total - 0.5).abs() < 0.05, "taken share = {}", taken / total);
+        assert!(
+            (taken / total - 0.5).abs() < 0.05,
+            "taken share = {}",
+            taken / total
+        );
     }
 
     #[test]
@@ -303,7 +318,11 @@ mod tests {
             let golden = k.golden();
             let corrupted = k.run_corrupted(Corruption::new(0.2, 1, 40));
             // A flip either masks or corrupts; both must be deterministic.
-            assert_eq!(corrupted, k.run_corrupted(Corruption::new(0.2, 1, 40)), "{v}");
+            assert_eq!(
+                corrupted,
+                k.run_corrupted(Corruption::new(0.2, 1, 40)),
+                "{v}"
+            );
             let _ = corrupted.matches(&golden);
         }
     }

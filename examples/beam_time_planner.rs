@@ -47,16 +47,14 @@ fn main() {
     );
 
     for point in OperatingPoint::CAMPAIGN {
-        let dut =
-            DeviceUnderTest::xgene2(point, DeviceUnderTest::paper_vmin(point.frequency));
+        let dut = DeviceUnderTest::xgene2(point, DeviceUnderTest::paper_vmin(point.frequency));
         let mut pilot = TestSession::new(
             dut,
             flux,
             SessionLimits::time_boxed(SimDuration::from_minutes(90.0)),
         );
         let report = pilot.run(&mut SimRng::seed_from(31_415));
-        let event_rate_per_hour =
-            report.error_events() as f64 / report.duration.as_hours();
+        let event_rate_per_hour = report.error_events() as f64 / report.duration.as_hours();
         let costs: Vec<String> = TARGETS
             .iter()
             .map(|&t| {

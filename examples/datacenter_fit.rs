@@ -25,9 +25,7 @@ fn main() {
     let power_model = PowerModel::xgene2();
     let baseline_power = power_model.total_power(OperatingPoint::nominal());
 
-    println!(
-        "\nfleet: {FLEET:.0} servers, NYC sea level, {HOURS_PER_YEAR:.0} h/year each\n"
-    );
+    println!("\nfleet: {FLEET:.0} servers, NYC sea level, {HOURS_PER_YEAR:.0} h/year each\n");
     println!(
         "{:<18} {:>9} {:>13} {:>13} {:>13} {:>14}",
         "operating point", "node W", "fleet MWh/yr", "fail/yr", "SDC/yr", "energy saved"
@@ -40,12 +38,10 @@ fn main() {
 
         // FIT = failures per 1e9 device-hours; fleet failures per year:
         let device_hours_per_year = FLEET * HOURS_PER_YEAR;
-        let failures_per_year =
-            total_fit(session).point.get() * device_hours_per_year / 1.0e9;
+        let failures_per_year = total_fit(session).point.get() * device_hours_per_year / 1.0e9;
         let sdc_per_year =
             class_fit(session, FailureClass::Sdc).point.get() * device_hours_per_year / 1.0e9;
-        let saved_mwh =
-            (baseline_power.get() - node_power.get()) * FLEET * HOURS_PER_YEAR / 1.0e6;
+        let saved_mwh = (baseline_power.get() - node_power.get()) * FLEET * HOURS_PER_YEAR / 1.0e6;
 
         println!(
             "{:<18} {:>9.2} {:>13.0} {:>13.2} {:>13.2} {:>11.0} MWh",
@@ -59,8 +55,12 @@ fn main() {
     }
 
     let nominal = report.baseline().expect("nominal session");
-    let safe = report.session_at(OperatingPoint::safe()).expect("930 mV session");
-    let vmin = report.session_at(OperatingPoint::vmin_2400()).expect("920 mV session");
+    let safe = report
+        .session_at(OperatingPoint::safe())
+        .expect("930 mV session");
+    let vmin = report
+        .session_at(OperatingPoint::vmin_2400())
+        .expect("920 mV session");
 
     let safe_fail_ratio = total_fit(safe).point.get() / total_fit(nominal).point.get();
     let vmin_fail_ratio = total_fit(vmin).point.get() / total_fit(nominal).point.get();

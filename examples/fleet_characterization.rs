@@ -36,7 +36,12 @@ fn main() {
 
     println!("\nVmin distribution across the fleet:");
     for (voltage, count) in fleet.histogram() {
-        println!("  {:>4} mV  {:<4} {}", voltage.get(), count, "#".repeat(count as usize / 2));
+        println!(
+            "  {:>4} mV  {:<4} {}",
+            voltage.get(),
+            count,
+            "#".repeat(count as usize / 2)
+        );
     }
     let (mean, sd) = fleet.vmin_stats();
     println!("  mean {mean:.1} mV, sigma {sd:.1} mV");

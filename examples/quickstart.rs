@@ -5,10 +5,10 @@
 //! cargo run --release -p serscale-bench --example quickstart
 //! ```
 
+use serscale_beam::facility::{BeamFacility, BeamPosition};
 use serscale_core::dut::DeviceUnderTest;
 use serscale_core::fit::total_fit;
 use serscale_core::session::{SessionLimits, TestSession};
-use serscale_beam::facility::{BeamFacility, BeamPosition};
 use serscale_soc::platform::OperatingPoint;
 use serscale_stats::SimRng;
 use serscale_types::SimDuration;

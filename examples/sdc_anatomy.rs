@@ -25,7 +25,10 @@ fn main() {
     // --- 1. the strike --------------------------------------------------
     let data: u64 = 0x4037_9999_9999_999A; // the f64 bits of 23.6
     let mut word = Codeword::encode(data);
-    println!("stored L3 word:        0x{data:016x}  (f64 {})", f64::from_bits(data));
+    println!(
+        "stored L3 word:        0x{data:016x}  (f64 {})",
+        f64::from_bits(data)
+    );
 
     // Three adjacent cells in one 72-bit codeword — only possible because
     // the modelled L3, like the real one, has no bit interleaving (§4.3).
@@ -38,7 +41,10 @@ fn main() {
     // --- 2. the deceptive decode ----------------------------------------
     let mut log = EdacLog::new();
     let corrupted = match word.decode() {
-        DecodeOutcome::Corrected { data: decoded, position } => {
+        DecodeOutcome::Corrected {
+            data: decoded,
+            position,
+        } => {
             println!(
                 "SECDED decode:         \"corrected single-bit error at position {position}\""
             );

@@ -27,8 +27,7 @@ use serscale_types::{Flux, Millivolts};
 fn main() {
     let power_model = PowerModel::xgene2();
     let nominal = OperatingPoint::nominal();
-    let template =
-        DeviceUnderTest::xgene2(nominal, DeviceUnderTest::paper_vmin(nominal.frequency));
+    let template = DeviceUnderTest::xgene2(nominal, DeviceUnderTest::paper_vmin(nominal.frequency));
 
     // --- 1. the fine-grained sweep --------------------------------------
     println!("== voltage sweep (2.4 GHz, 5 mV grid) ==");
@@ -100,7 +99,11 @@ fn main() {
         );
     }
     for (point, ratio) in compare_to_nominal(&ledgers) {
-        let verdict = if ratio < 1.0 { "pays off" } else { "does NOT pay off" };
+        let verdict = if ratio < 1.0 {
+            "pays off"
+        } else {
+            "does NOT pay off"
+        };
         println!(
             "   {:<16} net energy ratio {:.3} → undervolting {}",
             point.label(),

@@ -13,19 +13,24 @@ use serscale_soc::platform::OperatingPoint;
 use serscale_soc::PowerModel;
 
 /// One moderately sized campaign shared by all tests in this file: the
-/// paper's four operating points with EQUAL 400-minute sessions. (The
-/// paper's own session 3 and 4 durations are too short for stable rate
-/// ratios once scaled down; Table 2's realized durations are exercised by
-/// the repro binary and the campaign unit tests.)
-fn campaign() -> CampaignReport {
-    let mut config = CampaignConfig::paper();
-    config.seed = 0xBEA3;
-    for (_, limits) in &mut config.sessions {
-        *limits = serscale_core::session::SessionLimits::time_boxed(
-            serscale_types::SimDuration::from_minutes(400.0),
-        );
-    }
-    Campaign::new(config).run()
+/// paper's four operating points with EQUAL 800-minute sessions, computed
+/// once. (The paper's own session 3 and 4 durations are too short for
+/// stable rate ratios once scaled down; Table 2's realized durations are
+/// exercised by the repro binary and the campaign unit tests. 800 minutes
+/// keeps nominal's failure-class shares — a few dozen events — out of
+/// coin-flip territory.)
+fn campaign() -> &'static CampaignReport {
+    static REPORT: std::sync::OnceLock<CampaignReport> = std::sync::OnceLock::new();
+    REPORT.get_or_init(|| {
+        let mut config = CampaignConfig::paper();
+        config.seed = 0xBEA3;
+        for (_, limits) in &mut config.sessions {
+            *limits = serscale_core::session::SessionLimits::time_boxed(
+                serscale_types::SimDuration::from_minutes(800.0),
+            );
+        }
+        Campaign::new(config).run()
+    })
 }
 
 #[test]
@@ -34,8 +39,12 @@ fn full_campaign_shape() {
     assert_eq!(report.sessions.len(), 4);
     let nominal = report.baseline().expect("nominal session");
     let safe = report.session_at(OperatingPoint::safe()).expect("930 mV");
-    let vmin = report.session_at(OperatingPoint::vmin_2400()).expect("920 mV");
-    let vmin900 = report.session_at(OperatingPoint::vmin_900()).expect("790 mV");
+    let vmin = report
+        .session_at(OperatingPoint::vmin_2400())
+        .expect("920 mV");
+    let vmin900 = report
+        .session_at(OperatingPoint::vmin_900())
+        .expect("790 mV");
 
     // --- Table 2 row 9: upset rates rise monotonically with undervolting.
     let rates = [
@@ -61,20 +70,33 @@ fn full_campaign_shape() {
     );
 
     // --- Figure 8: the SDC share explodes toward Vmin.
-    let sdc_share = |s: &serscale_core::session::SessionReport| {
-        s.failure_shares()[&FailureClass::Sdc]
-    };
-    assert!(sdc_share(nominal) < 0.55, "nominal SDC share = {}", sdc_share(nominal));
-    assert!(sdc_share(vmin) > 0.75, "Vmin SDC share = {}", sdc_share(vmin));
+    let sdc_share =
+        |s: &serscale_core::session::SessionReport| s.failure_shares()[&FailureClass::Sdc];
+    assert!(
+        sdc_share(nominal) < 0.55,
+        "nominal SDC share = {}",
+        sdc_share(nominal)
+    );
+    assert!(
+        sdc_share(vmin) > 0.75,
+        "Vmin SDC share = {}",
+        sdc_share(vmin)
+    );
     assert!(sdc_share(vmin) > sdc_share(nominal));
 
     // --- Figure 11: total FIT ratio ≈ 6.6×, SDC FIT ratio ≈ 16×.
     let total_ratio = total_fit(vmin).point.get() / total_fit(nominal).point.get();
-    assert!((3.0..12.0).contains(&total_ratio), "total FIT ratio = {total_ratio}");
+    assert!(
+        (3.0..12.0).contains(&total_ratio),
+        "total FIT ratio = {total_ratio}"
+    );
     let nominal_sdc = class_fit(nominal, FailureClass::Sdc).point.get();
     if nominal_sdc > 0.0 {
         let sdc_ratio = class_fit(vmin, FailureClass::Sdc).point.get() / nominal_sdc;
-        assert!((6.0..40.0).contains(&sdc_ratio), "SDC FIT ratio = {sdc_ratio}");
+        assert!(
+            (6.0..40.0).contains(&sdc_ratio),
+            "SDC FIT ratio = {sdc_ratio}"
+        );
     }
 
     // --- Figure 11 @ Vmin: SDC dominates both crash classes.
@@ -115,8 +137,7 @@ fn table2_fluence_and_nyc_equivalents_scale() {
         assert!((got - expected).abs() / expected < 1e-9);
         // NYC equivalence is in the right regime: each accelerated minute
         // is worth centuries.
-        let years_per_minute =
-            session.nyc_equivalent_years() / session.duration.as_minutes();
+        let years_per_minute = session.nyc_equivalent_years() / session.duration.as_minutes();
         assert!((years_per_minute - 789.0).abs() < 5.0, "{years_per_minute}");
     }
 }
@@ -126,7 +147,7 @@ fn figure9_figure10_tradeoff_shape() {
     let report = campaign();
     let model = PowerModel::xgene2();
 
-    let rows = power_vs_upsets(&report, &model);
+    let rows = power_vs_upsets(report, &model);
     // Power monotone decreasing across the campaign order; upsets rising
     // between the endpoints.
     for pair in rows.windows(2) {
@@ -134,7 +155,7 @@ fn figure9_figure10_tradeoff_shape() {
     }
     assert!(rows[3].upsets_per_minute > rows[0].upsets_per_minute);
 
-    let savings = savings_vs_susceptibility(&report, &model);
+    let savings = savings_vs_susceptibility(report, &model);
     assert_eq!(savings.len(), 3);
     // Paper: 8.7% / 11.0% / 48.1% savings.
     assert!((savings[0].power_savings - 0.087).abs() < 0.02);

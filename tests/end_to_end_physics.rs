@@ -11,7 +11,11 @@ use serscale_types::{CacheLevel, Flux, Megahertz, Millivolts, SimDuration};
 
 const WORKING_FLUX: f64 = 1.5e6;
 
-fn run_session(point: OperatingPoint, minutes: f64, seed: u64) -> serscale_core::session::SessionReport {
+fn run_session(
+    point: OperatingPoint,
+    minutes: f64,
+    seed: u64,
+) -> serscale_core::session::SessionReport {
     let dut = DeviceUnderTest::xgene2(point, DeviceUnderTest::paper_vmin(point.frequency));
     let mut session = TestSession::new(
         dut,
@@ -43,7 +47,10 @@ fn uncorrectable_errors_appear_only_in_the_uninterleaved_l3() {
             .copied()
             .unwrap_or(0)
     };
-    assert!(ue(CacheLevel::L3) > 0, "expected L3 UEs in a 10-hour Vmin session");
+    assert!(
+        ue(CacheLevel::L3) > 0,
+        "expected L3 UEs in a 10-hour Vmin session"
+    );
     assert_eq!(ue(CacheLevel::L2), 0, "interleaved L2 must not see UEs");
     assert_eq!(ue(CacheLevel::L1), 0);
     assert_eq!(ue(CacheLevel::Tlb), 0);
@@ -64,7 +71,10 @@ fn observation6_frequency_alone_leaves_sram_ser_unchanged() {
     let dut_b = DeviceUnderTest::xgene2(at_1200, DeviceUnderTest::paper_vmin(at_1200.frequency));
     let sigma_a = dut_a.total_observable_sram_sigma(1.0).as_cm2();
     let sigma_b = dut_b.total_observable_sram_sigma(1.0).as_cm2();
-    assert!((sigma_a - sigma_b).abs() < 1e-20, "SRAM σ must be frequency-free");
+    assert!(
+        (sigma_a - sigma_b).abs() < 1e-20,
+        "SRAM σ must be frequency-free"
+    );
 
     let ra = run_session(at_2400, 300.0, 3).upset_rate().per_minute();
     let rb = run_session(at_1200, 300.0, 3).upset_rate().per_minute();
@@ -111,8 +121,11 @@ fn crash_recovery_consumes_wall_clock() {
     // Sessions with crashes must book more wall time than pure benchmark
     // execution — the dead time the Control-PC model charges.
     let report = run_session(OperatingPoint::nominal(), 300.0, 6);
-    let execution: SimDuration =
-        report.per_benchmark.values().map(|s| s.execution_time).sum();
+    let execution: SimDuration = report
+        .per_benchmark
+        .values()
+        .map(|s| s.execution_time)
+        .sum();
     let crashes = report.failure_count(serscale_core::classify::FailureClass::AppCrash)
         + report.failure_count(serscale_core::classify::FailureClass::SysCrash);
     if crashes > 0 {
@@ -130,9 +143,7 @@ fn per_benchmark_detection_ordering_survives_the_full_stack() {
     // Fig. 5 @ 980 mV: LU observes the most upsets per minute, CG the
     // fewest. A long session separates the calibrated factors cleanly.
     let report = run_session(OperatingPoint::nominal(), 1600.0, 7);
-    let rate = |b: serscale_workload::Benchmark| {
-        report.per_benchmark[&b].upsets_per_minute()
-    };
+    let rate = |b: serscale_workload::Benchmark| report.per_benchmark[&b].upsets_per_minute();
     use serscale_workload::Benchmark::*;
     assert!(rate(Lu) > rate(Cg), "LU {} !> CG {}", rate(Lu), rate(Cg));
     assert!(rate(Ft) > rate(Cg));

@@ -11,8 +11,8 @@
 use serscale_core::dut::DeviceUnderTest;
 use serscale_core::session::{SessionLimits, TestSession};
 use serscale_core::trace::{LogEvent, Logbook};
-use serscale_soc::slimpro::{Command, Response, SlimPro};
 use serscale_soc::platform::OperatingPoint;
+use serscale_soc::slimpro::{Command, Response, SlimPro};
 use serscale_stats::SimRng;
 use serscale_types::{Flux, Millivolts, SimDuration, VoltageDomain};
 
@@ -22,7 +22,9 @@ fn full_mailbox_driven_session() {
 
     // --- 1. Command the 920 mV transition, knob by knob. ---------------
     let target = OperatingPoint::vmin_2400();
-    slimpro.apply_point(target).expect("campaign transition must be accepted");
+    slimpro
+        .apply_point(target)
+        .expect("campaign transition must be accepted");
     let sensed = match slimpro.execute(Command::ReadSensors) {
         Response::Sensors(s) => s,
         other => panic!("expected sensors, got {other:?}"),
@@ -41,7 +43,10 @@ fn full_mailbox_driven_session() {
     );
     let mut logbook = Logbook::new();
     let report = session.run_observed(&mut SimRng::seed_from(55), &mut logbook);
-    assert!(report.memory_upsets > 0, "a 90-minute Vmin session must log upsets");
+    assert!(
+        report.memory_upsets > 0,
+        "a 90-minute Vmin session must log upsets"
+    );
 
     // --- 3. Push every EDAC event through the health path and drain. ----
     for event in logbook.events() {
@@ -94,11 +99,17 @@ fn half_applied_transition_is_observable_via_sensors() {
         soc: Millivolts::new(931), // off-grid: rejected
         frequency: serscale_types::Megahertz::new(2400),
     };
-    let err = slimpro.apply_point(bogus).expect_err("off-grid SoC must be refused");
+    let err = slimpro
+        .apply_point(bogus)
+        .expect_err("off-grid SoC must be refused");
     assert!(err.contains("5 mV"), "unexpected reason: {err}");
     match slimpro.execute(Command::ReadSensors) {
         Response::Sensors(s) => {
-            assert_eq!(s.pmd, Millivolts::new(930), "PMD knob applied before the refusal");
+            assert_eq!(
+                s.pmd,
+                Millivolts::new(930),
+                "PMD knob applied before the refusal"
+            );
             assert_eq!(s.soc, Millivolts::new(950), "SoC knob kept its prior value");
         }
         other => panic!("{other:?}"),

@@ -28,7 +28,10 @@ fn dmesg_scrape_roundtrip_through_a_beam_run() {
             log.push(r);
         }
     }
-    assert!(!log.is_empty(), "a 1.7-hour Vmin exposure must log EDAC events");
+    assert!(
+        !log.is_empty(),
+        "a 1.7-hour Vmin exposure must log EDAC events"
+    );
 
     // Interleave boot noise like a real kernel log.
     let mut dmesg = String::from("[    0.000000] Booting Linux on physical CPU 0x0\n");
@@ -40,8 +43,10 @@ fn dmesg_scrape_roundtrip_through_a_beam_run() {
         dmesg.push('\n');
     }
 
-    let scraped: Vec<EdacRecord> =
-        dmesg.lines().filter_map(EdacRecord::from_dmesg_line).collect();
+    let scraped: Vec<EdacRecord> = dmesg
+        .lines()
+        .filter_map(EdacRecord::from_dmesg_line)
+        .collect();
     assert_eq!(scraped.len(), log.len());
     let mut rebuilt = EdacLog::new();
     for r in scraped {
@@ -76,8 +81,7 @@ fn intra_kernel_parallel_ep_is_corruptible_and_deterministic() {
     // injector uses, scheduling-independently.
     let ep = EpParallel::class_a();
     let golden = ep.golden();
-    let corrupted =
-        ep.run_corrupted(serscale_workload::Corruption::new(0.25, 5, 61));
+    let corrupted = ep.run_corrupted(serscale_workload::Corruption::new(0.25, 5, 61));
     assert_ne!(corrupted, golden);
     for _ in 0..3 {
         assert_eq!(

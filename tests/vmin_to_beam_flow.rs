@@ -10,9 +10,9 @@
 //! points → verify fault-free execution without beam → campaign with beam.
 
 use serscale_core::campaign::{Campaign, CampaignConfig, VminSource};
+use serscale_core::classify::RunVerdict;
 use serscale_core::dut::DeviceUnderTest;
 use serscale_core::runner::BenchmarkRunner;
-use serscale_core::classify::RunVerdict;
 use serscale_soc::platform::{OperatingPoint, XGene2};
 use serscale_stats::SimRng;
 use serscale_types::{Flux, Megahertz, Millivolts, SimInstant};
@@ -29,7 +29,11 @@ fn step1_characterization_finds_the_paper_vmins() {
     assert_eq!(c24.safe_vmin(), Some(Millivolts::new(920)));
     assert_eq!(c09.safe_vmin(), Some(Millivolts::new(790)));
     // And the safe Vmin really was failure-free across all benchmarks.
-    let at_vmin = c24.points.iter().find(|p| Some(p.voltage) == c24.safe_vmin()).unwrap();
+    let at_vmin = c24
+        .points
+        .iter()
+        .find(|p| Some(p.voltage) == c24.safe_vmin())
+        .unwrap();
     assert_eq!(at_vmin.failures, 0);
     assert_eq!(at_vmin.trials, 600); // 6 benchmarks × 100 trials
 }
@@ -38,7 +42,8 @@ fn step1_characterization_finds_the_paper_vmins() {
 fn step2_campaign_points_validate_against_the_regulator() {
     let soc = XGene2::new();
     for point in OperatingPoint::CAMPAIGN {
-        soc.validate(point).expect("campaign points are regulator-legal");
+        soc.validate(point)
+            .expect("campaign points are regulator-legal");
     }
 }
 
@@ -47,8 +52,7 @@ fn step3_no_beam_no_errors_at_every_campaign_point() {
     // The keystone: at safe voltages with the beam off, every benchmark
     // runs correctly — so beam-time errors are radiation, full stop.
     for point in OperatingPoint::CAMPAIGN {
-        let dut =
-            DeviceUnderTest::xgene2(point, DeviceUnderTest::paper_vmin(point.frequency));
+        let dut = DeviceUnderTest::xgene2(point, DeviceUnderTest::paper_vmin(point.frequency));
         let mut runner = BenchmarkRunner::new(dut, Flux::per_cm2_s(0.0));
         let mut rng = SimRng::seed_from(11);
         for benchmark in Benchmark::ALL {
@@ -97,5 +101,8 @@ fn beam_on_produces_radiation_attributable_errors_only_at_safe_points() {
             failures += 1;
         }
     }
-    assert!(failures > 0, "a ~3.5-hour Vmin exposure must produce failures");
+    assert!(
+        failures > 0,
+        "a ~3.5-hour Vmin exposure must produce failures"
+    );
 }

@@ -1,0 +1,14 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Implements the subset of crossbeam 0.8's API this workspace uses —
+//! [`thread::scope`] with crossbeam's closure-takes-scope signature, and
+//! [`channel`]'s MPMC bounded/unbounded channels — on top of the standard
+//! library (`std::thread::scope`, `Mutex` + `Condvar`). Semantics match
+//! crossbeam where the workspace relies on them: cloneable senders *and*
+//! receivers, blocking send/recv with disconnect detection, and scope
+//! results that surface child panics as `Err` rather than aborting.
+
+#![forbid(unsafe_code)]
+
+pub mod channel;
+pub mod thread;

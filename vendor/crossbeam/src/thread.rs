@@ -1,0 +1,99 @@
+//! Scoped threads with crossbeam 0.8's API shape.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The error payload of a panicked scope or child thread.
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// A scope handle passed to [`scope`]'s closure and to every spawned
+/// thread's closure (crossbeam's signature: `spawn(|scope| ...)`).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// A handle to a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish, returning its result or the panic
+    /// payload if it panicked.
+    pub fn join(self) -> Result<T, PanicPayload> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope itself, so
+    /// workers can spawn further siblings (crossbeam's signature).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Creates a scope for spawning borrowing threads. All spawned threads are
+/// joined before `scope` returns. Returns `Err` with the panic payload if
+/// the closure (or an unjoined child) panicked, matching crossbeam's
+/// `thread::Result`.
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = vec![1, 2, 3];
+        let sum = scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 2)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+        })
+        .unwrap();
+        assert_eq!(sum, 12);
+    }
+
+    #[test]
+    fn child_panic_surfaces_through_join() {
+        let caught = scope(|s| {
+            let h = s.spawn(|_| -> i32 { panic!("child died") });
+            h.join().is_err()
+        })
+        .unwrap();
+        assert!(caught);
+    }
+
+    #[test]
+    fn closure_panic_becomes_err() {
+        let r: Result<(), _> = scope(|_| panic!("scope body died"));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_from_worker() {
+        let total = scope(|s| {
+            let h = s.spawn(|s2| {
+                let inner = s2.spawn(|_| 21);
+                inner.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, 42);
+    }
+}

@@ -1,0 +1,48 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len() as u64) as usize].clone()
+    }
+}
+
+/// Picks one of the given options uniformly.
+///
+/// # Panics
+///
+/// Panics if `options` is empty.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select over no options");
+    Select { options }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_covers_options() {
+        let mut rng = TestRng::for_case("sample", 0);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            match select(vec![1u32, 2, 4]).generate(&mut rng) {
+                1 => seen[0] = true,
+                2 => seen[1] = true,
+                4 => seen[2] = true,
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,39 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate provides just enough of serde's public surface for the
+//! workspace to compile: the `Serialize` / `Deserialize` marker traits and
+//! re-exports of the no-op derive macros. Nothing in the workspace
+//! actually serializes data (there is no `serde_json` dependency), so the
+//! derives intentionally generate no code.
+//!
+//! Swapping this for the real `serde` is a one-line change in the root
+//! `Cargo.toml` once a registry is reachable.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// The no-op derive does not implement it; it exists so `use
+/// serde::Serialize` resolves for both the trait and the derive macro.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Mirror of serde's `de` module namespace.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirror of serde's `ser` module namespace.
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -1,0 +1,19 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! `#[derive(Serialize, Deserialize)]` must parse and expand for the
+//! workspace to compile, but no code in the workspace serializes anything,
+//! so the expansion is intentionally empty.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; satisfies `#[derive(Serialize)]` syntactically.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; satisfies `#[derive(Deserialize)]` syntactically.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
