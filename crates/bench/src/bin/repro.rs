@@ -10,11 +10,13 @@
 //! repro --sweep               # fine-grained voltage sweep + advisor
 //! repro --jobs 8 --all        # same bits, eight worker threads
 //! repro --golden              # bit-stable summary for the CI golden diff
+//! repro verify --budget small # statistical verification suite → verdict JSON
 //! ```
 
 use std::process::ExitCode;
 
 use serscale_bench::{experiments, run_campaign_jobs, GOLDEN_SCALE, REPRO_SEED};
+use serscale_verify::{OracleContext, TrialBudget};
 
 struct Args {
     scale: f64,
@@ -94,7 +96,8 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: repro [--all] [--table N]* [--figure N]* [--headlines] \
                      [--ablations] [--sweep] [--selfcheck] [--golden] [--scale F] \
-                     [--seed N] [--jobs N]"
+                     [--seed N] [--jobs N]\n       repro verify [--budget small|medium|large] \
+                     [--seed N] [--out verdict.json]"
                 );
                 std::process::exit(0);
             }
@@ -114,7 +117,81 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+struct VerifyArgs {
+    budget: TrialBudget,
+    seed: u64,
+    out: Option<String>,
+}
+
+fn parse_verify_args(mut it: impl Iterator<Item = String>) -> Result<VerifyArgs, String> {
+    let mut args = VerifyArgs {
+        budget: TrialBudget::small(),
+        seed: REPRO_SEED,
+        out: None,
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--budget" => {
+                let b = it.next().ok_or("--budget needs small|medium|large")?;
+                args.budget = TrialBudget::parse(&b)
+                    .ok_or(format!("unknown budget {b} (small|medium|large)"))?;
+            }
+            "--seed" => {
+                let s = it.next().ok_or("--seed needs a value")?;
+                args.seed = s.parse().map_err(|_| format!("bad seed {s}"))?;
+            }
+            "--out" => {
+                args.out = Some(it.next().ok_or("--out needs a path")?);
+            }
+            "--help" | "-h" => {
+                println!("usage: repro verify [--budget small|medium|large] [--seed N] [--out verdict.json]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown verify argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Runs the statistical verification suite: human summary on stderr,
+/// verdict JSON on stdout (or into `--out`), nonzero exit on violation.
+fn run_verify(args: &VerifyArgs) -> ExitCode {
+    eprintln!(
+        "running verification suite (budget {}, seed {})…",
+        args.budget.name, args.seed
+    );
+    let verdict = serscale_verify::run_suite(&OracleContext::new(args.seed, args.budget));
+    eprint!("{}", verdict.render());
+    let json = verdict.to_json();
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("repro verify: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("verdict written to {path}");
+        }
+        None => println!("{json}"),
+    }
+    if verdict.all_green() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
+    let mut raw = std::env::args().skip(1).peekable();
+    if raw.peek().map(String::as_str) == Some("verify") {
+        raw.next();
+        return match parse_verify_args(raw) {
+            Ok(a) => run_verify(&a),
+            Err(e) => {
+                eprintln!("repro verify: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {

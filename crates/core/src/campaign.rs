@@ -152,18 +152,19 @@ impl Campaign {
         self.run_parallel(1)
     }
 
-    /// Runs the campaign on `jobs` worker threads.
-    ///
-    /// Sessions still execute in configuration order (their trial grids
-    /// are what gets sharded across the pool), and every trial draws from
-    /// a counter-derived stream, so the report is bit-identical to
-    /// [`run`](Self::run) for any `jobs` — the determinism contract the
-    /// regression suite enforces.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `jobs == 0`.
-    pub fn run_parallel(&self, jobs: usize) -> CampaignReport {
+    /// Runs the whole campaign through the naive reference executor
+    /// ([`TestSession::run_reference`]): no waves, no speculation, no
+    /// worker pool. Exists for differential verification — its report must
+    /// be bit-identical to [`run`](Self::run) and
+    /// [`run_parallel`](Self::run_parallel) at any `jobs`.
+    pub fn run_reference(&self) -> CampaignReport {
+        self.run_with(|session, rng| session.run_reference(rng))
+    }
+
+    fn run_with(
+        &self,
+        mut run_session: impl FnMut(&mut TestSession, &mut SimRng) -> SessionReport,
+    ) -> CampaignReport {
         let root = SimRng::seed_from(self.config.seed);
         let flux = self.config.facility.flux_at(self.config.position);
 
@@ -182,13 +183,28 @@ impl Campaign {
             let dut = DeviceUnderTest::xgene2(*point, vmin);
             let mut session = TestSession::new(dut, flux, *limits);
             let mut rng = root.fork_indexed("session", index as u64);
-            sessions.push(session.run_parallel(&mut rng, jobs));
+            sessions.push(run_session(&mut session, &mut rng));
         }
         CampaignReport {
             flux,
             vmins,
             sessions,
         }
+    }
+
+    /// Runs the campaign on `jobs` worker threads.
+    ///
+    /// Sessions still execute in configuration order (their trial grids
+    /// are what gets sharded across the pool), and every trial draws from
+    /// a counter-derived stream, so the report is bit-identical to
+    /// [`run`](Self::run) for any `jobs` — the determinism contract the
+    /// regression suite enforces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs == 0`.
+    pub fn run_parallel(&self, jobs: usize) -> CampaignReport {
+        self.run_with(|session, rng| session.run_parallel(rng, jobs))
     }
 }
 
@@ -246,6 +262,14 @@ mod tests {
         let a = Campaign::new(quick_config(4, 0.01)).run();
         let b = Campaign::new(quick_config(5, 0.01)).run();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn reference_executor_matches_engine_paths() {
+        let campaign = Campaign::new(quick_config(11, 0.01));
+        let reference = campaign.run_reference();
+        assert_eq!(reference, campaign.run());
+        assert_eq!(reference, campaign.run_parallel(3));
     }
 
     #[test]

@@ -286,6 +286,72 @@ mod tests {
         assert!(sys.as_secs() > 100.0);
     }
 
+    /// Table-driven: every verdict variant maps to exactly one failure
+    /// class (or none) and to the right recovery-cost bucket — including
+    /// both SDC notification flavours, which must classify identically.
+    #[test]
+    fn verdict_classification_table() {
+        let table: &[(RunVerdict, Option<FailureClass>, bool)] = &[
+            (RunVerdict::Correct, None, false),
+            (
+                RunVerdict::Sdc {
+                    with_hw_notification: false,
+                },
+                Some(FailureClass::Sdc),
+                false,
+            ),
+            (
+                RunVerdict::Sdc {
+                    with_hw_notification: true,
+                },
+                Some(FailureClass::Sdc),
+                false,
+            ),
+            (RunVerdict::AppCrash, Some(FailureClass::AppCrash), true),
+            (RunVerdict::SysCrash, Some(FailureClass::SysCrash), true),
+        ];
+        let pc = ControlPc::typical();
+        for &(verdict, class, costs_recovery) in table {
+            assert_eq!(verdict.failure_class(), class, "{verdict:?}");
+            assert_eq!(
+                !pc.recovery_overhead(verdict).is_zero(),
+                costs_recovery,
+                "{verdict:?}"
+            );
+        }
+    }
+
+    /// Table-driven: degenerate escalation models behave deterministically
+    /// at the probability extremes — an all-zero model masks every fault
+    /// (the EDAC-masked path), a certainty model always crashes.
+    #[test]
+    fn escalation_extremes_table() {
+        let never = EscalationModel::new(0.0, 0.0, 0.0, 0.0);
+        let always_sys = EscalationModel::new(1.0, 0.0, 1.0, 0.0);
+        let always_app = EscalationModel::new(0.0, 1.0, 0.0, 1.0);
+        let mut rng = SimRng::seed_from(7);
+        for _ in 0..500 {
+            assert_eq!(never.escalate_ue(&mut rng), None);
+            assert_eq!(never.escalate_control(&mut rng), None);
+            assert_eq!(
+                always_sys.escalate_ue(&mut rng),
+                Some(FailureClass::SysCrash)
+            );
+            assert_eq!(
+                always_sys.escalate_control(&mut rng),
+                Some(FailureClass::SysCrash)
+            );
+            assert_eq!(
+                always_app.escalate_ue(&mut rng),
+                Some(FailureClass::AppCrash)
+            );
+            assert_eq!(
+                always_app.escalate_control(&mut rng),
+                Some(FailureClass::AppCrash)
+            );
+        }
+    }
+
     #[test]
     fn failure_class_display() {
         assert_eq!(FailureClass::Sdc.to_string(), "SDC");

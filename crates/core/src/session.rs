@@ -319,6 +319,50 @@ impl TestSession {
         acc.into_report(point, stop_reason)
     }
 
+    /// Runs the session through the *naive reference executor*: one trial
+    /// at a time, absorbed immediately, with no speculative waves and no
+    /// worker pool — the textbook transcription of the execution model in
+    /// the module docs.
+    ///
+    /// This path exists for differential verification (see the
+    /// `serscale-verify` crate): the wave engine's speculation, sharding
+    /// and canonical merge must be observationally equivalent to this
+    /// loop, bit for bit, at any `jobs` count. It is deliberately kept
+    /// free of the throughput machinery ([`Self::run`] goes through
+    /// [`Self::run_observed_with`], which speculates in waves even at
+    /// `jobs == 1`).
+    pub fn run_reference(&mut self, rng: &mut SimRng) -> SessionReport {
+        self.run_reference_observed(rng, &mut crate::trace::NoopObserver)
+    }
+
+    /// [`Self::run_reference`] with every event reported through an
+    /// observer, exactly as the wave engine would report it.
+    pub fn run_reference_observed(
+        &mut self,
+        rng: &mut SimRng,
+        observer: &mut dyn crate::trace::SessionObserver,
+    ) -> SessionReport {
+        let flux = self.runner.flux();
+        let point = self.runner.dut().operating_point();
+        // Identical seed derivation to the wave engine: one draw from the
+        // caller's generator roots every trial stream.
+        let session_rng = SimRng::seed_from(rng.next_seed());
+
+        let mut acc = Accumulator::new(flux, self.limits);
+        let mut trial = 0u64;
+        let stop_reason = loop {
+            let outcome = run_trial(&mut self.runner, &session_rng, trial);
+            let run_only = self.runner.run_duration(outcome.benchmark);
+            if let Some(reason) = acc.absorb(outcome, run_only, observer) {
+                break reason;
+            }
+            trial += 1;
+        };
+
+        observer.on_session_end(acc.clock, stop_reason);
+        acc.into_report(point, stop_reason)
+    }
+
     /// How many trials to launch speculatively before the next merge.
     ///
     /// Purely a throughput knob: any positive value yields the same
@@ -561,9 +605,22 @@ mod tests {
 
     #[test]
     fn upset_rate_tracks_table2_at_nominal() {
-        let report = short_session(OperatingPoint::nominal(), 120.0, 4);
-        let rate = report.upset_rate().per_minute();
-        assert!((rate - 1.01).abs() < 0.2, "rate = {rate}");
+        // Multi-seed, CI-bound: pool upset counts over independent seeds
+        // and accept iff the pooled count is Poisson-consistent with the
+        // Table 2 rate (1.01/min) within a 5% calibration tolerance —
+        // robust to the seed, sharp against a rate regression.
+        let mut upsets = 0u64;
+        let mut minutes = 0.0;
+        for seed in 40..45 {
+            let report = short_session(OperatingPoint::nominal(), 120.0, seed);
+            upsets += report.memory_upsets;
+            minutes += report.duration.as_minutes();
+        }
+        let expected = 1.01 * minutes;
+        assert!(
+            serscale_stats::count_consistent_with_tolerance(upsets, expected, 0.99, 0.05),
+            "{upsets} pooled upsets in {minutes:.0} min vs expected {expected:.0}"
+        );
     }
 
     #[test]
@@ -592,32 +649,89 @@ mod tests {
     }
 
     #[test]
+    fn reference_executor_matches_wave_engine() {
+        let make = || {
+            TestSession::new(
+                dut(OperatingPoint::vmin_2400()),
+                Flux::per_cm2_s(WORKING_FLUX),
+                SessionLimits::time_boxed(SimDuration::from_minutes(30.0)),
+            )
+        };
+        let wave = make().run(&mut SimRng::seed_from(12));
+        let reference = make().run_reference(&mut SimRng::seed_from(12));
+        assert_eq!(wave, reference);
+    }
+
+    #[test]
+    fn reference_executor_matches_on_event_limited_sessions() {
+        // The event rule is where wave speculation overshoots; the merge
+        // must discard the overshoot and land exactly where the naive
+        // loop does.
+        let make = || {
+            TestSession::new(
+                dut(OperatingPoint::vmin_2400()),
+                Flux::per_cm2_s(WORKING_FLUX),
+                SessionLimits {
+                    max_error_events: 7,
+                    max_fluence: Fluence::per_cm2(1e30),
+                    max_duration: None,
+                },
+            )
+        };
+        let wave = make().run_parallel(&mut SimRng::seed_from(13), 4);
+        let reference = make().run_reference(&mut SimRng::seed_from(13));
+        assert_eq!(wave, reference);
+        assert_eq!(reference.stop_reason, StopReason::ErrorEvents);
+    }
+
+    #[test]
     fn failure_shares_sum_to_one_when_events_exist() {
-        let report = short_session(OperatingPoint::vmin_2400(), 400.0, 8);
+        // Shares summing to one is exact per report; the SDC dominance
+        // claim (Fig. 8 rightmost panel: 92%) is statistical, so pool
+        // events over seeds and put a Wilson lower bound on the share.
+        let mut sdcs = 0u64;
+        let mut events = 0u64;
+        for seed in 80..83 {
+            let report = short_session(OperatingPoint::vmin_2400(), 400.0, seed);
+            let shares = report.failure_shares();
+            let total: f64 = shares.values().sum();
+            assert!((total - 1.0).abs() < 1e-9);
+            sdcs += report.failure_count(FailureClass::Sdc);
+            events += report.error_events();
+        }
+        assert!(events > 50, "events = {events}");
+        let (lo, _) = serscale_stats::ci::wilson_ci(sdcs, events, 0.99);
         assert!(
-            report.error_events() > 20,
-            "events = {}",
-            report.error_events()
-        );
-        let shares = report.failure_shares();
-        let total: f64 = shares.values().sum();
-        assert!((total - 1.0).abs() < 1e-9);
-        // At Vmin the SDC share dominates (Fig. 8 rightmost panel: 92%).
-        assert!(
-            shares[&FailureClass::Sdc] > 0.6,
-            "sdc share = {}",
-            shares[&FailureClass::Sdc]
+            lo > 0.6,
+            "SDC share 99% lower bound {lo:.3} ({sdcs}/{events})"
         );
     }
 
     #[test]
     fn memory_ser_in_table2_band() {
-        let report = short_session(OperatingPoint::nominal(), 60.0, 9);
-        // Table 2 row 10: 2.08–2.45 FIT/Mbit over the four sessions; the
-        // modelled chip has ~79.7 Mbit of SRAM.
+        // Table 2 row 10 reports 2.08–2.45 FIT/Mbit over the four
+        // sessions; the modelled chip has ~79.7 Mbit of SRAM and its
+        // nominal session sits at the low end, so the claim is the loose
+        // 1.5–3.0 band. SER is linear in the upset count at fixed
+        // fluence, so the band check becomes a pooled Poisson consistency
+        // test against the band's center with its half-width as the
+        // tolerance.
         let mbit = 79.7;
-        let ser = report.memory_ser_fit_per_mbit(mbit);
-        assert!(ser > 1.5 && ser < 3.0, "ser = {ser}");
+        let center = 0.5 * (1.5 + 3.0);
+        let mut upsets = 0u64;
+        let mut expected = 0.0;
+        for seed in 90..95 {
+            let report = short_session(OperatingPoint::nominal(), 60.0, seed);
+            assert!(report.memory_upsets > 0, "seed {seed} saw no upsets");
+            // FIT per observed count at this session's fluence.
+            let per_count = report.memory_ser_fit_per_mbit(mbit) / report.memory_upsets as f64;
+            upsets += report.memory_upsets;
+            expected += center / per_count;
+        }
+        assert!(
+            serscale_stats::count_consistent_with_tolerance(upsets, expected, 0.99, 1.0 / 3.0),
+            "{upsets} pooled upsets vs {expected:.0} expected for {center:.2} FIT/Mbit"
+        );
     }
 
     #[test]
@@ -650,5 +764,194 @@ mod tests {
         let report = short_session(OperatingPoint::vmin_900(), 20.0, 10);
         assert!(report.memory_upsets > 0);
         assert_eq!(report.operating_point.pmd, Millivolts::new(790));
+    }
+
+    /// Builds a synthetic trial outcome: a scripted verdict plus `ce`
+    /// corrected and `ue` uncorrected EDAC records.
+    fn scripted(verdict: RunVerdict, ce: u64, ue: u64) -> crate::runner::RunOutcome {
+        use serscale_soc::edac::EdacRecord;
+        use serscale_types::ArrayKind;
+        let mut edac = Vec::new();
+        for _ in 0..ce {
+            edac.push(EdacRecord {
+                time: SimInstant::EPOCH,
+                array: ArrayKind::L2Unified,
+                severity: EdacSeverity::Corrected,
+            });
+        }
+        for _ in 0..ue {
+            edac.push(EdacRecord {
+                time: SimInstant::EPOCH,
+                array: ArrayKind::L3Shared,
+                severity: EdacSeverity::Uncorrected,
+            });
+        }
+        crate::runner::RunOutcome {
+            benchmark: Benchmark::Cg,
+            verdict,
+            edac,
+            wall_time: SimDuration::from_secs(3.0),
+            sram_strikes: ce + ue,
+        }
+    }
+
+    /// Table-driven classification edge cases at the session-tally level:
+    /// scripted verdict sequences are folded through the accumulator and
+    /// the report's failure bookkeeping is checked exactly.
+    #[test]
+    fn classification_edge_case_table() {
+        struct Case {
+            name: &'static str,
+            script: Vec<(RunVerdict, u64, u64)>,
+            sdc: u64,
+            app: u64,
+            sys: u64,
+            memory_upsets: u64,
+            sdc_with_notification: u64,
+        }
+        let sdc = RunVerdict::Sdc {
+            with_hw_notification: false,
+        };
+        let deceptive_sdc = RunVerdict::Sdc {
+            with_hw_notification: true,
+        };
+        let cases = vec![
+            Case {
+                // The paper's worst beam minute: the same session takes an
+                // SDC, a system crash and an application crash — each run
+                // keeps its own verdict and all three classes must tally.
+                name: "simultaneous-sdc-and-crashes",
+                script: vec![
+                    (sdc, 1, 0),
+                    (RunVerdict::SysCrash, 0, 1),
+                    (RunVerdict::Correct, 0, 0),
+                    (RunVerdict::AppCrash, 0, 1),
+                ],
+                sdc: 1,
+                app: 1,
+                sys: 1,
+                memory_upsets: 3,
+                sdc_with_notification: 0,
+            },
+            Case {
+                // A quiet session: no upsets, no failures, and the report
+                // must come out all-zero without dividing by anything.
+                name: "zero-upset-session",
+                script: vec![
+                    (RunVerdict::Correct, 0, 0),
+                    (RunVerdict::Correct, 0, 0),
+                    (RunVerdict::Correct, 0, 0),
+                ],
+                sdc: 0,
+                app: 0,
+                sys: 0,
+                memory_upsets: 0,
+                sdc_with_notification: 0,
+            },
+            Case {
+                // EDAC-masked events: the hardware logs plenty of corrected
+                // (and even uncorrected-but-architecturally-masked) errors,
+                // yet every run completes correctly — upsets are counted,
+                // error events stay zero.
+                name: "edac-masked-events",
+                script: vec![
+                    (RunVerdict::Correct, 4, 0),
+                    (RunVerdict::Correct, 2, 1),
+                    (RunVerdict::Correct, 0, 0),
+                ],
+                sdc: 0,
+                app: 0,
+                sys: 0,
+                memory_upsets: 7,
+                sdc_with_notification: 0,
+            },
+            Case {
+                // Figure 12's deceptive case: only the notified flavour
+                // increments sdc_with_notification, both flavours count as
+                // SDC failures.
+                name: "deceptive-sdc-flavours",
+                script: vec![(deceptive_sdc, 1, 0), (sdc, 0, 0)],
+                sdc: 2,
+                app: 0,
+                sys: 0,
+                memory_upsets: 1,
+                sdc_with_notification: 1,
+            },
+        ];
+
+        for case in cases {
+            let flux = Flux::per_cm2_s(WORKING_FLUX);
+            let mut acc = Accumulator::new(flux, SessionLimits::standard());
+            let mut observer = crate::trace::NoopObserver;
+            for &(verdict, ce, ue) in &case.script {
+                let outcome = scripted(verdict, ce, ue);
+                let run_only = outcome.wall_time;
+                assert_eq!(
+                    acc.absorb(outcome, run_only, &mut observer),
+                    None,
+                    "{}: stopped early",
+                    case.name
+                );
+            }
+            let runs = case.script.len() as u64;
+            let report = acc.into_report(OperatingPoint::nominal(), StopReason::BeamTime);
+            let count = |class| report.failures.get(&class).copied().unwrap_or(0);
+            assert_eq!(count(FailureClass::Sdc), case.sdc, "{}", case.name);
+            assert_eq!(count(FailureClass::AppCrash), case.app, "{}", case.name);
+            assert_eq!(count(FailureClass::SysCrash), case.sys, "{}", case.name);
+            assert_eq!(
+                report.error_events(),
+                case.sdc + case.app + case.sys,
+                "{}",
+                case.name
+            );
+            assert_eq!(report.memory_upsets, case.memory_upsets, "{}", case.name);
+            assert_eq!(
+                report.sdc_with_notification, case.sdc_with_notification,
+                "{}",
+                case.name
+            );
+            assert_eq!(report.runs, runs, "{}", case.name);
+            let stats = report.per_benchmark[&Benchmark::Cg];
+            assert_eq!(stats.runs, runs, "{}", case.name);
+            assert!(
+                stats.upsets_per_minute().is_finite(),
+                "{}: rate must stay finite",
+                case.name
+            );
+        }
+    }
+
+    /// The §3.5 event-limit rule counts SDCs and crashes together: a
+    /// session whose events arrive as a mix trips the limit exactly on the
+    /// run that reaches it, whatever the mix.
+    #[test]
+    fn event_limit_counts_all_failure_classes_together() {
+        let sdc = RunVerdict::Sdc {
+            with_hw_notification: false,
+        };
+        let limits = SessionLimits {
+            max_error_events: 3,
+            max_fluence: Fluence::per_cm2(1e30),
+            max_duration: None,
+        };
+        let mut acc = Accumulator::new(Flux::per_cm2_s(WORKING_FLUX), limits);
+        let mut observer = crate::trace::NoopObserver;
+        let script = [
+            (sdc, None),
+            (RunVerdict::Correct, None),
+            (RunVerdict::AppCrash, None),
+            (RunVerdict::Correct, None),
+            (RunVerdict::SysCrash, Some(StopReason::ErrorEvents)),
+        ];
+        for (i, &(verdict, expect)) in script.iter().enumerate() {
+            let outcome = scripted(verdict, 0, 0);
+            let run_only = outcome.wall_time;
+            assert_eq!(
+                acc.absorb(outcome, run_only, &mut observer),
+                expect,
+                "run {i}"
+            );
+        }
     }
 }

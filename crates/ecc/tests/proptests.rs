@@ -109,6 +109,44 @@ proptest! {
         prop_assert_eq!(total as u32, len);
     }
 
+    /// The full encode → inject 1–2 flips → decode classification
+    /// round-trip on arbitrary data: singles come back corrected in
+    /// place, doubles are flagged, nothing else can happen.
+    #[test]
+    fn secded_classification_roundtrip(
+        data in any::<u64>(),
+        flips in prop::collection::btree_set(0u32..CODEWORD_BITS, 1..=2),
+    ) {
+        let mut cw = Codeword::encode(data);
+        for &f in &flips {
+            cw.flip(f);
+        }
+        match (flips.len(), cw.decode()) {
+            (1, DecodeOutcome::Corrected { data: d, position }) => {
+                prop_assert_eq!(d, data);
+                prop_assert!(flips.contains(&position));
+            }
+            (2, DecodeOutcome::DetectedUncorrectable) => {}
+            (n, other) => prop_assert!(false, "{} flips decoded to {:?}", n, other),
+        }
+    }
+
+    /// Scheme-level view of the same contract: any 1–2-flip cluster in a
+    /// SECDED entry classifies per the code distance, and in particular is
+    /// never silent and never mis-corrected.
+    #[test]
+    fn secded_scheme_classifies_small_clusters(
+        flips in prop::collection::btree_set(0u32..72, 1..=2),
+    ) {
+        let cluster: Vec<u32> = flips.iter().copied().collect();
+        let expect = if cluster.len() == 1 {
+            UpsetOutcome::Corrected
+        } else {
+            UpsetOutcome::DetectedUncorrectable
+        };
+        prop_assert_eq!(ProtectionScheme::Secded.classify(&cluster), expect);
+    }
+
     /// Scheme classification is total and sane: single flips are never
     /// silent under any protection except None.
     #[test]

@@ -156,6 +156,64 @@ pub fn wilson_ci(successes: u64, trials: u64, level: f64) -> (f64, f64) {
     ((center - half).max(0.0), (center + half).min(1.0))
 }
 
+/// Whether an observed Poisson `count` is statistically consistent with an
+/// `expected` mean: true iff `expected` lies inside the Garwood interval of
+/// the count at confidence `level`.
+///
+/// This is the workhorse of the seed-robust test suite: instead of pinning
+/// a point value under one seed, a test pools counts over several seeds and
+/// asks whether the model's expectation survives the pooled interval.
+///
+/// # Panics
+///
+/// Panics if `level` is outside `(0, 1)` or `expected` is negative or
+/// non-finite.
+///
+/// ```
+/// use serscale_stats::ci::count_consistent;
+///
+/// // 100 observed events are consistent with a mean of 110 (within the
+/// // ±20% band of the "100 events" rule) but not with a mean of 200.
+/// assert!(count_consistent(100, 110.0, 0.95));
+/// assert!(!count_consistent(100, 200.0, 0.95));
+/// ```
+pub fn count_consistent(count: u64, expected: f64, level: f64) -> bool {
+    count_consistent_with_tolerance(count, expected, level, 0.0)
+}
+
+/// [`count_consistent`] with an additional *model tolerance*: accepts when
+/// the Garwood interval of `count` intersects the band
+/// `expected × [1 − rel_tol, 1 + rel_tol]`.
+///
+/// The confidence interval absorbs sampling noise; `rel_tol` absorbs the
+/// calibration slack between the simulator and the paper's measured values
+/// (a few percent — see `TESTING.md` for the convention). With
+/// `rel_tol = 0` this degenerates to the pure CI check.
+///
+/// # Panics
+///
+/// Panics if `level` is outside `(0, 1)`, `expected` is negative or
+/// non-finite, or `rel_tol` is negative or non-finite.
+pub fn count_consistent_with_tolerance(
+    count: u64,
+    expected: f64,
+    level: f64,
+    rel_tol: f64,
+) -> bool {
+    assert!(
+        expected.is_finite() && expected >= 0.0,
+        "expected mean must be finite and non-negative, got {expected}"
+    );
+    assert!(
+        rel_tol.is_finite() && rel_tol >= 0.0,
+        "relative tolerance must be finite and non-negative, got {rel_tol}"
+    );
+    let (lo, hi) = poisson_ci(count, level);
+    let band_lo = expected * (1.0 - rel_tol);
+    let band_hi = expected * (1.0 + rel_tol);
+    lo <= band_hi && band_lo <= hi
+}
+
 /// The relative half-width of a Poisson 95 % interval, used to decide when a
 /// session has accumulated statistically significant counts (the paper's
 /// "100 events" rule gives about ±20 %).
@@ -262,5 +320,46 @@ mod tests {
     #[should_panic(expected = "zero trials")]
     fn wilson_rejects_zero_trials() {
         let _ = wilson_ci(0, 0, 0.95);
+    }
+
+    #[test]
+    fn count_consistency_basics() {
+        // The count itself is always consistent with its own mean.
+        for n in [1u64, 10, 100, 1000] {
+            assert!(count_consistent(n, n as f64, 0.95), "n = {n}");
+        }
+        // Zero counts are consistent with small means only.
+        assert!(count_consistent(0, 0.0, 0.95));
+        assert!(count_consistent(0, 2.0, 0.95));
+        assert!(!count_consistent(0, 10.0, 0.95));
+        // Large counts reject a 2x-off mean.
+        assert!(!count_consistent(400, 800.0, 0.95));
+    }
+
+    #[test]
+    fn tolerance_widens_the_acceptance_band() {
+        // 100 observed vs an expectation of 130: rejected by the bare CI,
+        // accepted once a 10% model tolerance is granted.
+        assert!(!count_consistent(100, 130.0, 0.95));
+        assert!(count_consistent_with_tolerance(100, 130.0, 0.95, 0.10));
+        // A grossly wrong expectation stays rejected at any sane tolerance.
+        assert!(!count_consistent_with_tolerance(100, 300.0, 0.95, 0.10));
+    }
+
+    #[test]
+    fn zero_tolerance_matches_plain_consistency() {
+        for (n, e) in [(50u64, 60.0), (50, 90.0), (200, 195.0)] {
+            assert_eq!(
+                count_consistent(n, e, 0.95),
+                count_consistent_with_tolerance(n, e, 0.95, 0.0),
+                "n={n} e={e}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_expectation_rejected() {
+        let _ = count_consistent(10, -1.0, 0.95);
     }
 }

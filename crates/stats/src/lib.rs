@@ -47,6 +47,7 @@ pub mod rate;
 pub mod rng;
 pub mod summary;
 
+pub use ci::{count_consistent, count_consistent_with_tolerance};
 pub use compare::{poisson_rate_test, RateComparison};
 pub use rate::{CrossSectionEstimate, RateEstimate};
 pub use rng::SimRng;

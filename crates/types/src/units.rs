@@ -90,6 +90,31 @@ impl fmt::Display for Millivolts {
     }
 }
 
+impl std::str::FromStr for Millivolts {
+    type Err = crate::Error;
+
+    /// Parses `"980 mV"` (the [`Display`](fmt::Display) form) or a bare
+    /// millivolt count `"980"` — the textual round-trip the config and
+    /// report formats rely on.
+    ///
+    /// ```
+    /// use serscale_types::Millivolts;
+    ///
+    /// let v = Millivolts::new(920);
+    /// assert_eq!(v.to_string().parse::<Millivolts>().unwrap(), v);
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let digits = s.trim().strip_suffix("mV").unwrap_or(s.trim()).trim();
+        digits
+            .parse::<u32>()
+            .map(Millivolts::new)
+            .map_err(|_| crate::Error::InvalidConfig {
+                what: "voltage".into(),
+                reason: format!("cannot parse {s:?} as millivolts"),
+            })
+    }
+}
+
 /// A clock frequency in megahertz.
 ///
 /// The modelled platform steps each dual-core PMD from 300 MHz to 2400 MHz in
@@ -150,6 +175,44 @@ impl fmt::Display for Megahertz {
         } else {
             write!(f, "{} MHz", self.0)
         }
+    }
+}
+
+impl std::str::FromStr for Megahertz {
+    type Err = crate::Error;
+
+    /// Parses `"900 MHz"`, `"2.4 GHz"` (both [`Display`](fmt::Display)
+    /// forms) or a bare megahertz count `"900"`. GHz values must land on
+    /// a whole megahertz.
+    ///
+    /// ```
+    /// use serscale_types::Megahertz;
+    ///
+    /// let f = Megahertz::new(2400);
+    /// assert_eq!(f.to_string().parse::<Megahertz>().unwrap(), f);
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = |reason: String| crate::Error::InvalidConfig {
+            what: "frequency".into(),
+            reason,
+        };
+        let t = s.trim();
+        if let Some(g) = t.strip_suffix("GHz") {
+            let ghz: f64 = g
+                .trim()
+                .parse()
+                .map_err(|_| bad(format!("cannot parse {s:?} as gigahertz")))?;
+            let mhz = ghz * 1000.0;
+            if !(mhz.is_finite() && mhz >= 0.0 && (mhz - mhz.round()).abs() < 1e-6) {
+                return Err(bad(format!("{s:?} is not a whole number of megahertz")));
+            }
+            return Ok(Megahertz::new(mhz.round() as u32));
+        }
+        let digits = t.strip_suffix("MHz").unwrap_or(t).trim();
+        digits
+            .parse::<u32>()
+            .map(Megahertz::new)
+            .map_err(|_| bad(format!("cannot parse {s:?} as megahertz")))
     }
 }
 
@@ -290,6 +353,29 @@ mod tests {
         assert_eq!(v.stepped_up(2), Millivolts::new(990));
         assert!(v.is_step_aligned());
         assert!(!Millivolts::new(982).is_step_aligned());
+    }
+
+    #[test]
+    fn unit_parsing_accepts_display_and_bare_forms() {
+        assert_eq!(
+            "980 mV".parse::<Millivolts>().unwrap(),
+            Millivolts::new(980)
+        );
+        assert_eq!("790".parse::<Millivolts>().unwrap(), Millivolts::new(790));
+        assert_eq!(
+            "2.4 GHz".parse::<Megahertz>().unwrap(),
+            Megahertz::new(2400)
+        );
+        assert_eq!("900 MHz".parse::<Megahertz>().unwrap(), Megahertz::new(900));
+        assert_eq!("300".parse::<Megahertz>().unwrap(), Megahertz::new(300));
+    }
+
+    #[test]
+    fn unit_parsing_rejects_garbage() {
+        assert!("volts".parse::<Millivolts>().is_err());
+        assert!("-5 mV".parse::<Millivolts>().is_err());
+        assert!("2.4005 GHz".parse::<Megahertz>().is_err());
+        assert!("fast".parse::<Megahertz>().is_err());
     }
 
     #[test]

@@ -98,6 +98,34 @@ proptest! {
         prop_assert!((fa.ratio_to(fb) - fa.as_ghz() / fb.as_ghz()).abs() < 1e-12);
     }
 
+    /// Display → FromStr round-trips for voltages: the textual interchange
+    /// format used by reports and the verify verdict must be lossless.
+    #[test]
+    fn millivolts_display_roundtrip(mv in 0u32..1_000_000) {
+        let v = Millivolts::new(mv);
+        prop_assert_eq!(v.to_string().parse::<Millivolts>().unwrap(), v);
+        // Bare counts parse too.
+        prop_assert_eq!(mv.to_string().parse::<Millivolts>().unwrap(), v);
+    }
+
+    /// Display → FromStr round-trips for frequencies across both rendered
+    /// forms ("900 MHz" and "2.4 GHz").
+    #[test]
+    fn megahertz_display_roundtrip(mhz in 0u32..100_000_000) {
+        let f = Megahertz::new(mhz);
+        prop_assert_eq!(f.to_string().parse::<Megahertz>().unwrap(), f);
+        prop_assert_eq!(mhz.to_string().parse::<Megahertz>().unwrap(), f);
+    }
+
+    /// Digit-free strings never parse as a unit value.
+    #[test]
+    fn unit_parsing_rejects_junk(
+        s in prop::sample::select(vec!["", " ", "mV", "MHz", "GHz", "volts", "NaN GHz", "- mV"]),
+    ) {
+        prop_assert!(s.parse::<Millivolts>().is_err());
+        prop_assert!(s.parse::<Megahertz>().is_err());
+    }
+
     /// Flux acceleration: an accelerated second equals `acceleration`
     /// natural seconds of fluence.
     #[test]

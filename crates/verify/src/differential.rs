@@ -1,0 +1,182 @@
+//! Differential oracles: the same campaign executed through independent
+//! engine paths must agree bit for bit.
+//!
+//! Three paths exist in `serscale-core`:
+//!
+//! 1. the **naive reference executor** (`run_reference`) — one trial at a
+//!    time, absorbed immediately, no speculation;
+//! 2. the **sequential wave engine** (`run`) — speculative waves merged in
+//!    canonical trial order, one worker;
+//! 3. the **parallel wave engine** (`run_parallel(jobs)`) — the same
+//!    engine sharded over a worker pool.
+//!
+//! Because every trial's physics derives from a counter-based stream keyed
+//! only by (session seed, trial index), all three must produce identical
+//! [`SessionReport`](serscale_core::session::SessionReport)s *and*
+//! identical event traces. Any divergence — a speculation leak past a
+//! stopping rule, a merge reordering, a worker-count-dependent draw —
+//! shows up here as an inequality, with no statistics needed.
+
+use serscale_core::campaign::{Campaign, CampaignConfig, CampaignReport};
+use serscale_core::dut::DeviceUnderTest;
+use serscale_core::session::{SessionLimits, TestSession};
+use serscale_core::trace::Logbook;
+use serscale_soc::platform::OperatingPoint;
+use serscale_stats::SimRng;
+use serscale_types::{Flux, SimDuration};
+
+use crate::oracle::{CheckResult, OracleContext, OracleFamily, OracleReport, StatOracle};
+
+/// The worker counts the parallel engine is differentially tested at:
+/// below, at, and above the typical core count, plus the degenerate 1.
+const JOBS: [usize; 4] = [1, 2, 3, 8];
+
+fn campaign_config(ctx: &OracleContext, oracle: &str) -> CampaignConfig {
+    let mut config = CampaignConfig::paper_scaled(ctx.budget.campaign_fraction);
+    config.seed = ctx.probe_seed(oracle, 0);
+    config
+}
+
+fn summarize(report: &CampaignReport) -> String {
+    let events: u64 = report.sessions.iter().map(|s| s.error_events()).sum();
+    let upsets: u64 = report.sessions.iter().map(|s| s.memory_upsets).sum();
+    format!(
+        "{} sessions, {upsets} memory upsets, {events} error events",
+        report.sessions.len()
+    )
+}
+
+/// Sequential path, parallel engine at several worker counts, and the
+/// naive reference executor produce bit-identical campaign reports.
+pub struct EngineEquivalence;
+
+impl StatOracle for EngineEquivalence {
+    fn name(&self) -> &'static str {
+        "engine-equivalence"
+    }
+
+    fn family(&self) -> OracleFamily {
+        OracleFamily::Differential
+    }
+
+    fn claim(&self) -> &'static str {
+        "Reference, sequential and parallel engines agree bit for bit"
+    }
+
+    fn run(&self, ctx: &OracleContext) -> OracleReport {
+        let campaign = Campaign::new(campaign_config(ctx, self.name()));
+        let reference = campaign.run_reference();
+        let mut checks = vec![CheckResult::new(
+            "reference-baseline",
+            reference.sessions.iter().any(|s| s.memory_upsets > 0),
+            format!("reference executor: {}", summarize(&reference)),
+        )];
+        for jobs in JOBS {
+            let engine = campaign.run_parallel(jobs);
+            let agree = engine == reference;
+            checks.push(CheckResult::new(
+                format!("engine-jobs-{jobs}"),
+                agree,
+                if agree {
+                    format!("jobs={jobs} report identical to reference")
+                } else {
+                    format!(
+                        "jobs={jobs} diverged from reference: {} vs {}",
+                        summarize(&engine),
+                        summarize(&reference),
+                    )
+                },
+            ));
+        }
+        self.report(checks)
+    }
+}
+
+/// The ordered event trace (runs, EDAC records, recoveries, session end)
+/// is identical across the reference executor and the wave engine at any
+/// worker count — observers see one canonical history.
+pub struct TraceEquivalence;
+
+impl StatOracle for TraceEquivalence {
+    fn name(&self) -> &'static str {
+        "trace-equivalence"
+    }
+
+    fn family(&self) -> OracleFamily {
+        OracleFamily::Differential
+    }
+
+    fn claim(&self) -> &'static str {
+        "Event traces are identical across engines and worker counts"
+    }
+
+    fn run(&self, ctx: &OracleContext) -> OracleReport {
+        // A session stressed enough to crash and recover (vmin_2400 has
+        // the paper's worst error rate), so the trace exercises every
+        // event kind.
+        let point = OperatingPoint::vmin_2400();
+        let flux = Flux::per_cm2_s(1.5e6);
+        let limits =
+            SessionLimits::time_boxed(SimDuration::from_minutes(ctx.budget.session_minutes));
+        let seed = ctx.probe_seed(self.name(), 0);
+        let trace_of = |run: &dyn Fn(&mut TestSession, &mut SimRng, &mut Logbook)| -> Logbook {
+            let dut = DeviceUnderTest::xgene2(point, DeviceUnderTest::paper_vmin(point.frequency));
+            let mut session = TestSession::new(dut, flux, limits);
+            let mut rng = SimRng::seed_from(seed);
+            let mut log = Logbook::new();
+            run(&mut session, &mut rng, &mut log);
+            log
+        };
+
+        let reference = trace_of(&|s, rng, log| {
+            s.run_reference_observed(rng, log);
+        });
+        let mut checks = vec![CheckResult::new(
+            "trace-nonempty",
+            !reference.is_empty(),
+            format!("reference trace carries {} events", reference.len()),
+        )];
+        for jobs in JOBS {
+            let engine = trace_of(&|s, rng, log| {
+                s.run_observed_with(rng, jobs, log);
+            });
+            let agree = engine == reference;
+            checks.push(CheckResult::new(
+                format!("trace-jobs-{jobs}"),
+                agree,
+                if agree {
+                    format!("jobs={jobs} trace identical ({} events)", engine.len())
+                } else {
+                    format!(
+                        "jobs={jobs} trace diverged: {} vs {} events",
+                        engine.len(),
+                        reference.len(),
+                    )
+                },
+            ));
+        }
+        self.report(checks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::TrialBudget;
+
+    fn ctx() -> OracleContext {
+        OracleContext::new(0xd1ff, TrialBudget::small())
+    }
+
+    #[test]
+    fn engines_agree() {
+        let report = EngineEquivalence.run(&ctx());
+        assert!(report.passed(), "{:#?}", report.checks);
+    }
+
+    #[test]
+    fn traces_agree() {
+        let report = TraceEquivalence.run(&ctx());
+        assert!(report.passed(), "{:#?}", report.checks);
+    }
+}

@@ -1,0 +1,235 @@
+//! The oracle abstraction: a [`StatOracle`] encodes one mechanistic
+//! invariant of the simulator as an executable check, and an
+//! [`OracleContext`] tells it how hard to try.
+//!
+//! Oracles are *statistical* where the underlying claim is statistical
+//! (expected counts, rates) and *exact* where the claim is exact
+//! (bit-identical reports, ECC algebra). Statistical checks accept or
+//! reject through the confidence-interval helpers of `serscale-stats`, so
+//! they hold across seeds — the convention TESTING.md documents.
+
+use std::fmt;
+
+/// Which of the three oracle families a check belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OracleFamily {
+    /// Metamorphic relations: transform the input, predict the output
+    /// shift (fluence doubling, voltage monotonicity, domain isolation,
+    /// spectrum rescaling).
+    Metamorphic,
+    /// Differential execution: the same campaign through independent
+    /// engines must agree bit for bit.
+    Differential,
+    /// Exhaustive ECC algebra: SECDED correction/detection and
+    /// interleaving distance over every codeword position.
+    Ecc,
+}
+
+impl fmt::Display for OracleFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OracleFamily::Metamorphic => "metamorphic",
+            OracleFamily::Differential => "differential",
+            OracleFamily::Ecc => "ecc",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How much work an oracle may spend: the number of independent seeds per
+/// statistical arm, the simulated length of each probe session, and the
+/// fraction of the paper campaign the differential oracles replay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialBudget {
+    /// Independent seeds pooled per statistical arm.
+    pub seeds: u64,
+    /// Simulated minutes per probe session.
+    pub session_minutes: f64,
+    /// Fraction of the paper campaign replayed by differential oracles.
+    pub campaign_fraction: f64,
+    /// The budget's name (for reports).
+    pub name: &'static str,
+}
+
+impl TrialBudget {
+    /// The CI budget: a few seconds of wall clock.
+    pub const fn small() -> Self {
+        TrialBudget {
+            seeds: 3,
+            session_minutes: 60.0,
+            campaign_fraction: 0.004,
+            name: "small",
+        }
+    }
+
+    /// A tighter-interval budget for local runs.
+    pub const fn medium() -> Self {
+        TrialBudget {
+            seeds: 6,
+            session_minutes: 150.0,
+            campaign_fraction: 0.01,
+            name: "medium",
+        }
+    }
+
+    /// The overnight budget.
+    pub const fn large() -> Self {
+        TrialBudget {
+            seeds: 12,
+            session_minutes: 400.0,
+            campaign_fraction: 0.03,
+            name: "large",
+        }
+    }
+
+    /// Parses a budget name as accepted by `repro verify --budget`.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "small" => Some(Self::small()),
+            "medium" => Some(Self::medium()),
+            "large" => Some(Self::large()),
+            _ => None,
+        }
+    }
+}
+
+/// Everything an oracle needs to run: the master seed its probes fork
+/// from and the trial budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OracleContext {
+    /// Master seed; each oracle derives its probe seeds from it.
+    pub seed: u64,
+    /// How much work to spend.
+    pub budget: TrialBudget,
+}
+
+impl OracleContext {
+    /// A context with the given seed and budget.
+    pub const fn new(seed: u64, budget: TrialBudget) -> Self {
+        OracleContext { seed, budget }
+    }
+
+    /// The probe seed for the `index`-th arm of an oracle, decorrelated
+    /// from other oracles by the oracle's name.
+    pub fn probe_seed(&self, oracle: &str, index: u64) -> u64 {
+        // FNV-1a over the oracle name, mixed with the master seed and arm
+        // index — cheap, stable, and collision-free for our handful of
+        // oracle names.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in oracle.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^ self.seed.rotate_left(17) ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    }
+}
+
+/// One pass/fail check inside an oracle's report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckResult {
+    /// Short check name (stable, machine-friendly).
+    pub name: String,
+    /// Did the invariant hold?
+    pub passed: bool,
+    /// Human-readable evidence: counts, intervals, p-values.
+    pub detail: String,
+}
+
+impl CheckResult {
+    /// A check result.
+    pub fn new(name: impl Into<String>, passed: bool, detail: impl Into<String>) -> Self {
+        CheckResult {
+            name: name.into(),
+            passed,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// The outcome of running one oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleReport {
+    /// The oracle's name.
+    pub name: String,
+    /// Its family.
+    pub family: OracleFamily,
+    /// The invariant it encodes, in one sentence.
+    pub claim: String,
+    /// The individual checks.
+    pub checks: Vec<CheckResult>,
+}
+
+impl OracleReport {
+    /// True iff every check passed.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// The checks that failed.
+    pub fn violations(&self) -> impl Iterator<Item = &CheckResult> {
+        self.checks.iter().filter(|c| !c.passed)
+    }
+}
+
+/// An executable invariant of the simulator.
+pub trait StatOracle {
+    /// Stable oracle name (used in reports and verdict JSON).
+    fn name(&self) -> &'static str;
+    /// Which family the oracle belongs to.
+    fn family(&self) -> OracleFamily;
+    /// The invariant, in one sentence.
+    fn claim(&self) -> &'static str;
+    /// Runs the oracle under the given context.
+    fn run(&self, ctx: &OracleContext) -> OracleReport;
+
+    /// Builds a report skeleton for this oracle.
+    fn report(&self, checks: Vec<CheckResult>) -> OracleReport {
+        OracleReport {
+            name: self.name().to_string(),
+            family: self.family(),
+            claim: self.claim().to_string(),
+            checks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_parse_round_trip() {
+        for name in ["small", "medium", "large"] {
+            let b = TrialBudget::parse(name).expect("known budget");
+            assert_eq!(b.name, name);
+        }
+        assert!(TrialBudget::parse("enormous").is_none());
+    }
+
+    #[test]
+    fn probe_seeds_are_decorrelated() {
+        let ctx = OracleContext::new(42, TrialBudget::small());
+        let a = ctx.probe_seed("fluence-doubling", 0);
+        let b = ctx.probe_seed("fluence-doubling", 1);
+        let c = ctx.probe_seed("domain-isolation", 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // And stable across calls.
+        assert_eq!(a, ctx.probe_seed("fluence-doubling", 0));
+    }
+
+    #[test]
+    fn report_pass_fail_accounting() {
+        let report = OracleReport {
+            name: "x".into(),
+            family: OracleFamily::Ecc,
+            claim: "c".into(),
+            checks: vec![
+                CheckResult::new("ok", true, ""),
+                CheckResult::new("bad", false, "boom"),
+            ],
+        };
+        assert!(!report.passed());
+        assert_eq!(report.violations().count(), 1);
+    }
+}

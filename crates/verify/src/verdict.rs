@@ -1,0 +1,190 @@
+//! The suite verdict: every oracle's checks, renderable for humans and
+//! serializable to a small, stable JSON document for CI.
+//!
+//! The JSON writer is hand-rolled: the workspace's vendored `serde` is a
+//! no-op marker-trait stand-in (no serializer ships with it), and the
+//! verdict schema is flat enough that string building is the simpler,
+//! dependency-free choice.
+
+use std::fmt::Write as _;
+
+use crate::oracle::{OracleFamily, OracleReport};
+
+/// The outcome of one full `repro verify` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteVerdict {
+    /// The master seed the oracles forked from.
+    pub seed: u64,
+    /// The budget name the suite ran under.
+    pub budget: String,
+    /// Every oracle's report, in execution order.
+    pub oracles: Vec<OracleReport>,
+}
+
+impl SuiteVerdict {
+    /// True iff every check of every oracle passed.
+    pub fn all_green(&self) -> bool {
+        self.oracles.iter().all(OracleReport::passed)
+    }
+
+    /// Total number of individual checks.
+    pub fn check_count(&self) -> usize {
+        self.oracles.iter().map(|o| o.checks.len()).sum()
+    }
+
+    /// Number of failing checks.
+    pub fn violation_count(&self) -> usize {
+        self.oracles.iter().map(|o| o.violations().count()).sum()
+    }
+
+    /// Renders a human-readable summary table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "verification suite — seed {}, budget {}",
+            self.seed, self.budget
+        );
+        for family in [
+            OracleFamily::Metamorphic,
+            OracleFamily::Differential,
+            OracleFamily::Ecc,
+        ] {
+            let oracles: Vec<_> = self.oracles.iter().filter(|o| o.family == family).collect();
+            if oracles.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "\n[{family}]");
+            for oracle in oracles {
+                let mark = if oracle.passed() { "PASS" } else { "FAIL" };
+                let _ = writeln!(out, "  {mark}  {} — {}", oracle.name, oracle.claim);
+                for check in &oracle.checks {
+                    let mark = if check.passed { "ok " } else { "VIOLATION" };
+                    let _ = writeln!(out, "         {mark} {}: {}", check.name, check.detail);
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "\n{} checks, {} violations — {}",
+            self.check_count(),
+            self.violation_count(),
+            if self.all_green() { "ALL GREEN" } else { "RED" }
+        );
+        out
+    }
+
+    /// Serializes the verdict to JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"seed\":{},\"budget\":{},\"all_green\":{},\"checks\":{},\"violations\":{},",
+            self.seed,
+            json_string(&self.budget),
+            self.all_green(),
+            self.check_count(),
+            self.violation_count(),
+        );
+        out.push_str("\"oracles\":[");
+        for (i, oracle) in self.oracles.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"family\":{},\"claim\":{},\"passed\":{},\"checks\":[",
+                json_string(&oracle.name),
+                json_string(&oracle.family.to_string()),
+                json_string(&oracle.claim),
+                oracle.passed(),
+            );
+            for (j, check) in oracle.checks.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"name\":{},\"passed\":{},\"detail\":{}}}",
+                    json_string(&check.name),
+                    check.passed,
+                    json_string(&check.detail),
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes a string into a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::CheckResult;
+
+    fn verdict(passed: bool) -> SuiteVerdict {
+        SuiteVerdict {
+            seed: 7,
+            budget: "small".into(),
+            oracles: vec![OracleReport {
+                name: "demo".into(),
+                family: OracleFamily::Ecc,
+                claim: "a \"quoted\" claim".into(),
+                checks: vec![CheckResult::new("c1", passed, "line1\nline2")],
+            }],
+        }
+    }
+
+    #[test]
+    fn green_accounting() {
+        assert!(verdict(true).all_green());
+        let red = verdict(false);
+        assert!(!red.all_green());
+        assert_eq!(red.check_count(), 1);
+        assert_eq!(red.violation_count(), 1);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let json = verdict(false).to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"all_green\":false"));
+        assert!(json.contains("a \\\"quoted\\\" claim"));
+        assert!(json.contains("line1\\nline2"));
+        // Balanced braces/brackets (a cheap structural sanity check).
+        let opens = json.matches('{').count() + json.matches('[').count();
+        let closes = json.matches('}').count() + json.matches(']').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn render_mentions_every_check() {
+        let text = verdict(false).render();
+        assert!(text.contains("FAIL"));
+        assert!(text.contains("VIOLATION"));
+        assert!(text.contains("demo"));
+        assert!(text.contains("RED"));
+    }
+}
