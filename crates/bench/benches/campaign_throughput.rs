@@ -8,7 +8,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
-use serscale_bench::{run_campaign_jobs, REPRO_SEED};
+use serscale_bench::{run_campaign_jobs, run_campaign_observed, REPRO_SEED};
+use serscale_telemetry::{TelemetryOptions, TelemetrySink};
 
 /// Small enough for bench cadence, large enough that waves actually
 /// shard (~700 trials across the four sessions).
@@ -35,6 +36,21 @@ fn campaign_throughput(c: &mut Criterion) {
             b.iter(|| {
                 let report = run_campaign_jobs(SCALE, REPRO_SEED, jobs);
                 assert_eq!(report, reference, "determinism broken at jobs={jobs}");
+                report
+            })
+        });
+    }
+
+    // The same campaign shadowed by a full in-memory telemetry sink
+    // (sharded metrics, spans, JSONL events). Compare against the bare
+    // `jobs=N` row above: the observe-only acceptance budget is ≤5%.
+    for jobs in [1usize, 4] {
+        group.bench_function(&format!("jobs={jobs}+telemetry"), |b| {
+            b.iter(|| {
+                let sink = TelemetrySink::in_memory(TelemetryOptions::default());
+                let mut observer = sink.observer();
+                let report = run_campaign_observed(SCALE, REPRO_SEED, jobs, &mut observer);
+                assert_eq!(report, reference, "telemetry broke determinism");
                 report
             })
         });

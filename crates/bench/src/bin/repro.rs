@@ -13,10 +13,21 @@
 //! repro verify --budget small # statistical verification suite → verdict JSON
 //! ```
 
+use std::io::IsTerminal as _;
+use std::path::Path;
 use std::process::ExitCode;
 
-use serscale_bench::{experiments, run_campaign_jobs, GOLDEN_SCALE, REPRO_SEED};
+use serscale_bench::{
+    experiments, run_campaign_jobs, run_campaign_observed, GOLDEN_SCALE, REPRO_SEED,
+};
+use serscale_core::campaign::CampaignReport;
+use serscale_core::trace::{tee, Logbook};
+use serscale_telemetry::{TelemetryOptions, TelemetrySink};
 use serscale_verify::{OracleContext, TrialBudget};
+
+/// Simulated seconds of a full-scale campaign (64.8 beam hours), for the
+/// progress reporter's ETA.
+const FULL_CAMPAIGN_SIM_SECS: f64 = 64.8 * 3600.0;
 
 struct Args {
     scale: f64,
@@ -29,6 +40,7 @@ struct Args {
     sweep: bool,
     selfcheck: bool,
     golden: bool,
+    telemetry_out: Option<String>,
 }
 
 fn default_jobs() -> usize {
@@ -47,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
         sweep: false,
         selfcheck: false,
         golden: false,
+        telemetry_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -92,12 +105,16 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--golden" => args.golden = true,
+            "--telemetry-out" => {
+                args.telemetry_out = Some(it.next().ok_or("--telemetry-out needs a directory")?);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--all] [--table N]* [--figure N]* [--headlines] \
                      [--ablations] [--sweep] [--selfcheck] [--golden] [--scale F] \
-                     [--seed N] [--jobs N]\n       repro verify [--budget small|medium|large] \
-                     [--seed N] [--out verdict.json]"
+                     [--seed N] [--jobs N] [--telemetry-out DIR]\n       \
+                     repro verify [--budget small|medium|large] \
+                     [--seed N] [--out verdict.json] [--telemetry-out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -121,6 +138,7 @@ struct VerifyArgs {
     budget: TrialBudget,
     seed: u64,
     out: Option<String>,
+    telemetry_out: Option<String>,
 }
 
 fn parse_verify_args(mut it: impl Iterator<Item = String>) -> Result<VerifyArgs, String> {
@@ -128,6 +146,7 @@ fn parse_verify_args(mut it: impl Iterator<Item = String>) -> Result<VerifyArgs,
         budget: TrialBudget::small(),
         seed: REPRO_SEED,
         out: None,
+        telemetry_out: None,
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -143,8 +162,14 @@ fn parse_verify_args(mut it: impl Iterator<Item = String>) -> Result<VerifyArgs,
             "--out" => {
                 args.out = Some(it.next().ok_or("--out needs a path")?);
             }
+            "--telemetry-out" => {
+                args.telemetry_out = Some(it.next().ok_or("--telemetry-out needs a directory")?);
+            }
             "--help" | "-h" => {
-                println!("usage: repro verify [--budget small|medium|large] [--seed N] [--out verdict.json]");
+                println!(
+                    "usage: repro verify [--budget small|medium|large] [--seed N] \
+                     [--out verdict.json] [--telemetry-out DIR]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown verify argument {other}")),
@@ -172,6 +197,29 @@ fn run_verify(args: &VerifyArgs) -> ExitCode {
             eprintln!("verdict written to {path}");
         }
         None => println!("{json}"),
+    }
+    if let Some(dir) = &args.telemetry_out {
+        // Verdict headline numbers as gauges: a dashboard can track
+        // all-green / violation counts across runs without parsing JSON.
+        let sink = match TelemetrySink::new(Path::new(dir), TelemetryOptions::default()) {
+            Ok(sink) => sink,
+            Err(e) => {
+                eprintln!("repro verify: cannot open telemetry dir {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for (name, labels, value) in verdict.headline_gauges() {
+            let labels: Vec<(&str, &str)> = labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            sink.set_gauge(&name, &labels, value);
+        }
+        if let Err(e) = sink.write() {
+            eprintln!("repro verify: telemetry write failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("telemetry written to {dir}");
     }
     if verdict.all_green() {
         ExitCode::SUCCESS
@@ -204,14 +252,47 @@ fn main() -> ExitCode {
         || args.selfcheck
         || args.tables.iter().any(|t| *t >= 2)
         || args.figures.iter().any(|f| *f != 4);
+
+    // The telemetry sink observes whichever campaign this invocation runs
+    // (the analysis campaign if one is needed, otherwise the golden run).
+    // Observation is one-way, so golden output and reports are unchanged
+    // whether the sink exists or not. The live progress line stays off in
+    // CI and golden runs, where stderr must remain hermetic.
+    let sink = match &args.telemetry_out {
+        Some(dir) => {
+            let options = TelemetryOptions {
+                progress: std::io::stderr().is_terminal()
+                    && std::env::var_os("CI").is_none()
+                    && !args.golden,
+                trial_spans: false,
+            };
+            match TelemetrySink::new(Path::new(dir), options) {
+                Ok(sink) => Some(sink),
+                Err(e) => {
+                    eprintln!("repro: cannot open telemetry dir {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+    let mut trace = Logbook::new();
+    let mut golden_report: Option<CampaignReport> = None;
+
     if args.golden {
         // The golden diff is pinned to one (scale, seed) pair; only the
         // worker count is the caller's to vary — by contract it must not
         // change a single byte of this output.
-        print!(
-            "{}",
-            serscale_bench::golden_summary(&run_campaign_jobs(GOLDEN_SCALE, REPRO_SEED, args.jobs))
-        );
+        let report = match &sink {
+            Some(sink) if !needs_campaign => {
+                sink.set_progress_target_sim_secs(GOLDEN_SCALE * FULL_CAMPAIGN_SIM_SECS);
+                let mut observer = tee(&mut trace, sink.observer());
+                run_campaign_observed(GOLDEN_SCALE, REPRO_SEED, args.jobs, &mut observer)
+            }
+            _ => run_campaign_jobs(GOLDEN_SCALE, REPRO_SEED, args.jobs),
+        };
+        print!("{}", serscale_bench::golden_summary(&report));
+        golden_report = Some(report);
     }
 
     let report = if needs_campaign {
@@ -222,7 +303,14 @@ fn main() -> ExitCode {
             64.8 * args.scale,
             args.jobs
         );
-        Some(run_campaign_jobs(args.scale, args.seed, args.jobs))
+        Some(match &sink {
+            Some(sink) => {
+                sink.set_progress_target_sim_secs(args.scale * FULL_CAMPAIGN_SIM_SECS);
+                let mut observer = tee(&mut trace, sink.observer());
+                run_campaign_observed(args.scale, args.seed, args.jobs, &mut observer)
+            }
+            None => run_campaign_jobs(args.scale, args.seed, args.jobs),
+        })
     } else {
         None
     };
@@ -270,6 +358,34 @@ fn main() -> ExitCode {
         if checks.iter().any(|c| !c.passed) {
             return ExitCode::FAILURE;
         }
+    }
+
+    if let Some(sink) = &sink {
+        // Counters must agree with whichever report the observer watched;
+        // a mismatch means the telemetry lied and the run fails.
+        let observed = if needs_campaign {
+            report
+        } else {
+            golden_report.as_ref()
+        };
+        if let Some(observed) = observed {
+            if let Err(e) = sink.crosscheck_campaign(observed) {
+                eprintln!("repro: telemetry/report crosscheck FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(e) = sink
+            .write()
+            .and_then(|_| sink.write_extra("trace.jsonl", &trace.to_jsonl()))
+        {
+            eprintln!("repro: telemetry write failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprint!("{}", sink.summary());
+        eprintln!(
+            "telemetry written to {}",
+            args.telemetry_out.as_deref().unwrap_or("?")
+        );
     }
     ExitCode::SUCCESS
 }

@@ -54,6 +54,24 @@ pub fn run_campaign_jobs(scale: f64, seed: u64, jobs: usize) -> CampaignReport {
     Campaign::new(config).run_parallel(jobs)
 }
 
+/// [`run_campaign_jobs`] with every engine callback reported to
+/// `observer`. Observation is strictly one-way: the report is
+/// bit-identical to the unobserved run at any `jobs` count.
+///
+/// # Panics
+///
+/// Panics unless `0 < scale ≤ 1` and `jobs > 0`.
+pub fn run_campaign_observed(
+    scale: f64,
+    seed: u64,
+    jobs: usize,
+    observer: &mut dyn serscale_core::trace::SessionObserver,
+) -> CampaignReport {
+    let mut config = CampaignConfig::paper_scaled(scale);
+    config.seed = seed;
+    Campaign::new(config).run_observed(jobs, observer)
+}
+
 /// Renders a campaign report as a line-oriented, bit-stable summary — the
 /// format of the checked-in golden file that CI diffs a fresh scaled run
 /// against. Every number here is exact (counts) or a full-precision

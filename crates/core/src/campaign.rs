@@ -192,6 +192,27 @@ impl Campaign {
         }
     }
 
+    /// Runs the campaign on `jobs` workers with every session reporting
+    /// through one observer (see [`crate::trace`]). Sessions are announced
+    /// via [`SessionObserver::on_session_start`] in configuration order,
+    /// so a single observer can attribute the merged stream — and because
+    /// observation is one-way, the report is bit-identical to
+    /// [`run_parallel`](Self::run_parallel) with the same `jobs`.
+    ///
+    /// [`SessionObserver::on_session_start`]:
+    /// crate::trace::SessionObserver::on_session_start
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs == 0`.
+    pub fn run_observed(
+        &self,
+        jobs: usize,
+        observer: &mut dyn crate::trace::SessionObserver,
+    ) -> CampaignReport {
+        self.run_with(|session, rng| session.run_observed_with(rng, jobs, &mut *observer))
+    }
+
     /// Runs the campaign on `jobs` worker threads.
     ///
     /// Sessions still execute in configuration order (their trial grids
@@ -270,6 +291,25 @@ mod tests {
         let reference = campaign.run_reference();
         assert_eq!(reference, campaign.run());
         assert_eq!(reference, campaign.run_parallel(3));
+    }
+
+    #[test]
+    fn observed_campaign_matches_and_announces_every_session() {
+        use crate::trace::{LogEvent, Logbook};
+        let campaign = Campaign::new(quick_config(12, 0.01));
+        let mut logbook = Logbook::new();
+        let observed = campaign.run_observed(2, &mut logbook);
+        assert_eq!(observed, campaign.run(), "observation perturbed the run");
+        let starts: Vec<_> = logbook
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                LogEvent::SessionStarted { point, .. } => Some(*point),
+                _ => None,
+            })
+            .collect();
+        let configured: Vec<_> = campaign.config().sessions.iter().map(|(p, _)| *p).collect();
+        assert_eq!(starts, configured, "one header per session, in order");
     }
 
     #[test]

@@ -227,6 +227,14 @@ impl BenchmarkRunner {
         };
 
         let wall_time = duration + self.control_pc.recovery_overhead(verdict);
+        // Report times are sampled array by array, not chronologically;
+        // sort (stably — words of one strike share a timestamp) so
+        // observers see each trial's records in nondecreasing time order.
+        edac.sort_by(|a, b| {
+            a.time
+                .partial_cmp(&b.time)
+                .expect("EDAC report times are finite")
+        });
         RunOutcome {
             benchmark,
             verdict,

@@ -278,6 +278,7 @@ impl TestSession {
         assert!(jobs > 0, "a session needs at least one worker");
         let flux = self.runner.flux();
         let point = self.runner.dut().operating_point();
+        observer.on_session_start(SimInstant::EPOCH, point);
         // One draw keeps the caller's generator advancing (two back-to-back
         // sessions off one rng stay distinct); every trial stream derives
         // from this root alone, independent of scheduling.
@@ -286,6 +287,7 @@ impl TestSession {
         let mut acc = Accumulator::new(flux, self.limits);
         let mut next_trial = 0u64;
         let stop_reason = 'session: loop {
+            let wave_clock = std::time::Instant::now();
             let wave = self.wave_size(&acc, jobs, next_trial);
             let trials: Vec<u64> = (next_trial..next_trial + wave as u64).collect();
             let outcomes = if jobs == 1 {
@@ -306,11 +308,26 @@ impl TestSession {
             };
             // Canonical merge: trial order, stop rules exact; outcomes past
             // the stopping trial are speculation and fall on the floor.
+            let mut absorbed = 0usize;
+            let mut stopped = None;
             for outcome in outcomes {
                 let run_only = self.runner.run_duration(outcome.benchmark);
+                absorbed += 1;
                 if let Some(reason) = acc.absorb(outcome, run_only, observer) {
-                    break 'session reason;
+                    stopped = Some(reason);
+                    break;
                 }
+            }
+            // Engine telemetry only — the host clock has no business in
+            // the simulation, and trace observers ignore this callback.
+            observer.on_wave(crate::trace::WaveStats {
+                first_trial: next_trial,
+                planned: wave,
+                absorbed,
+                host_nanos: u64::try_from(wave_clock.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            });
+            if let Some(reason) = stopped {
+                break 'session reason;
             }
             next_trial += wave as u64;
         };
@@ -344,6 +361,7 @@ impl TestSession {
     ) -> SessionReport {
         let flux = self.runner.flux();
         let point = self.runner.dut().operating_point();
+        observer.on_session_start(SimInstant::EPOCH, point);
         // Identical seed derivation to the wave engine: one draw from the
         // caller's generator roots every trial stream.
         let session_rng = SimRng::seed_from(rng.next_seed());

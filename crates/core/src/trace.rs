@@ -10,6 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 use serscale_soc::edac::EdacRecord;
+use serscale_soc::platform::OperatingPoint;
 use serscale_types::{SimDuration, SimInstant};
 use serscale_workload::Benchmark;
 
@@ -19,6 +20,15 @@ use crate::session::StopReason;
 /// One timestamped logbook entry.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum LogEvent {
+    /// The session driver came up at an operating point (the logbook
+    /// header: without it a trace cannot be interpreted — every
+    /// cross-section in it is conditional on the V/F setting).
+    SessionStarted {
+        /// When (the session epoch).
+        at: SimInstant,
+        /// The voltage/frequency setting under test.
+        point: OperatingPoint,
+    },
     /// A benchmark run completed (any verdict).
     Run {
         /// When the run started.
@@ -46,9 +56,53 @@ pub enum LogEvent {
     },
 }
 
+/// What the wave engine measured while executing and merging one
+/// speculative wave. Reported through [`SessionObserver::on_wave`] for
+/// engine telemetry only: `host_nanos` is *host* wall-clock (it varies
+/// run to run and across `--jobs`), so simulation-facing observers like
+/// [`Logbook`] must ignore it — and the reference executor, which has no
+/// waves, never reports it at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaveStats {
+    /// Index of the first trial in the wave.
+    pub first_trial: u64,
+    /// How many trials the wave launched speculatively.
+    pub planned: usize,
+    /// How many outcomes the canonical merge absorbed before a stopping
+    /// rule fired (the rest were discarded speculation).
+    pub absorbed: usize,
+    /// Host wall-clock nanoseconds spent executing and merging the wave.
+    pub host_nanos: u64,
+}
+
+impl WaveStats {
+    /// The fraction of launched trials whose outcome was used — the wave
+    /// engine's speculation efficiency (1.0 = nothing wasted).
+    pub fn efficiency(&self) -> f64 {
+        if self.planned == 0 {
+            1.0
+        } else {
+            self.absorbed as f64 / self.planned as f64
+        }
+    }
+}
+
 /// The observation hook the session driver calls. All methods default to
 /// no-ops, so observers implement only what they care about.
+///
+/// ## Contract
+///
+/// Observation is strictly one-way: the driver never reads anything back,
+/// so an observer cannot perturb the physics, the RNG streams or the
+/// stopping rules (the `serscale-telemetry` determinism tests hold the
+/// engine to this). Callbacks other than [`on_wave`](Self::on_wave) are
+/// invoked by the single-threaded canonical merge in trial order, so
+/// their simulated timestamps are nondecreasing and identical at any
+/// `--jobs` count.
 pub trait SessionObserver {
+    /// The session driver started at an operating point (fires before any
+    /// run, from both the wave engine and the reference executor).
+    fn on_session_start(&mut self, _at: SimInstant, _point: OperatingPoint) {}
     /// A benchmark run finished.
     fn on_run(&mut self, _start: SimInstant, _benchmark: Benchmark, _verdict: RunVerdict) {}
     /// An EDAC record was harvested.
@@ -57,6 +111,74 @@ pub trait SessionObserver {
     fn on_recovery(&mut self, _start: SimInstant, _duration: SimDuration) {}
     /// The session stopped.
     fn on_session_end(&mut self, _at: SimInstant, _reason: StopReason) {}
+    /// The wave engine executed and merged one speculative wave.
+    ///
+    /// Engine telemetry, not simulation history: wave boundaries depend on
+    /// `--jobs` and `host_nanos` on the host's clock, so trace-equivalence
+    /// observers must leave this as the default no-op ([`Logbook`] does).
+    fn on_wave(&mut self, _stats: WaveStats) {}
+}
+
+/// Forwarding impl so `&mut observer` is itself an observer: drivers can
+/// take observers by value (e.g. [`Tee`]) while callers keep ownership.
+impl<T: SessionObserver + ?Sized> SessionObserver for &mut T {
+    fn on_session_start(&mut self, at: SimInstant, point: OperatingPoint) {
+        (**self).on_session_start(at, point);
+    }
+    fn on_run(&mut self, start: SimInstant, benchmark: Benchmark, verdict: RunVerdict) {
+        (**self).on_run(start, benchmark, verdict);
+    }
+    fn on_edac(&mut self, record: EdacRecord) {
+        (**self).on_edac(record);
+    }
+    fn on_recovery(&mut self, start: SimInstant, duration: SimDuration) {
+        (**self).on_recovery(start, duration);
+    }
+    fn on_session_end(&mut self, at: SimInstant, reason: StopReason) {
+        (**self).on_session_end(at, reason);
+    }
+    fn on_wave(&mut self, stats: WaveStats) {
+        (**self).on_wave(stats);
+    }
+}
+
+/// Fans every callback out to two observers, `a` first — so a [`Logbook`]
+/// and a telemetry collector can watch the same run without bespoke glue:
+/// `tee(&mut logbook, &mut telemetry)`.
+pub fn tee<A: SessionObserver, B: SessionObserver>(a: A, b: B) -> Tee<A, B> {
+    Tee(a, b)
+}
+
+/// The two-way fan-out observer built by [`tee`]. Nests for wider fans:
+/// `tee(a, tee(b, c))`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tee<A, B>(pub A, pub B);
+
+impl<A: SessionObserver, B: SessionObserver> SessionObserver for Tee<A, B> {
+    fn on_session_start(&mut self, at: SimInstant, point: OperatingPoint) {
+        self.0.on_session_start(at, point);
+        self.1.on_session_start(at, point);
+    }
+    fn on_run(&mut self, start: SimInstant, benchmark: Benchmark, verdict: RunVerdict) {
+        self.0.on_run(start, benchmark, verdict);
+        self.1.on_run(start, benchmark, verdict);
+    }
+    fn on_edac(&mut self, record: EdacRecord) {
+        self.0.on_edac(record);
+        self.1.on_edac(record);
+    }
+    fn on_recovery(&mut self, start: SimInstant, duration: SimDuration) {
+        self.0.on_recovery(start, duration);
+        self.1.on_recovery(start, duration);
+    }
+    fn on_session_end(&mut self, at: SimInstant, reason: StopReason) {
+        self.0.on_session_end(at, reason);
+        self.1.on_session_end(at, reason);
+    }
+    fn on_wave(&mut self, stats: WaveStats) {
+        self.0.on_wave(stats);
+        self.1.on_wave(stats);
+    }
 }
 
 /// The do-nothing observer (what plain `TestSession::run` uses).
@@ -103,11 +225,20 @@ impl Logbook {
         })
     }
 
-    /// Renders the logbook as a human-readable experiment log.
+    /// Renders the logbook as a human-readable experiment log, headed by
+    /// the session's operating point (a trace is meaningless without the
+    /// V/F setting it was recorded under).
     pub fn render(&self) -> String {
         let mut out = String::new();
         for event in &self.events {
             let line = match event {
+                LogEvent::SessionStarted { at, point } => format!(
+                    "{at} HEAD session at {} (PMD {}, SoC {}, {})",
+                    point.label(),
+                    point.pmd,
+                    point.soc,
+                    point.frequency
+                ),
                 LogEvent::Run {
                     start,
                     benchmark,
@@ -146,9 +277,114 @@ impl Logbook {
         }
         out
     }
+
+    /// Serializes the logbook as one JSON object per line (JSONL) — the
+    /// machine-readable twin of [`render`](Self::render), and the format
+    /// the telemetry exporter embeds in its event stream. Timestamps are
+    /// simulated seconds, so two campaign traces diff line-by-line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            out.push_str(&event.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl LogEvent {
+    /// One flat JSON object (`{"event":...}`) describing this entry.
+    pub fn to_json(&self) -> String {
+        match self {
+            LogEvent::SessionStarted { at, point } => format!(
+                "{{\"event\":\"session_start\",\"t_s\":{},\"pmd_mv\":{},\"soc_mv\":{},\
+                 \"freq_mhz\":{}}}",
+                fmt_f64(at.as_secs()),
+                point.pmd.get(),
+                point.soc.get(),
+                point.frequency.get()
+            ),
+            LogEvent::Run {
+                start,
+                benchmark,
+                verdict,
+            } => {
+                let (kind, notified) = match verdict {
+                    RunVerdict::Correct => ("ok", false),
+                    RunVerdict::Sdc {
+                        with_hw_notification,
+                    } => ("sdc", *with_hw_notification),
+                    RunVerdict::AppCrash => ("app_crash", false),
+                    RunVerdict::SysCrash => ("sys_crash", false),
+                };
+                format!(
+                    "{{\"event\":\"run\",\"t_s\":{},\"benchmark\":{},\"verdict\":\"{kind}\",\
+                     \"ce_notified\":{notified}}}",
+                    fmt_f64(start.as_secs()),
+                    json_string(&benchmark.to_string()),
+                )
+            }
+            LogEvent::Edac(r) => format!(
+                "{{\"event\":\"edac\",\"t_s\":{},\"array\":{},\"severity\":\"{}\",\
+                 \"domain\":\"{}\"}}",
+                fmt_f64(r.time.as_secs()),
+                json_string(&r.array.to_string()),
+                r.severity,
+                r.array.voltage_domain()
+            ),
+            LogEvent::Recovery { start, duration } => format!(
+                "{{\"event\":\"recovery\",\"t_s\":{},\"duration_s\":{}}}",
+                fmt_f64(start.as_secs()),
+                fmt_f64(duration.as_secs())
+            ),
+            LogEvent::SessionEnded { at, reason } => format!(
+                "{{\"event\":\"session_end\",\"t_s\":{},\"reason\":\"{reason:?}\"}}",
+                fmt_f64(at.as_secs())
+            ),
+        }
+    }
+}
+
+/// Full-precision, bit-stable float formatting for the JSONL trace (the
+/// shortest representation that round-trips, which `{}` guarantees).
+fn fmt_f64(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        // Keep integral values valid JSON numbers with a decimal point so
+        // consumers that distinguish int/float see a stable type.
+        format!("{x:.1}")
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Escapes a string into a JSON string literal (benchmark and array names
+/// are ASCII identifiers today, but the trace format should not depend on
+/// that staying true).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 impl SessionObserver for Logbook {
+    fn on_session_start(&mut self, at: SimInstant, point: OperatingPoint) {
+        self.events.push(LogEvent::SessionStarted { at, point });
+    }
+
     fn on_run(&mut self, start: SimInstant, benchmark: Benchmark, verdict: RunVerdict) {
         self.events.push(LogEvent::Run {
             start,
@@ -268,6 +504,87 @@ mod tests {
             assert!(text.contains("SDC (output mismatch"));
         }
         assert!(text.trim_end().ends_with("session stopped: BeamTime"));
+    }
+
+    #[test]
+    fn render_heads_with_the_operating_point() {
+        let (_, logbook) = logbook_for(10.0, 6);
+        match logbook.events().first() {
+            Some(LogEvent::SessionStarted { point, .. }) => {
+                assert_eq!(*point, OperatingPoint::vmin_2400());
+            }
+            other => panic!("first event must be SessionStarted, got {other:?}"),
+        }
+        let text = logbook.render();
+        let head = text.lines().next().unwrap();
+        assert!(
+            head.contains("HEAD session at 920mV@2.4 GHz"),
+            "header line: {head}"
+        );
+        assert!(head.contains("SoC 920 mV"), "header line: {head}");
+    }
+
+    #[test]
+    fn jsonl_covers_every_event_and_escapes() {
+        let (report, logbook) = logbook_for(60.0, 7);
+        let jsonl = logbook.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), logbook.len());
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"event\":"), "{line}");
+        }
+        assert_eq!(
+            lines
+                .iter()
+                .filter(|l| l.contains("\"event\":\"run\""))
+                .count() as u64,
+            report.runs
+        );
+        assert!(lines[0].contains("\"event\":\"session_start\""));
+        assert!(lines[0].contains("\"pmd_mv\":920"));
+        assert!(lines.last().unwrap().contains("\"event\":\"session_end\""));
+    }
+
+    #[test]
+    fn json_string_escapes_control_characters() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn tee_feeds_both_observers_in_order() {
+        let point = OperatingPoint::safe();
+        let dut = DeviceUnderTest::xgene2(point, DeviceUnderTest::paper_vmin(point.frequency));
+        let mut session = TestSession::new(
+            dut,
+            Flux::per_cm2_s(1.5e6),
+            SessionLimits::time_boxed(serscale_types::SimDuration::from_minutes(15.0)),
+        );
+        let mut left = Logbook::new();
+        let mut right = Logbook::new();
+        let mut both = tee(&mut left, &mut right);
+        session.run_observed(&mut SimRng::seed_from(21), &mut both);
+        assert!(!left.is_empty());
+        assert_eq!(left, right, "tee must mirror the full trace");
+    }
+
+    #[test]
+    fn wave_stats_efficiency() {
+        let full = WaveStats {
+            first_trial: 0,
+            planned: 32,
+            absorbed: 32,
+            host_nanos: 1,
+        };
+        assert!((full.efficiency() - 1.0).abs() < 1e-12);
+        let cut = WaveStats {
+            first_trial: 32,
+            planned: 32,
+            absorbed: 8,
+            host_nanos: 1,
+        };
+        assert!((cut.efficiency() - 0.25).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Observability for serscale campaigns: metrics, spans, event streams
+//! and live progress — all strictly observe-only.
+//!
+//! The paper's beam campaigns produce two kinds of numbers. The
+//! *simulation's* numbers (upset counts, σ, failure classes) are the
+//! science and must be bit-reproducible. The *run's* numbers (events per
+//! second, wave merge latency, worker utilization, wall-clock ETA) are
+//! operations, and they change every run. This crate carries the second
+//! kind without ever contaminating the first:
+//!
+//! - [`metrics`] — a sharded, lock-free-on-the-hot-path registry of
+//!   counters, gauges and log-scale histograms with labeled series
+//!   (`edac_events{domain="PMD",voltage="870mV@2.4 GHz"}`), merged into a
+//!   consistent [`MetricsSnapshot`] on demand.
+//! - [`span`] — a tracing layer over the campaign → sweep → session →
+//!   wave → trial hierarchy with host-clock enter/exit timestamps and
+//!   structured attributes.
+//! - [`observer`] — the [`TelemetryObserver`], a
+//!   [`SessionObserver`](serscale_core::trace::SessionObserver) that
+//!   turns engine callbacks into all of the above.
+//! - [`export`] — the [`TelemetrySink`] writing `events.jsonl`,
+//!   `spans.jsonl`, `metrics.prom` and `summary.txt`, plus the
+//!   report-vs-counters crosscheck.
+//! - [`progress`] — a rate-limited stderr progress line for interactive
+//!   runs (off in CI and golden runs).
+//! - [`json`] — a minimal JSON writer *and parser*; the exporters
+//!   self-verify their streams because the vendored `serde` is a no-op
+//!   stand-in.
+//!
+//! # The observe-only contract
+//!
+//! Attaching telemetry must never change a report or a
+//! [`Logbook`](serscale_core::trace::Logbook) trace, at any `--jobs`
+//! count. Observers receive values, return nothing, and have no channel
+//! back into the engine; `tests/determinism.rs` enforces the contract
+//! end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod observer;
+pub mod progress;
+pub mod span;
+
+pub use export::{TelemetryOptions, TelemetrySink};
+pub use metrics::{MetricsSnapshot, Registry};
+pub use observer::TelemetryObserver;
+pub use progress::Progress;
+pub use span::{SpanLevel, Tracer};

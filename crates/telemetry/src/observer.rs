@@ -1,0 +1,556 @@
+//! The [`TelemetryObserver`]: a [`SessionObserver`] that turns the
+//! engine's callback stream into metrics, spans, JSONL events and live
+//! progress — without touching the simulation.
+//!
+//! ## The observe-only invariant
+//!
+//! Everything here is write-only from the engine's point of view: the
+//! observer updates its own shard, tracer and event buffer and returns
+//! nothing. The `tests/determinism.rs` suite proves campaign reports and
+//! [`Logbook`](serscale_core::trace::Logbook) traces are bit-identical
+//! with this observer attached or absent, at any `--jobs` count.
+//!
+//! ## Hot-path budget
+//!
+//! Callbacks fire once per trial/upset, so series handles are resolved
+//! through the registry **once per session** and cached in small linear
+//! tables (≤8 entries each); the per-event cost is an atomic increment,
+//! one formatted JSONL line and an uncontended mutex push. The
+//! `campaign_throughput` bench pins the total overhead at ≤5%.
+
+use std::sync::{Arc, Mutex};
+
+use serscale_core::classify::{FailureClass, RunVerdict};
+use serscale_core::session::StopReason;
+use serscale_core::trace::{SessionObserver, WaveStats};
+use serscale_soc::edac::{EdacRecord, EdacSeverity};
+use serscale_soc::platform::OperatingPoint;
+use serscale_types::{ArrayKind, CacheLevel, SimDuration, SimInstant, VoltageDomain};
+use serscale_workload::Benchmark;
+
+use crate::metrics::{Counter, Histogram, Registry, Shard};
+use crate::progress::Progress;
+use crate::span::{SpanId, SpanLevel, Tracer};
+
+/// Per-session state: identity, rolling counts, and the cached series
+/// handles every callback bumps without re-resolving labels.
+struct SessionState {
+    point: OperatingPoint,
+    /// `"920mV@2.4 GHz"` — the label every series of this session carries.
+    voltage: String,
+    /// The same label pre-escaped as a JSON string literal.
+    voltage_json: String,
+    span: SpanId,
+    last_run_start: Option<SimInstant>,
+    upsets: u64,
+    runs: u64,
+    recovery_lost: SimDuration,
+    trial_hist: Histogram,
+    /// `runs_total{voltage,benchmark}` + the benchmark's JSON name,
+    /// filled on first encounter (≤6 entries).
+    run_counters: Vec<(Benchmark, Counter, String)>,
+    /// `run_failures_total{voltage,class}` (≤3 entries).
+    failure_counters: Vec<(FailureClass, Counter)>,
+    /// `edac_events{voltage,domain,domain_mv,severity,level}` keyed by
+    /// what determines the labels (≤8 entries).
+    edac_counters: Vec<((CacheLevel, EdacSeverity), Counter)>,
+    /// Array display names pre-escaped for the event stream (≤8 entries).
+    array_json: Vec<(ArrayKind, String)>,
+    recoveries: Counter,
+    recovery_hist: Histogram,
+    wave_latency: Histogram,
+    wave_planned: Counter,
+    wave_absorbed: Counter,
+}
+
+impl SessionState {
+    fn new(shard: &Shard, point: OperatingPoint, span: SpanId) -> Self {
+        let voltage = point.label();
+        let voltage_json = crate::json::escape(&voltage);
+        SessionState {
+            point,
+            span,
+            last_run_start: None,
+            upsets: 0,
+            runs: 0,
+            recovery_lost: SimDuration::ZERO,
+            trial_hist: shard.histogram("trial_wall_time", &[("voltage", &voltage)]),
+            run_counters: Vec::new(),
+            failure_counters: Vec::new(),
+            edac_counters: Vec::new(),
+            array_json: Vec::new(),
+            recoveries: shard.counter("recoveries_total", &[("voltage", &voltage)]),
+            recovery_hist: shard.histogram("recovery_time_lost", &[("voltage", &voltage)]),
+            wave_latency: shard.histogram("wave_merge_latency", &[("voltage", &voltage)]),
+            wave_planned: shard.counter("wave_trials_planned_total", &[("voltage", &voltage)]),
+            wave_absorbed: shard.counter("wave_trials_absorbed_total", &[("voltage", &voltage)]),
+            voltage,
+            voltage_json,
+        }
+    }
+
+    fn run_counter(
+        &mut self,
+        shard: &Shard,
+        benchmark: Benchmark,
+    ) -> &(Benchmark, Counter, String) {
+        let pos = match self
+            .run_counters
+            .iter()
+            .position(|(b, _, _)| *b == benchmark)
+        {
+            Some(pos) => pos,
+            None => {
+                let name = benchmark.to_string();
+                let counter = shard.counter(
+                    "runs_total",
+                    &[("voltage", &self.voltage), ("benchmark", &name)],
+                );
+                self.run_counters
+                    .push((benchmark, counter, crate::json::escape(&name)));
+                self.run_counters.len() - 1
+            }
+        };
+        &self.run_counters[pos]
+    }
+
+    fn failure_counter(&mut self, shard: &Shard, class: FailureClass) -> &Counter {
+        let pos = match self.failure_counters.iter().position(|(c, _)| *c == class) {
+            Some(pos) => pos,
+            None => {
+                let counter = shard.counter(
+                    "run_failures_total",
+                    &[("voltage", &self.voltage), ("class", class_name(class))],
+                );
+                self.failure_counters.push((class, counter));
+                self.failure_counters.len() - 1
+            }
+        };
+        &self.failure_counters[pos].1
+    }
+
+    fn edac_counter(&mut self, shard: &Shard, record: &EdacRecord) -> &Counter {
+        let key = (record.cache_level(), record.severity);
+        let pos = match self.edac_counters.iter().position(|(k, _)| *k == key) {
+            Some(pos) => pos,
+            None => {
+                let domain = record.array.voltage_domain();
+                let rail = match domain {
+                    VoltageDomain::Soc => self.point.soc,
+                    VoltageDomain::Pmd | VoltageDomain::Standby => self.point.pmd,
+                };
+                let counter = shard.counter(
+                    "edac_events",
+                    &[
+                        ("voltage", &self.voltage),
+                        ("domain", &domain.to_string()),
+                        ("domain_mv", &rail.get().to_string()),
+                        ("severity", &record.severity.to_string()),
+                        ("level", &format!("{:?}", key.0)),
+                    ],
+                );
+                self.edac_counters.push((key, counter));
+                self.edac_counters.len() - 1
+            }
+        };
+        &self.edac_counters[pos].1
+    }
+
+    fn array_json(&mut self, array: ArrayKind) -> &str {
+        let pos = match self.array_json.iter().position(|(a, _)| *a == array) {
+            Some(pos) => pos,
+            None => {
+                self.array_json
+                    .push((array, crate::json::escape(&array.to_string())));
+                self.array_json.len() - 1
+            }
+        };
+        &self.array_json[pos].1
+    }
+}
+
+fn class_name(class: FailureClass) -> &'static str {
+    match class {
+        FailureClass::Sdc => "sdc",
+        FailureClass::AppCrash => "app_crash",
+        FailureClass::SysCrash => "sys_crash",
+    }
+}
+
+/// Translates [`SessionObserver`] callbacks into telemetry. Build one via
+/// [`TelemetrySink::observer`](crate::export::TelemetrySink::observer);
+/// each observer gets its own registry shard, so several may run on
+/// different threads against one sink.
+pub struct TelemetryObserver {
+    registry: Registry,
+    shard: Arc<Shard>,
+    tracer: Arc<Tracer>,
+    events: Arc<Mutex<String>>,
+    /// Event lines buffered locally and flushed to the shared stream at
+    /// session end, keeping the callback path lock-free.
+    pending: String,
+    events_counter: Counter,
+    progress: Arc<Mutex<Progress>>,
+    /// Parent for session spans (the sink's campaign span, if any).
+    parent: SpanId,
+    trial_spans: bool,
+    state: Option<SessionState>,
+    /// Sim-seconds completed in *earlier* sessions (for progress/ETA).
+    completed_sim_secs: f64,
+}
+
+impl TelemetryObserver {
+    pub(crate) fn new(
+        registry: Registry,
+        tracer: Arc<Tracer>,
+        events: Arc<Mutex<String>>,
+        progress: Arc<Mutex<Progress>>,
+        parent: SpanId,
+        trial_spans: bool,
+    ) -> Self {
+        let shard = registry.shard();
+        let events_counter = shard.counter("telemetry_events_total", &[]);
+        TelemetryObserver {
+            registry,
+            shard,
+            tracer,
+            events,
+            pending: String::new(),
+            events_counter,
+            progress,
+            parent,
+            trial_spans,
+            state: None,
+            completed_sim_secs: 0.0,
+        }
+    }
+
+    fn push_event(&mut self, line: &str) {
+        self.pending.push_str(line);
+        self.pending.push('\n');
+        self.events_counter.inc();
+    }
+
+    /// Moves buffered event lines into the shared stream (one lock per
+    /// session, not per event).
+    fn flush_events(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        self.events
+            .lock()
+            .expect("event buffer poisoned")
+            .push_str(&self.pending);
+        self.pending.clear();
+    }
+
+    /// Settles the previous trial's simulated wall time: consecutive run
+    /// starts are exactly one trial apart on the merged session clock.
+    fn settle_trial(&mut self, upto: SimInstant) {
+        let Some(state) = &mut self.state else { return };
+        if let Some(last) = state.last_run_start.take() {
+            state.trial_hist.observe(upto.elapsed_since(last).as_secs());
+            if self.trial_spans {
+                // Trial spans run on the *simulated* clock (attr
+                // `clock=sim`): sim seconds map to stream nanoseconds.
+                self.tracer.record_complete(
+                    SpanLevel::Trial,
+                    &format!("trial@{last}"),
+                    state.span,
+                    (last.as_secs() * 1e9) as u64,
+                    (upto.as_secs() * 1e9) as u64,
+                    &[("clock", "sim")],
+                );
+            }
+        }
+    }
+}
+
+impl Drop for TelemetryObserver {
+    /// Flushes any event lines a truncated session left buffered, so the
+    /// shared stream never silently loses the tail of an aborted run.
+    fn drop(&mut self) {
+        self.flush_events();
+    }
+}
+
+impl SessionObserver for TelemetryObserver {
+    fn on_session_start(&mut self, at: SimInstant, point: OperatingPoint) {
+        let voltage = point.label();
+        let pmd = point.pmd.get().to_string();
+        let soc = point.soc.get().to_string();
+        let freq = point.frequency.get().to_string();
+        let span = self.tracer.enter(
+            SpanLevel::Session,
+            &format!("session {voltage}"),
+            self.parent,
+            &[
+                ("pmd_mv", pmd.as_str()),
+                ("soc_mv", soc.as_str()),
+                ("freq_mhz", freq.as_str()),
+            ],
+        );
+        self.shard
+            .counter("sessions_total", &[("voltage", &voltage)])
+            .inc();
+        let state = SessionState::new(&self.shard, point, span);
+        self.push_event(&format!(
+            "{{\"event\":\"session_start\",\"t_s\":{},\"voltage\":{},\"pmd_mv\":{pmd},\
+             \"soc_mv\":{soc},\"freq_mhz\":{freq}}}",
+            crate::json::number(at.as_secs()),
+            state.voltage_json,
+        ));
+        self.progress
+            .lock()
+            .expect("progress poisoned")
+            .session_started(&state.voltage);
+        self.state = Some(state);
+    }
+
+    fn on_run(&mut self, start: SimInstant, benchmark: Benchmark, verdict: RunVerdict) {
+        self.settle_trial(start);
+        let Some(state) = &mut self.state else { return };
+        state.last_run_start = Some(start);
+        state.runs += 1;
+        let (_, counter, bench_json) = state.run_counter(&self.shard, benchmark);
+        counter.inc();
+        let bench_json = bench_json.clone();
+        if let Some(class) = verdict.failure_class() {
+            state.failure_counter(&self.shard, class).inc();
+        }
+        let (kind, notified) = match verdict {
+            RunVerdict::Correct => ("ok", false),
+            RunVerdict::Sdc {
+                with_hw_notification,
+            } => ("sdc", with_hw_notification),
+            RunVerdict::AppCrash => ("app_crash", false),
+            RunVerdict::SysCrash => ("sys_crash", false),
+        };
+        let line = format!(
+            "{{\"event\":\"run\",\"t_s\":{},\"voltage\":{},\"benchmark\":{bench_json},\
+             \"verdict\":\"{kind}\",\"ce_notified\":{notified}}}",
+            crate::json::number(start.as_secs()),
+            self.state.as_ref().expect("state set above").voltage_json,
+        );
+        self.push_event(&line);
+        let upsets = self.state.as_ref().expect("state set above").upsets;
+        self.progress
+            .lock()
+            .expect("progress poisoned")
+            .trial_done(self.completed_sim_secs + start.as_secs(), upsets);
+    }
+
+    fn on_edac(&mut self, record: EdacRecord) {
+        let Some(state) = &mut self.state else { return };
+        state.upsets += 1;
+        state.edac_counter(&self.shard, &record).inc();
+        let domain = record.array.voltage_domain();
+        let severity = record.severity;
+        let array_json = state.array_json(record.array).to_string();
+        let line = format!(
+            "{{\"event\":\"edac\",\"t_s\":{},\"voltage\":{},\"array\":{array_json},\
+             \"domain\":\"{domain}\",\"severity\":\"{severity}\"}}",
+            crate::json::number(record.time.as_secs()),
+            state.voltage_json,
+        );
+        self.push_event(&line);
+    }
+
+    fn on_recovery(&mut self, start: SimInstant, duration: SimDuration) {
+        let Some(state) = &mut self.state else { return };
+        state.recovery_lost += duration;
+        state.recoveries.inc();
+        state.recovery_hist.observe(duration.as_secs());
+        let line = format!(
+            "{{\"event\":\"recovery\",\"t_s\":{},\"voltage\":{},\"duration_s\":{}}}",
+            crate::json::number(start.as_secs()),
+            state.voltage_json,
+            crate::json::number(duration.as_secs()),
+        );
+        self.push_event(&line);
+    }
+
+    fn on_session_end(&mut self, at: SimInstant, reason: StopReason) {
+        self.settle_trial(at);
+        let Some(state) = self.state.take() else {
+            return;
+        };
+        let voltage = &state.voltage;
+        let minutes = at.as_secs() / 60.0;
+        let upset_rate = if minutes > 0.0 {
+            state.upsets as f64 / minutes
+        } else {
+            0.0
+        };
+        self.registry
+            .gauge(&self.shard, "session_sim_seconds", &[("voltage", voltage)])
+            .set(at.as_secs());
+        self.registry
+            .gauge(
+                &self.shard,
+                "session_upsets_per_minute",
+                &[("voltage", voltage)],
+            )
+            .set(upset_rate);
+        self.registry
+            .gauge(
+                &self.shard,
+                "session_recovery_lost_seconds",
+                &[("voltage", voltage)],
+            )
+            .set(state.recovery_lost.as_secs());
+        let reason_text = format!("{reason:?}");
+        self.tracer.annotate(
+            state.span,
+            &[
+                ("stop", reason_text.as_str()),
+                ("sim_seconds", &format!("{:.3}", at.as_secs())),
+            ],
+        );
+        self.tracer.exit(state.span);
+        self.push_event(&format!(
+            "{{\"event\":\"session_end\",\"t_s\":{},\"voltage\":{},\"reason\":\"{reason_text}\",\
+             \"runs\":{},\"upsets\":{}}}",
+            crate::json::number(at.as_secs()),
+            state.voltage_json,
+            state.runs,
+            state.upsets,
+        ));
+        self.flush_events();
+        self.completed_sim_secs += at.as_secs();
+        self.progress
+            .lock()
+            .expect("progress poisoned")
+            .session_ended(self.completed_sim_secs);
+    }
+
+    fn on_wave(&mut self, stats: WaveStats) {
+        let Some(state) = &self.state else { return };
+        state.wave_latency.observe(stats.host_nanos as f64 / 1e9);
+        state.wave_planned.add(stats.planned as u64);
+        state.wave_absorbed.add(stats.absorbed as u64);
+        let now = self.tracer.now_ns();
+        self.tracer.record_complete(
+            SpanLevel::Wave,
+            &format!("wave@{}", stats.first_trial),
+            state.span,
+            now.saturating_sub(stats.host_nanos),
+            now,
+            &[
+                ("planned", &stats.planned.to_string()),
+                ("absorbed", &stats.absorbed.to_string()),
+                ("efficiency", &format!("{:.4}", stats.efficiency())),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::{TelemetryOptions, TelemetrySink};
+    use serscale_core::dut::DeviceUnderTest;
+    use serscale_core::session::{SessionLimits, TestSession};
+    use serscale_stats::SimRng;
+    use serscale_types::Flux;
+
+    fn run_session(observer: &mut TelemetryObserver, minutes: f64, seed: u64) {
+        let point = OperatingPoint::vmin_2400();
+        let dut = DeviceUnderTest::xgene2(point, DeviceUnderTest::paper_vmin(point.frequency));
+        let mut session = TestSession::new(
+            dut,
+            Flux::per_cm2_s(1.5e6),
+            SessionLimits::time_boxed(SimDuration::from_minutes(minutes)),
+        );
+        session.run_observed(&mut SimRng::seed_from(seed), observer);
+    }
+
+    #[test]
+    fn observer_counts_match_an_independent_logbook() {
+        let sink = TelemetrySink::in_memory(TelemetryOptions::default());
+        let mut observer = sink.observer();
+        run_session(&mut observer, 120.0, 11);
+
+        let point = OperatingPoint::vmin_2400();
+        let dut = DeviceUnderTest::xgene2(point, DeviceUnderTest::paper_vmin(point.frequency));
+        let mut session = TestSession::new(
+            dut,
+            Flux::per_cm2_s(1.5e6),
+            SessionLimits::time_boxed(SimDuration::from_minutes(120.0)),
+        );
+        let report = session.run(&mut SimRng::seed_from(11));
+
+        let snap = sink.registry().snapshot();
+        assert_eq!(snap.counter_total("runs_total", &[]), report.runs);
+        assert_eq!(snap.counter_total("edac_events", &[]), report.memory_upsets);
+        assert_eq!(
+            snap.counter_total("run_failures_total", &[]),
+            report.error_events()
+        );
+        // Every completed trial lands in the wall-time histogram: the
+        // final one settles at session end.
+        let key = crate::metrics::SeriesKey::new("trial_wall_time", &[("voltage", &point.label())]);
+        assert_eq!(snap.histograms[&key].count, report.runs);
+        assert_eq!(
+            snap.gauge_value("session_sim_seconds", &[("voltage", &point.label())]),
+            Some(report.duration.as_secs())
+        );
+    }
+
+    #[test]
+    fn per_domain_edac_counters_split_pmd_and_soc() {
+        let sink = TelemetrySink::in_memory(TelemetryOptions::default());
+        let mut observer = sink.observer();
+        run_session(&mut observer, 200.0, 5);
+        let snap = sink.registry().snapshot();
+        let pmd = snap.counter_total("edac_events", &[("domain", "PMD")]);
+        let soc = snap.counter_total("edac_events", &[("domain", "SoC")]);
+        assert!(pmd > 0, "a 200-minute Vmin session upsets PMD arrays");
+        assert!(soc > 0, "a 200-minute Vmin session upsets the L3");
+        assert_eq!(pmd + soc, snap.counter_total("edac_events", &[]));
+    }
+
+    #[test]
+    fn wave_accounting_reflects_speculation() {
+        let sink = TelemetrySink::in_memory(TelemetryOptions::default());
+        let mut observer = sink.observer();
+        run_session(&mut observer, 30.0, 7);
+        let snap = sink.registry().snapshot();
+        let planned = snap.counter_total("wave_trials_planned_total", &[]);
+        let absorbed = snap.counter_total("wave_trials_absorbed_total", &[]);
+        assert!(planned >= absorbed, "{planned} < {absorbed}");
+        assert_eq!(absorbed, snap.counter_total("runs_total", &[]));
+        // Wave spans nest under the session span.
+        let records = sink.tracer().records();
+        let session_id = records
+            .iter()
+            .find(|r| r.level == SpanLevel::Session)
+            .expect("session span")
+            .id;
+        assert!(records
+            .iter()
+            .filter(|r| r.level == SpanLevel::Wave)
+            .all(|r| r.parent == session_id));
+    }
+
+    #[test]
+    fn event_stream_is_valid_jsonl() {
+        let sink = TelemetrySink::in_memory(TelemetryOptions::default());
+        let mut observer = sink.observer();
+        run_session(&mut observer, 45.0, 3);
+        let events = sink.events_jsonl();
+        let docs = crate::json::parse_lines(&events).expect("stream parses");
+        assert_eq!(
+            docs.len() as u64,
+            sink.registry()
+                .snapshot()
+                .counter_total("telemetry_events_total", &[])
+        );
+        assert_eq!(
+            docs[0]
+                .get("event")
+                .and_then(crate::json::JsonValue::as_str),
+            Some("session_start")
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! A live progress line for interactive campaign runs.
+//!
+//! When enabled, the reporter prints a single stderr status line at a
+//! bounded cadence: trials completed, the current upset-rate estimate
+//! (the σ̂ proxy the paper's Table 5 is built from), simulated progress
+//! and a wall-clock ETA. It is **disabled by default** and must stay off
+//! in CI and golden runs: stdout artifacts are diffed byte-for-byte, and
+//! even stderr noise makes hermetic logs harder to compare.
+//!
+//! Like everything in this crate the reporter is observe-only — it
+//! consumes numbers the observer already recorded and can never feed
+//! anything back into the simulation.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Minimum wall time between emitted lines.
+const EMIT_EVERY: Duration = Duration::from_millis(250);
+
+/// Accumulates run state and periodically prints it to stderr.
+#[derive(Debug)]
+pub struct Progress {
+    enabled: bool,
+    started: Instant,
+    last_emit: Option<Instant>,
+    /// Total simulated seconds the run intends to cover, if known
+    /// (drives percent-done and the ETA).
+    target_sim_secs: Option<f64>,
+    voltage: String,
+    trials: u64,
+    upsets: u64,
+    sim_secs: f64,
+    emitted: bool,
+}
+
+impl Progress {
+    /// A reporter; pass `enabled = false` for a silent no-op collector.
+    pub fn new(enabled: bool) -> Self {
+        Progress {
+            enabled,
+            started: Instant::now(),
+            last_emit: None,
+            target_sim_secs: None,
+            voltage: String::new(),
+            trials: 0,
+            upsets: 0,
+            sim_secs: 0.0,
+            emitted: false,
+        }
+    }
+
+    /// Declares the run's total simulated duration, enabling ETA output.
+    pub fn set_target_sim_secs(&mut self, secs: f64) {
+        if secs.is_finite() && secs > 0.0 {
+            self.target_sim_secs = Some(secs);
+        }
+    }
+
+    /// A session at `voltage` began.
+    pub fn session_started(&mut self, voltage: &str) {
+        self.voltage = voltage.to_string();
+        self.maybe_emit(false);
+    }
+
+    /// One trial finished; `sim_secs` is cumulative across sessions and
+    /// `session_upsets` counts the current session only.
+    pub fn trial_done(&mut self, sim_secs: f64, session_upsets: u64) {
+        self.sim_secs = sim_secs;
+        self.trials += 1;
+        self.upsets = self.upsets.max(session_upsets);
+        self.maybe_emit(false);
+    }
+
+    /// A session finished; `completed_sim_secs` is the cumulative total.
+    pub fn session_ended(&mut self, completed_sim_secs: f64) {
+        self.sim_secs = completed_sim_secs;
+        self.upsets = 0;
+        self.maybe_emit(true);
+    }
+
+    /// Prints a terminal newline if any progress line was emitted, so the
+    /// next stderr write starts clean. Call once at end of run.
+    pub fn finish(&mut self) {
+        if self.enabled && self.emitted {
+            eprintln!();
+            self.emitted = false;
+        }
+    }
+
+    /// The status line as a string (also what gets printed).
+    pub fn line(&self) -> String {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let minutes = self.sim_secs / 60.0;
+        let rate = if minutes > 0.0 {
+            self.upsets as f64 / minutes
+        } else {
+            0.0
+        };
+        let mut line = format!(
+            "[telemetry] {} | {} trials | sigma~{rate:.2} upsets/min | {:.0}s sim",
+            if self.voltage.is_empty() {
+                "--"
+            } else {
+                &self.voltage
+            },
+            self.trials,
+            self.sim_secs,
+        );
+        if let Some(target) = self.target_sim_secs {
+            let frac = (self.sim_secs / target).clamp(0.0, 1.0);
+            line.push_str(&format!(" ({:.0}%)", frac * 100.0));
+            if frac > 0.0 && frac < 1.0 && elapsed > 0.5 {
+                let eta = elapsed / frac - elapsed;
+                line.push_str(&format!(" | ETA {eta:.0}s"));
+            }
+        }
+        line
+    }
+
+    fn maybe_emit(&mut self, force: bool) {
+        if !self.enabled {
+            return;
+        }
+        let now = Instant::now();
+        let due = match self.last_emit {
+            None => true,
+            Some(last) => now.duration_since(last) >= EMIT_EVERY,
+        };
+        if !(due || force) {
+            return;
+        }
+        self.last_emit = Some(now);
+        self.emitted = true;
+        let mut err = std::io::stderr().lock();
+        let _ = write!(err, "\r\x1b[2K{}", self.line());
+        let _ = err.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_reporter_collects_but_never_prints() {
+        let mut p = Progress::new(false);
+        p.session_started("920mV@2.4 GHz");
+        p.trial_done(60.0, 3);
+        assert!(!p.emitted, "disabled reporter must not write");
+        assert!(p.line().contains("920mV@2.4 GHz"));
+        assert!(p.line().contains("1 trials"));
+        assert!(p.line().contains("sigma~3.00"), "{}", p.line());
+    }
+
+    #[test]
+    fn eta_appears_once_a_target_is_known() {
+        let mut p = Progress::new(false);
+        p.set_target_sim_secs(1200.0);
+        std::thread::sleep(Duration::from_millis(600));
+        p.trial_done(600.0, 0);
+        let line = p.line();
+        assert!(line.contains("(50%)"), "{line}");
+        assert!(line.contains("ETA"), "{line}");
+    }
+
+    #[test]
+    fn nonsense_targets_are_ignored() {
+        let mut p = Progress::new(false);
+        p.set_target_sim_secs(f64::NAN);
+        p.set_target_sim_secs(-3.0);
+        assert!(p.target_sim_secs.is_none());
+    }
+}

@@ -21,6 +21,9 @@ pub struct SuiteVerdict {
     pub oracles: Vec<OracleReport>,
 }
 
+/// One exported verdict gauge: `(name, labels, value)`.
+pub type HeadlineGauge = (String, Vec<(String, String)>, f64);
+
 impl SuiteVerdict {
     /// True iff every check of every oracle passed.
     pub fn all_green(&self) -> bool {
@@ -71,6 +74,44 @@ impl SuiteVerdict {
             self.violation_count(),
             if self.all_green() { "ALL GREEN" } else { "RED" }
         );
+        out
+    }
+
+    /// The verdict's headline numbers as `(gauge name, labels, value)`
+    /// rows, ready to export as telemetry gauges (`repro verify
+    /// --telemetry-out` feeds them straight into the metrics snapshot).
+    /// Pass/fail flags are encoded as 1.0/0.0.
+    pub fn headline_gauges(&self) -> Vec<HeadlineGauge> {
+        let mut out = vec![
+            (
+                "verify_all_green".to_string(),
+                Vec::new(),
+                if self.all_green() { 1.0 } else { 0.0 },
+            ),
+            (
+                "verify_checks_total".to_string(),
+                Vec::new(),
+                self.check_count() as f64,
+            ),
+            (
+                "verify_violations_total".to_string(),
+                Vec::new(),
+                self.violation_count() as f64,
+            ),
+        ];
+        for family in [
+            OracleFamily::Metamorphic,
+            OracleFamily::Differential,
+            OracleFamily::Ecc,
+        ] {
+            let oracles = self.oracles.iter().filter(|o| o.family == family);
+            let violations: usize = oracles.map(|o| o.violations().count()).sum();
+            out.push((
+                "verify_violations".to_string(),
+                vec![("family".to_string(), family.to_string())],
+                violations as f64,
+            ));
+        }
         out
     }
 
@@ -177,6 +218,27 @@ mod tests {
         let opens = json.matches('{').count() + json.matches('[').count();
         let closes = json.matches('}').count() + json.matches(']').count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn headline_gauges_cover_the_verdict() {
+        let gauges = verdict(false).headline_gauges();
+        let find = |name: &str| {
+            gauges
+                .iter()
+                .find(|(n, labels, _)| n == name && labels.is_empty())
+                .map(|(_, _, v)| *v)
+        };
+        assert_eq!(find("verify_all_green"), Some(0.0));
+        assert_eq!(find("verify_checks_total"), Some(1.0));
+        assert_eq!(find("verify_violations_total"), Some(1.0));
+        let ecc = gauges
+            .iter()
+            .find(|(n, labels, _)| {
+                n == "verify_violations" && labels.iter().any(|(_, v)| v == "ecc")
+            })
+            .map(|(_, _, v)| *v);
+        assert_eq!(ecc, Some(1.0));
     }
 
     #[test]
