@@ -8,7 +8,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
-use serscale_bench::{run_campaign_jobs, run_campaign_observed, REPRO_SEED};
+use serscale_bench::{
+    run_campaign_jobs, run_campaign_observed, run_campaign_recovering, REPRO_SEED,
+};
+use serscale_core::session::RetryPolicy;
 use serscale_telemetry::{TelemetryOptions, TelemetrySink};
 
 /// Small enough for bench cadence, large enough that waves actually
@@ -51,6 +54,72 @@ fn campaign_throughput(c: &mut Criterion) {
                 let mut observer = sink.observer();
                 let report = run_campaign_observed(SCALE, REPRO_SEED, jobs, &mut observer);
                 assert_eq!(report, reference, "telemetry broke determinism");
+                report
+            })
+        });
+    }
+    // The crash-safe execution stack, decomposed one layer at a time so
+    // regressions are attributable:
+    //
+    // * `jobs=8+robust`        — retry/quarantine supervision, no journal.
+    //   Compare against bare `jobs=8`: the supervision wrapper cost.
+    // * `jobs=8+journal`       — the fsync-throttled run journal on
+    //   RAM-backed scratch when the host offers it, so the row measures
+    //   the engine's journaling overhead (record formatting, digests,
+    //   write syscalls) rather than the device's sync latency. The
+    //   acceptance budget is ≤5% over `jobs=8+robust` at 8 workers.
+    // * `jobs=8+journal+disk`  — the same journal on the real tempdir
+    //   filesystem: adds the hardware-dependent durability cost (two
+    //   forced fdatasyncs per run plus directory metadata commits).
+    //
+    // Each journaled iteration uses a fresh directory, so every run pays
+    // the full write path instead of replaying a finished journal.
+    {
+        use serscale_core::campaign::{Campaign, CampaignConfig, CampaignRunOptions};
+        let mut config = CampaignConfig::paper_scaled(SCALE);
+        config.seed = REPRO_SEED;
+        let campaign = Campaign::new(config);
+        group.bench_function("jobs=8+robust", |b| {
+            b.iter(|| {
+                let mut discard = serscale_core::trace::Logbook::new();
+                let report =
+                    campaign.run_recoverable(CampaignRunOptions::with_jobs(8), &mut discard);
+                assert_eq!(report, reference, "robust path broke determinism");
+                report
+            })
+        });
+    }
+    let shm = std::path::Path::new("/dev/shm");
+    let ram_scratch = if shm.is_dir() {
+        shm.to_path_buf()
+    } else {
+        std::env::temp_dir()
+    };
+    for (row, scratch) in [
+        ("jobs=8+journal", ram_scratch),
+        ("jobs=8+journal+disk", std::env::temp_dir()),
+    ] {
+        let mut serial = 0u64;
+        group.bench_function(row, |b| {
+            b.iter(|| {
+                serial += 1;
+                let dir = scratch.join(format!(
+                    "serscale-bench-journal-{}-{serial}",
+                    std::process::id()
+                ));
+                let _ = std::fs::remove_dir_all(&dir);
+                let mut discard = serscale_core::trace::Logbook::new();
+                let report = run_campaign_recovering(
+                    SCALE,
+                    REPRO_SEED,
+                    8,
+                    RetryPolicy::standard(),
+                    &dir,
+                    &mut discard,
+                )
+                .expect("journaled run");
+                assert_eq!(report, reference, "journaling broke determinism");
+                let _ = std::fs::remove_dir_all(&dir);
                 report
             })
         });

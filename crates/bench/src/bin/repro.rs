@@ -10,18 +10,23 @@
 //! repro --sweep               # fine-grained voltage sweep + advisor
 //! repro --jobs 8 --all        # same bits, eight worker threads
 //! repro --golden              # bit-stable summary for the CI golden diff
+//! repro --all --journal DIR   # crash-safe: fsync'd run journal in DIR
+//! repro --all --resume DIR    # replay DIR's journal, continue, same bits
+//! repro --trial-timeout 30 …  # retry/quarantine trials hung past 30 s
 //! repro verify --budget small # statistical verification suite → verdict JSON
 //! ```
 
 use std::io::IsTerminal as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use serscale_bench::{
-    experiments, run_campaign_jobs, run_campaign_observed, GOLDEN_SCALE, REPRO_SEED,
+    experiments, run_campaign_jobs, run_campaign_observed, run_campaign_recovering, GOLDEN_SCALE,
+    REPRO_SEED,
 };
-use serscale_core::campaign::CampaignReport;
-use serscale_core::trace::{tee, Logbook};
+use serscale_core::campaign::{Campaign, CampaignConfig, CampaignReport, CampaignRunOptions};
+use serscale_core::session::RetryPolicy;
+use serscale_core::trace::{tee, Logbook, SessionObserver};
 use serscale_telemetry::{TelemetryOptions, TelemetrySink};
 use serscale_verify::{OracleContext, TrialBudget};
 
@@ -41,6 +46,9 @@ struct Args {
     selfcheck: bool,
     golden: bool,
     telemetry_out: Option<String>,
+    journal: Option<String>,
+    resume: Option<String>,
+    trial_timeout: Option<f64>,
 }
 
 fn default_jobs() -> usize {
@@ -60,6 +68,9 @@ fn parse_args() -> Result<Args, String> {
         selfcheck: false,
         golden: false,
         telemetry_out: None,
+        journal: None,
+        resume: None,
+        trial_timeout: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -108,11 +119,26 @@ fn parse_args() -> Result<Args, String> {
             "--telemetry-out" => {
                 args.telemetry_out = Some(it.next().ok_or("--telemetry-out needs a directory")?);
             }
+            "--journal" => {
+                args.journal = Some(it.next().ok_or("--journal needs a directory")?);
+            }
+            "--resume" => {
+                args.resume = Some(it.next().ok_or("--resume needs a directory")?);
+            }
+            "--trial-timeout" => {
+                let s = it.next().ok_or("--trial-timeout needs seconds")?;
+                let secs: f64 = s.parse().map_err(|_| format!("bad trial timeout {s}"))?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err("--trial-timeout must be positive".into());
+                }
+                args.trial_timeout = Some(secs);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--all] [--table N]* [--figure N]* [--headlines] \
                      [--ablations] [--sweep] [--selfcheck] [--golden] [--scale F] \
-                     [--seed N] [--jobs N] [--telemetry-out DIR]\n       \
+                     [--seed N] [--jobs N] [--telemetry-out DIR] \
+                     [--journal DIR | --resume DIR] [--trial-timeout SECS]\n       \
                      repro verify [--budget small|medium|large] \
                      [--seed N] [--out verdict.json] [--telemetry-out DIR]"
                 );
@@ -131,7 +157,49 @@ fn parse_args() -> Result<Args, String> {
     {
         return Err("nothing to do; try --all (or --help)".into());
     }
+    if args.journal.is_some() && args.resume.is_some() {
+        return Err(
+            "--journal and --resume are mutually exclusive (--resume already journals)".into(),
+        );
+    }
     Ok(args)
+}
+
+/// Observer for runs that need the crash-safe execution path but have no
+/// trace or telemetry consumer attached.
+struct Discard;
+impl SessionObserver for Discard {}
+
+/// Runs the analysis campaign through the crash-safe engine path: with a
+/// journal directory the run is journaled (and resumed, if the directory
+/// already holds a matching journal); without one, only the
+/// retry/quarantine policy differs from the plain path — and with nothing
+/// failing, not even that changes a byte of the report.
+fn run_campaign_robust(
+    scale: f64,
+    seed: u64,
+    jobs: usize,
+    retry: RetryPolicy,
+    journal_dir: Option<&Path>,
+    observer: &mut dyn SessionObserver,
+) -> Result<CampaignReport, String> {
+    match journal_dir {
+        Some(dir) => run_campaign_recovering(scale, seed, jobs, retry, dir, observer)
+            .map_err(|e| format!("run journal at {}: {e}", dir.display())),
+        None => {
+            let mut config = CampaignConfig::paper_scaled(scale);
+            config.seed = seed;
+            Ok(Campaign::new(config).run_recoverable(
+                CampaignRunOptions {
+                    jobs,
+                    retry,
+                    journal: None,
+                    recovered: None,
+                },
+                observer,
+            ))
+        }
+    }
 }
 
 struct VerifyArgs {
@@ -253,6 +321,29 @@ fn main() -> ExitCode {
         || args.tables.iter().any(|t| *t >= 2)
         || args.figures.iter().any(|f| *f != 4);
 
+    // Crash-safety controls. `--resume` is `--journal` plus the demand
+    // that a journal already exists: a typo'd directory must fail loudly,
+    // not silently start a fresh run.
+    let retry = match args.trial_timeout {
+        Some(secs) => RetryPolicy::with_timeout(std::time::Duration::from_secs_f64(secs)),
+        None => RetryPolicy::standard(),
+    };
+    let journal_dir: Option<PathBuf> = args
+        .resume
+        .as_ref()
+        .or(args.journal.as_ref())
+        .map(PathBuf::from);
+    if let Some(dir) = &args.resume {
+        let path = serscale_core::journal::journal_path(Path::new(dir));
+        if !path.is_file() {
+            eprintln!("repro: --resume {dir}: no journal at {}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    // Journaling attaches to the analysis campaign when one runs,
+    // otherwise to the golden run (the only campaign of the invocation).
+    let crash_safe = journal_dir.is_some() || args.trial_timeout.is_some();
+
     // The telemetry sink observes whichever campaign this invocation runs
     // (the analysis campaign if one is needed, otherwise the golden run).
     // Observation is one-way, so golden output and reports are unchanged
@@ -283,11 +374,49 @@ fn main() -> ExitCode {
         // The golden diff is pinned to one (scale, seed) pair; only the
         // worker count is the caller's to vary — by contract it must not
         // change a single byte of this output.
+        let golden_journal = if needs_campaign {
+            None
+        } else {
+            journal_dir.as_deref()
+        };
         let report = match &sink {
             Some(sink) if !needs_campaign => {
                 sink.set_progress_target_sim_secs(GOLDEN_SCALE * FULL_CAMPAIGN_SIM_SECS);
                 let mut observer = tee(&mut trace, sink.observer());
-                run_campaign_observed(GOLDEN_SCALE, REPRO_SEED, args.jobs, &mut observer)
+                if crash_safe {
+                    match run_campaign_robust(
+                        GOLDEN_SCALE,
+                        REPRO_SEED,
+                        args.jobs,
+                        retry,
+                        golden_journal,
+                        &mut observer,
+                    ) {
+                        Ok(report) => report,
+                        Err(e) => {
+                            eprintln!("repro: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                } else {
+                    run_campaign_observed(GOLDEN_SCALE, REPRO_SEED, args.jobs, &mut observer)
+                }
+            }
+            _ if crash_safe && !needs_campaign => {
+                match run_campaign_robust(
+                    GOLDEN_SCALE,
+                    REPRO_SEED,
+                    args.jobs,
+                    retry,
+                    golden_journal,
+                    &mut Discard,
+                ) {
+                    Ok(report) => report,
+                    Err(e) => {
+                        eprintln!("repro: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
             _ => run_campaign_jobs(GOLDEN_SCALE, REPRO_SEED, args.jobs),
         };
@@ -303,13 +432,37 @@ fn main() -> ExitCode {
             64.8 * args.scale,
             args.jobs
         );
-        Some(match &sink {
+        let run = |observer: &mut dyn SessionObserver| {
+            if crash_safe {
+                run_campaign_robust(
+                    args.scale,
+                    args.seed,
+                    args.jobs,
+                    retry,
+                    journal_dir.as_deref(),
+                    observer,
+                )
+            } else {
+                Ok(run_campaign_observed(
+                    args.scale, args.seed, args.jobs, observer,
+                ))
+            }
+        };
+        let outcome = match &sink {
             Some(sink) => {
                 sink.set_progress_target_sim_secs(args.scale * FULL_CAMPAIGN_SIM_SECS);
                 let mut observer = tee(&mut trace, sink.observer());
-                run_campaign_observed(args.scale, args.seed, args.jobs, &mut observer)
+                run(&mut observer)
             }
-            None => run_campaign_jobs(args.scale, args.seed, args.jobs),
+            None if crash_safe => run(&mut Discard),
+            None => Ok(run_campaign_jobs(args.scale, args.seed, args.jobs)),
+        };
+        Some(match outcome {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("repro: {e}");
+                return ExitCode::FAILURE;
+            }
         })
     } else {
         None

@@ -10,7 +10,8 @@ use serscale_types::{Flux, Megahertz, Millivolts, SimDuration};
 use serscale_undervolt::{characterize::Characterizer, timing::TimingFailureModel};
 
 use crate::dut::DeviceUnderTest;
-use crate::session::{SessionLimits, SessionReport, TestSession};
+use crate::journal::{JournalWriter, RecoveredCampaign};
+use crate::session::{ExecutionPlan, RetryPolicy, SessionLimits, SessionReport, TestSession};
 
 /// Where the per-frequency safe Vmin anchoring the logic amplification
 /// comes from.
@@ -158,12 +159,12 @@ impl Campaign {
     /// be bit-identical to [`run`](Self::run) and
     /// [`run_parallel`](Self::run_parallel) at any `jobs`.
     pub fn run_reference(&self) -> CampaignReport {
-        self.run_with(|session, rng| session.run_reference(rng))
+        self.run_with(|_, session, rng| session.run_reference(rng))
     }
 
     fn run_with(
         &self,
-        mut run_session: impl FnMut(&mut TestSession, &mut SimRng) -> SessionReport,
+        mut run_session: impl FnMut(u64, &mut TestSession, &mut SimRng) -> SessionReport,
     ) -> CampaignReport {
         let root = SimRng::seed_from(self.config.seed);
         let flux = self.config.facility.flux_at(self.config.position);
@@ -183,7 +184,7 @@ impl Campaign {
             let dut = DeviceUnderTest::xgene2(*point, vmin);
             let mut session = TestSession::new(dut, flux, *limits);
             let mut rng = root.fork_indexed("session", index as u64);
-            sessions.push(run_session(&mut session, &mut rng));
+            sessions.push(run_session(index as u64, &mut session, &mut rng));
         }
         CampaignReport {
             flux,
@@ -210,7 +211,45 @@ impl Campaign {
         jobs: usize,
         observer: &mut dyn crate::trace::SessionObserver,
     ) -> CampaignReport {
-        self.run_with(|session, rng| session.run_observed_with(rng, jobs, &mut *observer))
+        self.run_with(|_, session, rng| session.run_observed_with(rng, jobs, &mut *observer))
+    }
+
+    /// Runs the campaign with crash-safety controls: an optional run
+    /// journal recording every absorbed trial, an optional recovered
+    /// prefix to replay (see [`crate::journal::start_or_resume`]), and a
+    /// retry/quarantine policy for panicking or hung trials.
+    ///
+    /// With a fresh journal (no recovery) and [`RetryPolicy::standard`],
+    /// the report is bit-identical to
+    /// [`run_observed`](Self::run_observed) at the same `jobs`; with a
+    /// recovered prefix, the replayed trials drive the observer exactly as
+    /// the original run did, so report *and* trace stay bit-identical to
+    /// an uninterrupted run at any `jobs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.jobs == 0`, if the recovered prefix is
+    /// inconsistent with this configuration, or if a journal write cannot
+    /// be made durable (a crash-safety layer that silently drops records
+    /// would be worse than none).
+    pub fn run_recoverable(
+        &self,
+        mut options: CampaignRunOptions<'_>,
+        observer: &mut dyn crate::trace::SessionObserver,
+    ) -> CampaignReport {
+        self.run_with(|index, session, rng| {
+            session.run_planned(
+                rng,
+                ExecutionPlan {
+                    jobs: options.jobs,
+                    retry: options.retry,
+                    journal: options.journal.as_deref_mut(),
+                    recovered: options.recovered.and_then(|r| r.session(index)),
+                    session_index: index,
+                },
+                &mut *observer,
+            )
+        })
     }
 
     /// Runs the campaign on `jobs` worker threads.
@@ -225,7 +264,35 @@ impl Campaign {
     ///
     /// Panics if `jobs == 0`.
     pub fn run_parallel(&self, jobs: usize) -> CampaignReport {
-        self.run_with(|session, rng| session.run_parallel(rng, jobs))
+        self.run_with(|_, session, rng| session.run_parallel(rng, jobs))
+    }
+}
+
+/// Controls for [`Campaign::run_recoverable`]: worker count, retry
+/// policy, and the crash-safety hooks (journal to append to, recovered
+/// prefix to replay).
+#[derive(Debug)]
+pub struct CampaignRunOptions<'a> {
+    /// Worker threads per session (must be ≥ 1).
+    pub jobs: usize,
+    /// Retry/quarantine policy for panicking or hung trials.
+    pub retry: RetryPolicy,
+    /// Journal to append absorbed trials to, if any.
+    pub journal: Option<&'a mut JournalWriter>,
+    /// Recovered journal prefix to replay before running live, if any.
+    pub recovered: Option<&'a RecoveredCampaign>,
+}
+
+impl CampaignRunOptions<'_> {
+    /// Options for a plain (journal-less) run at `jobs` workers with the
+    /// standard retry policy.
+    pub fn with_jobs(jobs: usize) -> CampaignRunOptions<'static> {
+        CampaignRunOptions {
+            jobs,
+            retry: RetryPolicy::standard(),
+            journal: None,
+            recovered: None,
+        }
     }
 }
 
@@ -310,6 +377,67 @@ mod tests {
             .collect();
         let configured: Vec<_> = campaign.config().sessions.iter().map(|(p, _)| *p).collect();
         assert_eq!(starts, configured, "one header per session, in order");
+    }
+
+    #[test]
+    fn journaled_run_resumes_bit_identically() {
+        use crate::journal::{journal_path, start_or_resume};
+        use crate::trace::Logbook;
+
+        let dir =
+            std::env::temp_dir().join(format!("serscale-campaign-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let campaign = Campaign::new(quick_config(13, 0.01));
+
+        // Uninterrupted golden (journal-less observed run).
+        let mut golden_log = Logbook::new();
+        let golden = campaign.run_observed(2, &mut golden_log);
+
+        // A fresh journaled run must change nothing.
+        let (mut writer, recovered) =
+            start_or_resume(&dir, campaign.config()).expect("journal opens");
+        assert!(recovered.is_none(), "fresh directory must not recover");
+        let mut log = Logbook::new();
+        let report = campaign.run_recoverable(
+            CampaignRunOptions {
+                journal: Some(&mut writer),
+                ..CampaignRunOptions::with_jobs(2)
+            },
+            &mut log,
+        );
+        drop(writer);
+        assert_eq!(report, golden, "journaling perturbed the report");
+        assert_eq!(log, golden_log, "journaling perturbed the trace");
+
+        // Simulate a crash: drop the tail third of the journal.
+        let path = journal_path(&dir);
+        let text = std::fs::read_to_string(&path).expect("journal readable");
+        let lines: Vec<&str> = text.lines().collect();
+        let keep = (lines.len() * 2 / 3).max(1);
+        let mut truncated: String = lines[..keep].join("\n");
+        truncated.push('\n');
+        std::fs::write(&path, truncated).expect("truncate journal");
+
+        // Resume at a different worker count; report and trace must still
+        // match the uninterrupted golden bit for bit.
+        let (mut writer, recovered) =
+            start_or_resume(&dir, campaign.config()).expect("journal reopens");
+        let recovered = recovered.expect("truncated journal recovers a prefix");
+        assert!(recovered.trials_recovered() > 0);
+        let mut resumed_log = Logbook::new();
+        let resumed = campaign.run_recoverable(
+            CampaignRunOptions {
+                journal: Some(&mut writer),
+                recovered: Some(&recovered),
+                ..CampaignRunOptions::with_jobs(8)
+            },
+            &mut resumed_log,
+        );
+        drop(writer);
+        assert_eq!(resumed, golden, "resumed report diverged");
+        assert_eq!(resumed_log, golden_log, "resumed trace diverged");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

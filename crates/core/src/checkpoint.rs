@@ -33,6 +33,48 @@ pub struct CheckpointScheme {
     pub restart_cost: SimDuration,
 }
 
+/// The unvalidated wire shape of a [`CheckpointScheme`], e.g. as decoded
+/// from a config file. The workspace's `serde` is a deliberate no-op, so
+/// deserialization in this codebase is hand-rolled — and a hand-rolled
+/// (or derived) decode of `CheckpointScheme` itself would bypass
+/// [`CheckpointScheme::new`]'s zero-cost assertion and divide by zero in
+/// [`CheckpointScheme::inflation_factor`]. Decode into this raw struct
+/// instead and convert via `TryFrom`, which re-validates.
+#[derive(Debug, Clone, Copy, PartialEq, Deserialize)]
+pub struct RawCheckpointScheme {
+    /// Claimed checkpoint-write cost, in seconds.
+    pub checkpoint_cost_s: f64,
+    /// Claimed restart cost, in seconds.
+    pub restart_cost_s: f64,
+}
+
+impl TryFrom<RawCheckpointScheme> for CheckpointScheme {
+    type Error = String;
+
+    fn try_from(raw: RawCheckpointScheme) -> Result<Self, Self::Error> {
+        let duration = |name: &str, secs: f64| {
+            if !secs.is_finite() || secs < 0.0 {
+                return Err(format!(
+                    "{name} must be finite and non-negative, got {secs}"
+                ));
+            }
+            Ok(SimDuration::from_secs(secs))
+        };
+        let checkpoint_cost = duration("checkpoint_cost_s", raw.checkpoint_cost_s)?;
+        let restart_cost = duration("restart_cost_s", raw.restart_cost_s)?;
+        if checkpoint_cost.is_zero() {
+            return Err(
+                "checkpoint_cost_s must be positive (the Young/Daly optimum degenerates at zero)"
+                    .to_string(),
+            );
+        }
+        Ok(CheckpointScheme {
+            checkpoint_cost,
+            restart_cost,
+        })
+    }
+}
+
 impl CheckpointScheme {
     /// A typical in-memory/NVMe checkpoint for a node-sized footprint:
     /// 30 s to write, 60 s to restore (plus the work lost since the last
@@ -84,6 +126,39 @@ impl CheckpointScheme {
         let m = mtbf.as_secs();
         1.0 + c / tau + (tau / m) * (r / tau + 0.5)
     }
+
+    /// Serializes the scheme as a JSON object (the inverse of
+    /// [`from_json`](Self::from_json)).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"checkpoint_cost_s\":{},\"restart_cost_s\":{}}}",
+            crate::trace::fmt_f64(self.checkpoint_cost.as_secs()),
+            crate::trace::fmt_f64(self.restart_cost.as_secs())
+        )
+    }
+
+    /// Decodes a scheme from JSON through the validated
+    /// [`RawCheckpointScheme`] path — malformed input (zero checkpoint
+    /// cost, negative or non-finite durations) is an error, never a
+    /// scheme that later divides by zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntactic or semantic problem.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = crate::journal::Json::parse(text)?;
+        let field = |key: &str| {
+            value
+                .get(key)
+                .and_then(crate::journal::Json::f64)
+                .ok_or_else(|| format!("missing or non-numeric field {key:?}"))
+        };
+        let raw = RawCheckpointScheme {
+            checkpoint_cost_s: field("checkpoint_cost_s")?,
+            restart_cost_s: field("restart_cost_s")?,
+        };
+        CheckpointScheme::try_from(raw)
+    }
 }
 
 impl Default for CheckpointScheme {
@@ -125,6 +200,14 @@ pub fn ledger(
     scheme: &CheckpointScheme,
     power_model: &PowerModel,
 ) -> OperatingLedger {
+    // The promised validation, stated here and not left to `Fit::mttf`'s
+    // incidental assert: zero FIT would make the MTBF infinite, the
+    // optimal interval infinite, and `inflation_factor` ∞/∞ = NaN — which
+    // `compare_to_nominal` would then silently propagate.
+    assert!(
+        fit.get() > 0.0,
+        "ledger undefined at zero FIT (no failures ⇒ no checkpointing needed)"
+    );
     let mtbf = fit.mttf();
     let inflation = scheme.inflation_factor(mtbf);
     let power = power_model.total_power(point);
@@ -240,6 +323,66 @@ mod tests {
             .find(|(p, _)| *p == OperatingPoint::vmin_2400())
             .unwrap();
         assert!(vmin.1 > safe.1, "Vmin must pay more recovery than 930 mV");
+    }
+
+    #[test]
+    #[should_panic(expected = "ledger undefined at zero FIT")]
+    fn zero_fit_ledger_panics_instead_of_nan() {
+        let _ = ledger(
+            OperatingPoint::nominal(),
+            Fit::ZERO,
+            &scheme(),
+            &PowerModel::xgene2(),
+        );
+    }
+
+    #[test]
+    fn scheme_json_round_trips_through_validation() {
+        let original =
+            CheckpointScheme::new(SimDuration::from_secs(12.5), SimDuration::from_secs(60.0));
+        let decoded = CheckpointScheme::from_json(&original.to_json()).expect("round-trip");
+        assert_eq!(decoded, original);
+        // The degenerate zero restart cost is legal; zero checkpoint cost
+        // is not.
+        let zero_restart =
+            CheckpointScheme::from_json("{\"checkpoint_cost_s\":30.0,\"restart_cost_s\":0.0}")
+                .expect("zero restart cost is valid");
+        assert!(zero_restart.restart_cost.is_zero());
+    }
+
+    #[test]
+    fn hostile_scheme_json_is_rejected_not_divided_by() {
+        for (label, text) in [
+            (
+                "zero checkpoint cost",
+                "{\"checkpoint_cost_s\":0.0,\"restart_cost_s\":60.0}",
+            ),
+            (
+                "negative checkpoint cost",
+                "{\"checkpoint_cost_s\":-30.0,\"restart_cost_s\":60.0}",
+            ),
+            (
+                "negative restart cost",
+                "{\"checkpoint_cost_s\":30.0,\"restart_cost_s\":-1.0}",
+            ),
+            (
+                "non-finite cost",
+                "{\"checkpoint_cost_s\":1e999,\"restart_cost_s\":60.0}",
+            ),
+            ("missing field", "{\"checkpoint_cost_s\":30.0}"),
+            ("not json", "checkpoint_cost_s=30"),
+        ] {
+            assert!(
+                CheckpointScheme::from_json(text).is_err(),
+                "{label} must be rejected"
+            );
+        }
+        // And the TryFrom path itself, as a config loader would use it.
+        let raw = RawCheckpointScheme {
+            checkpoint_cost_s: 0.0,
+            restart_cost_s: 60.0,
+        };
+        assert!(CheckpointScheme::try_from(raw).is_err());
     }
 
     #[test]

@@ -115,9 +115,12 @@ impl DeviceUnderTest {
     pub fn paper_vmin(frequency: Megahertz) -> Millivolts {
         let f = f64::from(frequency.get());
         let mv = 790.0 + (f - 900.0) * (130.0 / 1500.0);
-        // Round up to the 5 mV regulator grid (a safe Vmin must be safe).
+        // Round up to the 5 mV regulator grid (a safe Vmin must be safe) —
+        // but epsilon-tolerantly: the interpolation accumulates float error,
+        // so an exactly-on-grid value (920 mV at 2.4 GHz comes out as
+        // 920.0000…01) must not be bumped a whole step to 925.
         let step = f64::from(Millivolts::STEP);
-        Millivolts::new(((mv / step).ceil() * step) as u32)
+        Millivolts::new(((mv / step - 1e-9).ceil() * step) as u32)
     }
 
     /// The platform model.
@@ -238,6 +241,31 @@ mod tests {
         let mid = DeviceUnderTest::paper_vmin(Megahertz::new(1500));
         assert!(mid > Millivolts::new(790) && mid < Millivolts::new(920));
         assert!(mid.is_step_aligned());
+    }
+
+    /// Regression for the double-rounding hazard in the Vmin grid snap:
+    /// an interpolated value that is exactly on the 5 mV grid must not be
+    /// bumped a whole step by float noise in `ceil`. Expected values are
+    /// computed in exact integer arithmetic (`mv = 790 + (f−900)·13/150`
+    /// mV, snapped to the smallest 5 mV multiple ≥ the exact value).
+    #[test]
+    fn vmin_snap_is_grid_exact() {
+        let exact_snap = |f: u32| {
+            // ceil((790·150 + (f−900)·13) / (150·5)) · 5, all in integers.
+            let num = 790 * 150 + (u64::from(f) - 900) * 13;
+            let den = 150 * 5;
+            Millivolts::new(u32::try_from(num.div_ceil(den) * 5).unwrap())
+        };
+        // The 300 MHz PLL grid, plus 1650 MHz — the only interior frequency
+        // whose exact interpolation (855 mV) lands on the regulator grid.
+        for f in (900..=2400).step_by(300).chain([1650]) {
+            let got = DeviceUnderTest::paper_vmin(Megahertz::new(f));
+            assert_eq!(got, exact_snap(f), "f = {f} MHz");
+            assert!(got.is_step_aligned(), "f = {f} MHz");
+        }
+        assert_eq!(exact_snap(900), Millivolts::new(790));
+        assert_eq!(exact_snap(1650), Millivolts::new(855));
+        assert_eq!(exact_snap(2400), Millivolts::new(920));
     }
 
     /// Live rates exceed Table 2's wall-clock rates by the ≈9% dead-time

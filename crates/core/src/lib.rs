@@ -41,6 +41,9 @@
 //!   the introduction's open question about recovery overheads;
 //! * [`ablation`] — switch each modelled mechanism off and watch its
 //!   measured effect disappear;
+//! * [`journal`] — the crash-safe run journal: fsync'd JSONL records of
+//!   every absorbed trial, replayed by `repro --resume` into a report
+//!   bit-identical to an uninterrupted run;
 //! * [`parallel`] — the deterministic worker pool behind
 //!   `--jobs N`: order-canonicalized work stealing with panic isolation,
 //!   yielding bit-identical campaign reports at any thread count;
@@ -85,6 +88,7 @@ pub mod classify;
 pub mod dut;
 pub mod explore;
 pub mod fit;
+pub mod journal;
 pub mod parallel;
 pub mod policy;
 pub mod report;

@@ -28,6 +28,7 @@ use serscale_workload::Benchmark;
 
 use crate::classify::{FailureClass, RunVerdict};
 use crate::dut::DeviceUnderTest;
+use crate::journal::{JournalWriter, Record, RecoveredSession};
 use crate::runner::{BenchmarkRunner, RunOutcome};
 
 /// When a session ends.
@@ -68,6 +69,101 @@ impl SessionLimits {
 impl Default for SessionLimits {
     fn default() -> Self {
         Self::standard()
+    }
+}
+
+/// How the engine handles a trial whose attempt panics or times out:
+/// bounded retries on counter-derived streams, then quarantine.
+///
+/// Attempt 0 runs on the canonical per-trial stream — with no failures
+/// the robust path is bit-identical to the plain one. Attempt `a ≥ 1`
+/// re-runs on `stream("trial", &[trial, a])`, a pure function of the
+/// session seed, so retried physics is deterministic and independent of
+/// scheduling. Backoff between attempts is *host* time (exponential,
+/// capped) and never touches the simulated clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retry attempts after the first failure before quarantining.
+    pub max_retries: u32,
+    /// Base host-time backoff before a retry (doubled per attempt,
+    /// capped at one second).
+    pub backoff: std::time::Duration,
+    /// Host-time budget per attempt; a trial exceeding it is treated as
+    /// failed. `None` (the default) disables the watchdog — timeouts
+    /// depend on host scheduling, so enabling one trades determinism of
+    /// the *retry counters* (never of a completed run's physics) for
+    /// hang protection.
+    pub timeout: Option<std::time::Duration>,
+}
+
+impl RetryPolicy {
+    /// The default policy: 2 retries, 10 ms base backoff, no watchdog.
+    pub fn standard() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            backoff: std::time::Duration::from_millis(10),
+            timeout: None,
+        }
+    }
+
+    /// The standard policy with a per-attempt watchdog.
+    pub fn with_timeout(timeout: std::time::Duration) -> Self {
+        RetryPolicy {
+            timeout: Some(timeout),
+            ..Self::standard()
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// One executed trial as the canonical merge absorbs it: the outcome
+/// plus the robustness bookkeeping the journal and the report carry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialExecution {
+    /// Trial index within the session.
+    pub trial: u64,
+    /// What the (final) attempt produced — or the synthetic placeholder
+    /// if the trial was quarantined.
+    pub outcome: RunOutcome,
+    /// Failed attempts that preceded the final one.
+    pub retries: u32,
+    /// Whether every attempt failed; a quarantined outcome advances the
+    /// clock and the fluence ledger but contributes no runs or events.
+    pub quarantined: bool,
+}
+
+/// How to execute a session: worker count, retry policy, and the
+/// crash-safety hooks (journal to append to, journaled history to
+/// fast-forward through).
+#[derive(Debug)]
+pub struct ExecutionPlan<'a> {
+    /// Worker threads for the speculative waves.
+    pub jobs: usize,
+    /// Retry/quarantine policy for failing trials.
+    pub retry: RetryPolicy,
+    /// Journal to append absorbed trials to (fsync'd once per wave).
+    pub journal: Option<&'a mut JournalWriter>,
+    /// Journaled history to replay before executing live.
+    pub recovered: Option<&'a RecoveredSession>,
+    /// This session's index in its campaign (tags journal records).
+    pub session_index: u64,
+}
+
+impl ExecutionPlan<'static> {
+    /// A plain plan: `jobs` workers, standard retries, no journal.
+    pub fn with_jobs(jobs: usize) -> Self {
+        ExecutionPlan {
+            jobs,
+            retry: RetryPolicy::standard(),
+            journal: None,
+            recovered: None,
+            session_index: 0,
+        }
     }
 }
 
@@ -132,6 +228,13 @@ pub struct SessionReport {
     pub edac_per_level: LevelCounts,
     /// Per-benchmark stats — Figure 5.
     pub per_benchmark: BTreeMap<Benchmark, BenchmarkStats>,
+    /// Retry attempts consumed by panicking or timed-out trials (zero in
+    /// a healthy run). See [`RetryPolicy`].
+    pub trial_retries: u64,
+    /// Trial indices quarantined after exhausting every retry: their
+    /// beam time is on the clock and the fluence ledger, but they
+    /// contributed no runs, upsets or error events.
+    pub quarantined_trials: Vec<u64>,
 }
 
 impl SessionReport {
@@ -275,7 +378,36 @@ impl TestSession {
         jobs: usize,
         observer: &mut dyn crate::trace::SessionObserver,
     ) -> SessionReport {
-        assert!(jobs > 0, "a session needs at least one worker");
+        self.run_planned(rng, ExecutionPlan::with_jobs(jobs), observer)
+    }
+
+    /// The crash-safe general entry point: executes under an
+    /// [`ExecutionPlan`] — `jobs` workers, retry/quarantine on failing
+    /// trials, optional journaling of every absorbed trial, and optional
+    /// replay of a journaled history before going live.
+    ///
+    /// Replayed trials are folded through the exact accumulator the live
+    /// path uses (no physics re-run) and every RNG stream re-derives from
+    /// the caller's generator, so an interrupted-and-resumed session
+    /// produces a report and observer trace bit-identical to an
+    /// uninterrupted one at any `jobs` count (wave boundaries restart on
+    /// resume, but [`WaveStats`](crate::trace::WaveStats) is engine
+    /// telemetry that trace observers ignore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan.jobs == 0`, if the journal cannot be synced to
+    /// stable storage (crash safety would silently be lost), or if the
+    /// recovered history is inconsistent with this session's
+    /// configuration (wrong trial order, or a journaled stop reason the
+    /// replay cannot reproduce).
+    pub fn run_planned(
+        &mut self,
+        rng: &mut SimRng,
+        mut plan: ExecutionPlan<'_>,
+        observer: &mut dyn crate::trace::SessionObserver,
+    ) -> SessionReport {
+        assert!(plan.jobs > 0, "a session needs at least one worker");
         let flux = self.runner.flux();
         let point = self.runner.dut().operating_point();
         observer.on_session_start(SimInstant::EPOCH, point);
@@ -284,53 +416,132 @@ impl TestSession {
         // from this root alone, independent of scheduling.
         let session_rng = SimRng::seed_from(rng.next_seed());
 
+        if plan.recovered.is_none() {
+            if let Some(journal) = plan.journal.as_deref_mut() {
+                journal.append(&Record::SessionStart {
+                    session: plan.session_index,
+                    point,
+                });
+                journal.sync().expect("run journal sync failed");
+            }
+        }
+
         let mut acc = Accumulator::new(flux, self.limits);
         let mut next_trial = 0u64;
-        let stop_reason = 'session: loop {
-            let wave_clock = std::time::Instant::now();
-            let wave = self.wave_size(&acc, jobs, next_trial);
-            let trials: Vec<u64> = (next_trial..next_trial + wave as u64).collect();
-            let outcomes = if jobs == 1 {
-                let runner = &mut self.runner;
-                trials
-                    .into_iter()
-                    .map(|t| run_trial(runner, &session_rng, t))
-                    .collect()
-            } else {
-                let dut = self.runner.dut().clone();
-                let root = &session_rng;
-                crate::parallel::par_map_with(
-                    jobs,
-                    trials,
-                    move || BenchmarkRunner::new(dut.clone(), flux),
-                    |runner, trial| run_trial(runner, root, trial),
-                )
-            };
-            // Canonical merge: trial order, stop rules exact; outcomes past
-            // the stopping trial are speculation and fall on the floor.
-            let mut absorbed = 0usize;
-            let mut stopped = None;
-            for outcome in outcomes {
-                let run_only = self.runner.run_duration(outcome.benchmark);
-                absorbed += 1;
-                if let Some(reason) = acc.absorb(outcome, run_only, observer) {
-                    stopped = Some(reason);
+        let mut replayed_stop = None;
+
+        // Fast-forward: fold the journaled trials through the same
+        // accumulator and observer the live path drives. No physics
+        // re-runs; the stream is exactly what the interrupted run saw.
+        if let Some(recovered) = plan.recovered {
+            for execution in &recovered.trials {
+                assert_eq!(execution.trial, next_trial, "journal trials out of order");
+                let run_only = self.runner.run_duration(execution.outcome.benchmark);
+                let reason = acc.absorb_execution(execution.clone(), run_only, observer);
+                next_trial += 1;
+                if let Some(reason) = reason {
+                    assert_eq!(
+                        next_trial,
+                        recovered.trials.len() as u64,
+                        "journal holds trials past the stopping rule"
+                    );
+                    if let Some(journaled) = recovered.ended {
+                        assert_eq!(
+                            journaled, reason,
+                            "journaled stop reason disagrees with replay"
+                        );
+                    }
+                    replayed_stop = Some(reason);
                     break;
                 }
             }
-            // Engine telemetry only — the host clock has no business in
-            // the simulation, and trace observers ignore this callback.
-            observer.on_wave(crate::trace::WaveStats {
-                first_trial: next_trial,
-                planned: wave,
-                absorbed,
-                host_nanos: u64::try_from(wave_clock.elapsed().as_nanos()).unwrap_or(u64::MAX),
-            });
-            if let Some(reason) = stopped {
-                break 'session reason;
+            if replayed_stop.is_none() {
+                assert_eq!(
+                    recovered.ended, None,
+                    "journal says the session ended but replay finds no stopping rule"
+                );
             }
-            next_trial += wave as u64;
+        }
+
+        let stop_reason = match replayed_stop {
+            Some(reason) => reason,
+            None => loop {
+                let wave_clock = std::time::Instant::now();
+                let wave = self.wave_size(&acc, plan.jobs, next_trial);
+                let trials: Vec<u64> = (next_trial..next_trial + wave as u64).collect();
+                let retry = plan.retry;
+                let executions: Vec<TrialExecution> = if plan.jobs == 1 {
+                    let runner = &mut self.runner;
+                    trials
+                        .into_iter()
+                        .map(|t| run_trial_robust(runner, &session_rng, t, retry))
+                        .collect()
+                } else {
+                    let dut = self.runner.dut().clone();
+                    let root = &session_rng;
+                    crate::parallel::par_map_with(
+                        plan.jobs,
+                        trials,
+                        move || BenchmarkRunner::new(dut.clone(), flux),
+                        |runner, trial| run_trial_robust(runner, root, trial, retry),
+                    )
+                };
+                // Canonical merge: trial order, stop rules exact; outcomes
+                // past the stopping trial are speculation and fall on the
+                // floor. Absorbed trials are journaled (buffered) and the
+                // journal is fsync'd once per wave below.
+                let mut absorbed = 0usize;
+                let mut wave_retries = 0u64;
+                let mut wave_quarantined = 0u64;
+                let mut stopped = None;
+                for execution in executions {
+                    let run_only = self.runner.run_duration(execution.outcome.benchmark);
+                    absorbed += 1;
+                    wave_retries += u64::from(execution.retries);
+                    wave_quarantined += u64::from(execution.quarantined);
+                    if let Some(journal) = plan.journal.as_deref_mut() {
+                        journal.append(&Record::Trial {
+                            session: plan.session_index,
+                            execution: execution.clone(),
+                        });
+                    }
+                    if let Some(reason) = acc.absorb_execution(execution, run_only, observer) {
+                        stopped = Some(reason);
+                        break;
+                    }
+                }
+                if let Some(journal) = plan.journal.as_deref_mut() {
+                    journal.sync().expect("run journal sync failed");
+                }
+                // Engine telemetry only — the host clock has no business in
+                // the simulation, and trace observers ignore this callback.
+                observer.on_wave(crate::trace::WaveStats {
+                    first_trial: next_trial,
+                    planned: wave,
+                    absorbed,
+                    host_nanos: u64::try_from(wave_clock.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    retries: wave_retries,
+                    quarantined: wave_quarantined,
+                });
+                if let Some(reason) = stopped {
+                    break reason;
+                }
+                next_trial += wave as u64;
+            },
         };
+
+        if let Some(journal) = plan.journal.as_deref_mut() {
+            // A session the journal already closed needs no second end
+            // record; everything else (fresh, or recovered mid-flight)
+            // gets one now.
+            if plan.recovered.is_none_or(|r| r.ended.is_none()) {
+                journal.append(&Record::SessionEnd {
+                    session: plan.session_index,
+                    reason: stop_reason,
+                });
+            }
+            journal.sync().expect("run journal sync failed");
+        }
 
         observer.on_session_end(acc.clock, stop_reason);
         acc.into_report(point, stop_reason)
@@ -369,9 +580,14 @@ impl TestSession {
         let mut acc = Accumulator::new(flux, self.limits);
         let mut trial = 0u64;
         let stop_reason = loop {
-            let outcome = run_trial(&mut self.runner, &session_rng, trial);
-            let run_only = self.runner.run_duration(outcome.benchmark);
-            if let Some(reason) = acc.absorb(outcome, run_only, observer) {
+            let execution = run_trial_robust(
+                &mut self.runner,
+                &session_rng,
+                trial,
+                RetryPolicy::standard(),
+            );
+            let run_only = self.runner.run_duration(execution.outcome.benchmark);
+            if let Some(reason) = acc.absorb_execution(execution, run_only, observer) {
                 break reason;
             }
             trial += 1;
@@ -431,13 +647,73 @@ impl TestSession {
     }
 }
 
-/// Runs trial `t` of a session: benchmark `ALL[t % 6]` on the
-/// counter-derived stream for `t`, timestamped from the epoch (the merge
-/// re-bases timestamps onto the session clock).
-fn run_trial(runner: &mut BenchmarkRunner, session_rng: &SimRng, trial: u64) -> RunOutcome {
+/// Runs trial `t` of a session under a [`RetryPolicy`]: benchmark
+/// `ALL[t % 6]` on the counter-derived stream for `t`, timestamped from
+/// the epoch (the merge re-bases timestamps onto the session clock).
+///
+/// Attempt 0 runs on the canonical stream `("trial", [t])` — with no
+/// failures this is bit-identical to the plain path. A panicking or
+/// timed-out attempt `a` is retried on `("trial", [t, a + 1])` after an
+/// exponential host-time backoff; when every attempt fails the trial is
+/// quarantined behind a synthetic placeholder outcome (correct verdict,
+/// no events, the benchmark's nominal beam time) so one poisoned trial
+/// cannot take down the wave.
+fn run_trial_robust(
+    runner: &mut BenchmarkRunner,
+    session_rng: &SimRng,
+    trial: u64,
+    policy: RetryPolicy,
+) -> TrialExecution {
     let benchmark = Benchmark::ALL[(trial % Benchmark::ALL.len() as u64) as usize];
-    let mut rng = session_rng.stream("trial", &[trial]);
-    runner.run_once(&mut rng, benchmark, SimInstant::EPOCH)
+    for attempt in 0..=policy.max_retries {
+        let mut rng = if attempt == 0 {
+            session_rng.stream("trial", &[trial])
+        } else {
+            session_rng.stream("trial", &[trial, u64::from(attempt)])
+        };
+        let result = match policy.timeout {
+            None => crate::parallel::call_caught(|| {
+                runner.run_once(&mut rng, benchmark, SimInstant::EPOCH)
+            }),
+            Some(limit) => {
+                // The watchdogged attempt runs on a helper thread with its
+                // own runner so a hung attempt can be abandoned.
+                let dut = runner.dut().clone();
+                let flux = runner.flux();
+                crate::parallel::call_with_deadline(limit, move || {
+                    let mut fresh = BenchmarkRunner::new(dut, flux);
+                    fresh.run_once(&mut rng, benchmark, SimInstant::EPOCH)
+                })
+            }
+        };
+        match result {
+            Ok(outcome) => {
+                return TrialExecution {
+                    trial,
+                    outcome,
+                    retries: attempt,
+                    quarantined: false,
+                }
+            }
+            Err(_) if attempt < policy.max_retries => {
+                std::thread::sleep(crate::parallel::backoff_delay(policy.backoff, attempt));
+            }
+            Err(_) => {}
+        }
+    }
+    let wall_time = runner.run_duration(benchmark);
+    TrialExecution {
+        trial,
+        outcome: RunOutcome {
+            benchmark,
+            verdict: RunVerdict::Correct,
+            edac: Vec::new(),
+            wall_time,
+            sram_strikes: 0,
+        },
+        retries: policy.max_retries,
+        quarantined: true,
+    }
 }
 
 /// The shard-merge state: everything the sequential loop used to carry,
@@ -453,6 +729,8 @@ struct Accumulator {
     memory_upsets: u64,
     sdc_with_notification: u64,
     runs: u64,
+    trial_retries: u64,
+    quarantined: Vec<u64>,
 }
 
 impl Accumulator {
@@ -468,11 +746,35 @@ impl Accumulator {
             memory_upsets: 0,
             sdc_with_notification: 0,
             runs: 0,
+            trial_retries: 0,
+            quarantined: Vec::new(),
         }
     }
 
     fn error_events(&self) -> u64 {
         self.failures.values().sum()
+    }
+
+    /// Folds one [`TrialExecution`] in — the unit the journal records and
+    /// the replay path re-absorbs. A quarantined execution advances the
+    /// clock and the fluence ledger (beam time passed even though the
+    /// trial produced no verdict) and is surfaced via
+    /// [`SessionReport::quarantined_trials`], but drives no observer
+    /// callbacks and contributes no runs, upsets or events.
+    fn absorb_execution(
+        &mut self,
+        execution: TrialExecution,
+        run_only: SimDuration,
+        observer: &mut dyn crate::trace::SessionObserver,
+    ) -> Option<StopReason> {
+        self.trial_retries += u64::from(execution.retries);
+        if execution.quarantined {
+            self.clock += execution.outcome.wall_time;
+            self.ledger.record(self.flux, execution.outcome.wall_time);
+            self.quarantined.push(execution.trial);
+            return self.check_stop_rules();
+        }
+        self.absorb(execution.outcome, run_only, observer)
     }
 
     /// Folds one trial outcome in, drives the observer, and evaluates the
@@ -526,6 +828,11 @@ impl Accumulator {
             }
         }
 
+        self.check_stop_rules()
+    }
+
+    /// Evaluates the stopping rules in their canonical order.
+    fn check_stop_rules(&self) -> Option<StopReason> {
         if self.error_events() >= self.limits.max_error_events {
             return Some(StopReason::ErrorEvents);
         }
@@ -552,6 +859,8 @@ impl Accumulator {
             memory_upsets: self.memory_upsets,
             edac_per_level: self.edac_per_level,
             per_benchmark: self.per_benchmark,
+            trial_retries: self.trial_retries,
+            quarantined_trials: self.quarantined,
         }
     }
 }
@@ -971,5 +1280,71 @@ mod tests {
                 "run {i}"
             );
         }
+    }
+
+    /// A zero per-attempt budget fails every attempt without launching
+    /// it, so every trial exhausts its retries and is quarantined: the
+    /// session still terminates on beam time (placeholders keep the
+    /// clock honest), tallies nothing, surfaces every index — and stays
+    /// bit-identical across `jobs` (placeholders carry no randomness).
+    #[test]
+    fn zero_timeout_quarantines_every_trial_deterministically() {
+        let run = |jobs: usize| {
+            let mut session = TestSession::new(
+                dut(OperatingPoint::nominal()),
+                Flux::per_cm2_s(WORKING_FLUX),
+                SessionLimits::time_boxed(SimDuration::from_minutes(5.0)),
+            );
+            let mut rng = SimRng::seed_from(31);
+            let plan = ExecutionPlan {
+                jobs,
+                retry: RetryPolicy {
+                    max_retries: 1,
+                    backoff: std::time::Duration::ZERO,
+                    timeout: Some(std::time::Duration::ZERO),
+                },
+                journal: None,
+                recovered: None,
+                session_index: 0,
+            };
+            session.run_planned(&mut rng, plan, &mut crate::trace::NoopObserver)
+        };
+        let report = run(1);
+        assert_eq!(report.stop_reason, StopReason::BeamTime);
+        assert_eq!(report.runs, 0, "every trial quarantined");
+        assert_eq!(report.memory_upsets, 0);
+        assert_eq!(report.error_events(), 0);
+        let n = report.quarantined_trials.len() as u64;
+        assert!(n > 0);
+        assert_eq!(report.quarantined_trials, (0..n).collect::<Vec<_>>());
+        assert_eq!(report.trial_retries, n, "one retry per quarantined trial");
+        assert_eq!(run(4), report, "quarantine path must stay deterministic");
+    }
+
+    /// The robust path at the default policy is bit-identical to the
+    /// engine's historical behavior: attempt 0 uses the unchanged
+    /// canonical trial stream.
+    #[test]
+    fn robust_path_matches_plain_run_when_nothing_fails() {
+        let make = || {
+            TestSession::new(
+                dut(OperatingPoint::vmin_2400()),
+                Flux::per_cm2_s(WORKING_FLUX),
+                SessionLimits::time_boxed(SimDuration::from_minutes(20.0)),
+            )
+        };
+        let plain = make().run(&mut SimRng::seed_from(17));
+        let mut planned = make();
+        let report = planned.run_planned(
+            &mut SimRng::seed_from(17),
+            ExecutionPlan {
+                retry: RetryPolicy::with_timeout(std::time::Duration::from_secs(30)),
+                ..ExecutionPlan::with_jobs(2)
+            },
+            &mut crate::trace::NoopObserver,
+        );
+        assert_eq!(report, plain);
+        assert_eq!(report.trial_retries, 0);
+        assert!(report.quarantined_trials.is_empty());
     }
 }

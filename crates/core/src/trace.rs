@@ -73,6 +73,11 @@ pub struct WaveStats {
     pub absorbed: usize,
     /// Host wall-clock nanoseconds spent executing and merging the wave.
     pub host_nanos: u64,
+    /// Retry attempts spent by this wave's absorbed trials (panicking or
+    /// timed-out attempts re-run on their own counter-derived streams).
+    pub retries: u64,
+    /// Absorbed trials that exhausted every retry and were quarantined.
+    pub quarantined: u64,
 }
 
 impl WaveStats {
@@ -347,7 +352,9 @@ impl LogEvent {
 
 /// Full-precision, bit-stable float formatting for the JSONL trace (the
 /// shortest representation that round-trips, which `{}` guarantees).
-fn fmt_f64(x: f64) -> String {
+/// Shared with the run journal, whose resume-equivalence contract leans
+/// on the exact-round-trip property.
+pub(crate) fn fmt_f64(x: f64) -> String {
     if x == x.trunc() && x.abs() < 1e15 {
         // Keep integral values valid JSON numbers with a decimal point so
         // consumers that distinguish int/float see a stable type.
@@ -360,7 +367,7 @@ fn fmt_f64(x: f64) -> String {
 /// Escapes a string into a JSON string literal (benchmark and array names
 /// are ASCII identifiers today, but the trace format should not depend on
 /// that staying true).
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -576,6 +583,8 @@ mod tests {
             planned: 32,
             absorbed: 32,
             host_nanos: 1,
+            retries: 0,
+            quarantined: 0,
         };
         assert!((full.efficiency() - 1.0).abs() < 1e-12);
         let cut = WaveStats {
@@ -583,6 +592,8 @@ mod tests {
             planned: 32,
             absorbed: 8,
             host_nanos: 1,
+            retries: 0,
+            quarantined: 0,
         };
         assert!((cut.efficiency() - 0.25).abs() < 1e-12);
     }

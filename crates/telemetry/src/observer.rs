@@ -61,6 +61,8 @@ struct SessionState {
     wave_latency: Histogram,
     wave_planned: Counter,
     wave_absorbed: Counter,
+    trial_retries: Counter,
+    quarantined_trials: Counter,
 }
 
 impl SessionState {
@@ -84,6 +86,8 @@ impl SessionState {
             wave_latency: shard.histogram("wave_merge_latency", &[("voltage", &voltage)]),
             wave_planned: shard.counter("wave_trials_planned_total", &[("voltage", &voltage)]),
             wave_absorbed: shard.counter("wave_trials_absorbed_total", &[("voltage", &voltage)]),
+            trial_retries: shard.counter("trial_retries", &[("voltage", &voltage)]),
+            quarantined_trials: shard.counter("quarantined_trials", &[("voltage", &voltage)]),
             voltage,
             voltage_json,
         }
@@ -429,6 +433,8 @@ impl SessionObserver for TelemetryObserver {
         state.wave_latency.observe(stats.host_nanos as f64 / 1e9);
         state.wave_planned.add(stats.planned as u64);
         state.wave_absorbed.add(stats.absorbed as u64);
+        state.trial_retries.add(stats.retries);
+        state.quarantined_trials.add(stats.quarantined);
         let now = self.tracer.now_ns();
         self.tracer.record_complete(
             SpanLevel::Wave,
@@ -440,6 +446,8 @@ impl SessionObserver for TelemetryObserver {
                 ("planned", &stats.planned.to_string()),
                 ("absorbed", &stats.absorbed.to_string()),
                 ("efficiency", &format!("{:.4}", stats.efficiency())),
+                ("retries", &stats.retries.to_string()),
+                ("quarantined", &stats.quarantined.to_string()),
             ],
         );
     }
@@ -531,6 +539,39 @@ mod tests {
             .iter()
             .filter(|r| r.level == SpanLevel::Wave)
             .all(|r| r.parent == session_id));
+    }
+
+    #[test]
+    fn retry_and_quarantine_counters_surface() {
+        use serscale_core::session::{ExecutionPlan, RetryPolicy};
+        let sink = TelemetrySink::in_memory(TelemetryOptions::default());
+        let mut observer = sink.observer();
+        let point = OperatingPoint::nominal();
+        let dut = DeviceUnderTest::xgene2(point, DeviceUnderTest::paper_vmin(point.frequency));
+        let mut session = TestSession::new(
+            dut,
+            Flux::per_cm2_s(1.5e6),
+            SessionLimits::time_boxed(SimDuration::from_minutes(5.0)),
+        );
+        // A zero trial timeout fails every attempt, so every trial is
+        // retried once and then quarantined.
+        let mut plan = ExecutionPlan::with_jobs(2);
+        plan.retry = RetryPolicy {
+            max_retries: 1,
+            backoff: std::time::Duration::ZERO,
+            timeout: Some(std::time::Duration::ZERO),
+        };
+        let report = session.run_planned(&mut SimRng::seed_from(9), plan, &mut observer);
+        assert!(!report.quarantined_trials.is_empty());
+        let snap = sink.registry().snapshot();
+        assert_eq!(
+            snap.counter_total("quarantined_trials", &[]),
+            report.quarantined_trials.len() as u64
+        );
+        assert_eq!(
+            snap.counter_total("trial_retries", &[]),
+            report.trial_retries
+        );
     }
 
     #[test]

@@ -17,8 +17,9 @@
 //! stopping rule, a merge reordering, a worker-count-dependent draw —
 //! shows up here as an inequality, with no statistics needed.
 
-use serscale_core::campaign::{Campaign, CampaignConfig, CampaignReport};
+use serscale_core::campaign::{Campaign, CampaignConfig, CampaignReport, CampaignRunOptions};
 use serscale_core::dut::DeviceUnderTest;
+use serscale_core::journal::{journal_path, start_or_resume};
 use serscale_core::session::{SessionLimits, TestSession};
 use serscale_core::trace::Logbook;
 use serscale_soc::platform::OperatingPoint;
@@ -159,6 +160,160 @@ impl StatOracle for TraceEquivalence {
     }
 }
 
+/// An interrupted-and-resumed journaled campaign reproduces the
+/// uninterrupted run bit for bit — report *and* trace — at `jobs` 1 and
+/// 8, with the interruption landing both on a record boundary and
+/// mid-record (a torn write the recovery must truncate away).
+pub struct ResumeEquivalence;
+
+impl ResumeEquivalence {
+    /// One truncate-and-resume round; returns the checks it produced.
+    fn round(
+        campaign: &Campaign,
+        golden: &CampaignReport,
+        golden_log: &Logbook,
+        dir: &std::path::Path,
+        keep: TruncationPoint,
+        jobs: usize,
+        label: &str,
+    ) -> Vec<CheckResult> {
+        let fail = |detail: String| vec![CheckResult::new(label, false, detail)];
+
+        // Write a complete journal, then chop its tail.
+        let _ = std::fs::remove_dir_all(dir);
+        let (mut writer, recovered) = match start_or_resume(dir, campaign.config()) {
+            Ok(pair) => pair,
+            Err(e) => return fail(format!("journal open failed: {e}")),
+        };
+        if recovered.is_some() {
+            return fail("fresh directory unexpectedly recovered".into());
+        }
+        let mut log = Logbook::new();
+        let full = campaign.run_recoverable(
+            CampaignRunOptions {
+                journal: Some(&mut writer),
+                ..CampaignRunOptions::with_jobs(jobs)
+            },
+            &mut log,
+        );
+        drop(writer);
+        if &full != golden || &log != golden_log {
+            return fail("journaled run diverged from uninterrupted run".into());
+        }
+        let path = journal_path(dir);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => return fail(format!("journal unreadable: {e}")),
+        };
+        let cut = match keep {
+            TruncationPoint::RecordBoundary(fraction) => {
+                let lines: Vec<&str> = text.lines().collect();
+                let keep_lines = ((lines.len() as f64 * fraction) as usize).max(1);
+                lines[..keep_lines].join("\n") + "\n"
+            }
+            TruncationPoint::MidRecord => {
+                // Keep half the bytes: almost surely tears a record, which
+                // recovery must detect (via the per-line digest) and drop.
+                text[..text.len() / 2].to_string()
+            }
+        };
+        if let Err(e) = std::fs::write(&path, cut) {
+            return fail(format!("truncation failed: {e}"));
+        }
+
+        // Resume and compare.
+        let (mut writer, recovered) = match start_or_resume(dir, campaign.config()) {
+            Ok(pair) => pair,
+            Err(e) => return fail(format!("resume open failed: {e}")),
+        };
+        let mut resumed_log = Logbook::new();
+        let resumed = campaign.run_recoverable(
+            CampaignRunOptions {
+                journal: Some(&mut writer),
+                recovered: recovered.as_ref(),
+                ..CampaignRunOptions::with_jobs(jobs)
+            },
+            &mut resumed_log,
+        );
+        drop(writer);
+        let report_ok = &resumed == golden;
+        let trace_ok = &resumed_log == golden_log;
+        let replayed = recovered.as_ref().map_or(0, |r| r.trials_recovered());
+        vec![CheckResult::new(
+            label,
+            report_ok && trace_ok,
+            if report_ok && trace_ok {
+                format!("resume after {replayed} replayed trials bit-identical (jobs={jobs})")
+            } else {
+                format!(
+                    "resume diverged (jobs={jobs}, report ok: {report_ok}, trace ok: {trace_ok})"
+                )
+            },
+        )]
+    }
+}
+
+/// Where [`ResumeEquivalence`] cuts the journal before resuming.
+enum TruncationPoint {
+    /// Keep this fraction of complete records (a clean crash between
+    /// fsync'd waves).
+    RecordBoundary(f64),
+    /// Cut mid-line (a torn write during the crash).
+    MidRecord,
+}
+
+impl StatOracle for ResumeEquivalence {
+    fn name(&self) -> &'static str {
+        "resume-equivalence"
+    }
+
+    fn family(&self) -> OracleFamily {
+        OracleFamily::Differential
+    }
+
+    fn claim(&self) -> &'static str {
+        "Interrupted + resumed campaigns reproduce uninterrupted runs bit for bit"
+    }
+
+    fn run(&self, ctx: &OracleContext) -> OracleReport {
+        let campaign = Campaign::new(campaign_config(ctx, self.name()));
+        let mut golden_log = Logbook::new();
+        let golden = campaign.run_observed(1, &mut golden_log);
+        let mut checks = vec![CheckResult::new(
+            "golden-baseline",
+            golden.sessions.iter().any(|s| s.runs > 0),
+            summarize(&golden),
+        )];
+        let dir = std::env::temp_dir().join(format!(
+            "serscale-verify-resume-{}-{:x}",
+            std::process::id(),
+            ctx.probe_seed(self.name(), 1),
+        ));
+        for jobs in [1usize, 8] {
+            checks.extend(Self::round(
+                &campaign,
+                &golden,
+                &golden_log,
+                &dir,
+                TruncationPoint::RecordBoundary(0.6),
+                jobs,
+                &format!("resume-boundary-jobs-{jobs}"),
+            ));
+        }
+        checks.extend(Self::round(
+            &campaign,
+            &golden,
+            &golden_log,
+            &dir,
+            TruncationPoint::MidRecord,
+            8,
+            "resume-torn-tail-jobs-8",
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        self.report(checks)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +332,12 @@ mod tests {
     #[test]
     fn traces_agree() {
         let report = TraceEquivalence.run(&ctx());
+        assert!(report.passed(), "{:#?}", report.checks);
+    }
+
+    #[test]
+    fn resume_agrees() {
+        let report = ResumeEquivalence.run(&ctx());
         assert!(report.passed(), "{:#?}", report.checks);
     }
 }

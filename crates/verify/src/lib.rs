@@ -17,7 +17,9 @@
 //! * **Differential** ([`differential`]) — the same campaign through the
 //!   naive reference executor, the sequential wave engine, and the
 //!   parallel engine at several worker counts must agree bit for bit,
-//!   reports and event traces alike.
+//!   reports and event traces alike; and an interrupted-then-resumed
+//!   journaled campaign must reproduce the uninterrupted run exactly,
+//!   including across a torn journal tail.
 //! * **ECC** ([`ecc`]) — exhaustive SECDED single-correction /
 //!   double-detection over all 72 codeword positions and interleaving
 //!   distance over every physical cluster.
@@ -66,6 +68,7 @@ pub fn default_suite() -> Vec<Box<dyn StatOracle>> {
         Box::new(metamorphic::SpectrumRescaling),
         Box::new(differential::EngineEquivalence),
         Box::new(differential::TraceEquivalence),
+        Box::new(differential::ResumeEquivalence),
         Box::new(ecc::SecdedExhaustive),
         Box::new(ecc::InterleaveDistance),
     ]

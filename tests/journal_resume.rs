@@ -1,0 +1,145 @@
+//! Kill/resume equivalence for the crash-safe campaign engine: a journaled
+//! campaign interrupted at *any* record boundary — or mid-record, through a
+//! torn tail — and then resumed must reproduce the uninterrupted run's
+//! report and `Logbook` trace byte for byte, at any worker count.
+//!
+//! The golden run, its trace and its complete journal are computed once
+//! and shared across cases; each case then truncates a private copy of the
+//! journal and resumes from it.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use serscale_core::campaign::{Campaign, CampaignConfig, CampaignReport, CampaignRunOptions};
+use serscale_core::journal::{journal_path, start_or_resume};
+use serscale_core::trace::Logbook;
+
+const SEED: u64 = 0x0010_57ED;
+const SCALE: f64 = 0.005;
+
+fn campaign() -> Campaign {
+    let mut config = CampaignConfig::paper_scaled(SCALE);
+    config.seed = SEED;
+    Campaign::new(config)
+}
+
+/// (uninterrupted report, uninterrupted trace, complete journal text).
+fn golden() -> &'static (CampaignReport, Logbook, String) {
+    static GOLDEN: OnceLock<(CampaignReport, Logbook, String)> = OnceLock::new();
+    GOLDEN.get_or_init(|| {
+        let campaign = campaign();
+        let mut golden_log = Logbook::new();
+        let golden = campaign.run_observed(2, &mut golden_log);
+
+        let dir = case_dir("golden");
+        let (mut writer, recovered) =
+            start_or_resume(&dir, campaign.config()).expect("journal opens");
+        assert!(recovered.is_none(), "fresh directory must not recover");
+        let mut log = Logbook::new();
+        let journaled = campaign.run_recoverable(
+            CampaignRunOptions {
+                journal: Some(&mut writer),
+                ..CampaignRunOptions::with_jobs(2)
+            },
+            &mut log,
+        );
+        drop(writer);
+        assert_eq!(journaled, golden, "journaling must not perturb the run");
+        assert_eq!(log, golden_log, "journaling must not perturb the trace");
+        let text = std::fs::read_to_string(journal_path(&dir)).expect("journal readable");
+        let _ = std::fs::remove_dir_all(&dir);
+        (golden, golden_log, text)
+    })
+}
+
+fn case_dir(tag: &str) -> PathBuf {
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+    let case = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "serscale-journal-resume-{}-{tag}-{case}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Writes `text` as the (truncated) journal of a fresh directory, resumes
+/// from it at `jobs`, and asserts bit-identity with the uninterrupted run.
+fn resume_and_check(tag: &str, text: &str, jobs: usize) {
+    let (golden_report, golden_log, _) = golden();
+    let campaign = campaign();
+    let dir = case_dir(tag);
+    std::fs::create_dir_all(&dir).expect("dir creatable");
+    std::fs::write(journal_path(&dir), text).expect("journal writable");
+
+    let (mut writer, recovered) =
+        start_or_resume(&dir, campaign.config()).expect("truncated journal reopens");
+    let mut resumed_log = Logbook::new();
+    let resumed = campaign.run_recoverable(
+        CampaignRunOptions {
+            journal: Some(&mut writer),
+            recovered: recovered.as_ref(),
+            ..CampaignRunOptions::with_jobs(jobs)
+        },
+        &mut resumed_log,
+    );
+    drop(writer);
+    assert_eq!(
+        &resumed, golden_report,
+        "{tag}: report diverged (jobs={jobs})"
+    );
+    assert_eq!(
+        &resumed_log, golden_log,
+        "{tag}: trace diverged (jobs={jobs})"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    /// A crash between fsync'd waves lands on a record boundary: keeping
+    /// any prefix of complete records must resume to the golden bits at
+    /// jobs 1 and 8.
+    #[test]
+    fn resume_from_any_record_boundary(
+        fraction in 0.02f64..0.98,
+        pick in 0usize..2,
+    ) {
+        let (_, _, text) = golden();
+        let lines: Vec<&str> = text.lines().collect();
+        let keep = ((lines.len() as f64 * fraction) as usize).clamp(1, lines.len());
+        let mut cut = lines[..keep].join("\n");
+        cut.push('\n');
+        resume_and_check("boundary", &cut, [1, 8][pick]);
+    }
+}
+
+#[test]
+fn resume_from_a_torn_record_tail() {
+    // A crash mid-write tears the final record; the per-line digest (or
+    // the missing newline) exposes it and recovery drops exactly that
+    // fragment.
+    let (_, _, text) = golden();
+    let cut_at = (text.len() * 7 / 10).max(1);
+    let torn = &text[..cut_at];
+    assert!(
+        !torn.ends_with('\n'),
+        "test setup: the cut must land mid-record"
+    );
+    for jobs in [1, 8] {
+        resume_and_check("torn", torn, jobs);
+    }
+}
+
+#[test]
+fn resume_of_a_complete_journal_is_a_pure_replay() {
+    // The race the CI recovery job must tolerate: the SIGKILL lands after
+    // the campaign already finished. Resuming then re-simulates nothing
+    // and still reproduces every bit.
+    let (_, _, text) = golden();
+    for jobs in [1, 8] {
+        resume_and_check("complete", text, jobs);
+    }
+}
