@@ -89,6 +89,58 @@ fn campaign_throughput(c: &mut Criterion) {
             })
         });
     }
+    // The live monitoring plane, one layer at a time:
+    //
+    // * `jobs=8+listen`              — the HTTP server bound but idle.
+    //   Compare against `jobs=8+telemetry`-style rows: binding the
+    //   socket and parking five threads should cost ~nothing.
+    // * `jobs=8+listen+scrape-storm` — a background client hammering
+    //   `/metrics` and `/progress` at ~50 Hz for the whole iteration.
+    //   The observe-only acceptance budget is ≤5% over the idle-server
+    //   row: snapshots merge shards without blocking writers, so scrape
+    //   pressure lands on spare cores, not the campaign's critical path.
+    for (row, storm) in [
+        ("jobs=8+listen", false),
+        ("jobs=8+listen+scrape-storm", true),
+    ] {
+        group.bench_function(row, |b| {
+            b.iter(|| {
+                let sink = TelemetrySink::in_memory(TelemetryOptions::default());
+                let mut server = sink.serve("127.0.0.1:0").expect("bind monitor");
+                let addr = server.addr();
+                let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+                let scraper = storm.then(|| {
+                    let stop = std::sync::Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        let mut scrapes = 0u64;
+                        while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                            let path = if scrapes.is_multiple_of(2) {
+                                "/metrics"
+                            } else {
+                                "/progress"
+                            };
+                            let (status, _) =
+                                serscale_telemetry::serve::http_get(addr, path).expect("scrape");
+                            assert_eq!(status, 200);
+                            scrapes += 1;
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                        }
+                        scrapes
+                    })
+                });
+                let mut observer = sink.observer();
+                let report = run_campaign_observed(SCALE, REPRO_SEED, 8, &mut observer);
+                drop(observer);
+                stop.store(true, std::sync::atomic::Ordering::Release);
+                if let Some(scraper) = scraper {
+                    scraper.join().expect("scraper died");
+                }
+                server.shutdown();
+                assert_eq!(report, reference, "monitoring broke determinism");
+                report
+            })
+        });
+    }
     let shm = std::path::Path::new("/dev/shm");
     let ram_scratch = if shm.is_dir() {
         shm.to_path_buf()

@@ -13,6 +13,7 @@
 //! repro --all --journal DIR   # crash-safe: fsync'd run journal in DIR
 //! repro --all --resume DIR    # replay DIR's journal, continue, same bits
 //! repro --trial-timeout 30 …  # retry/quarantine trials hung past 30 s
+//! repro --all --listen 127.0.0.1:8080   # live /metrics /healthz /progress …
 //! repro verify --budget small # statistical verification suite → verdict JSON
 //! ```
 
@@ -21,13 +22,14 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use serscale_bench::{
-    experiments, run_campaign_jobs, run_campaign_observed, run_campaign_recovering, GOLDEN_SCALE,
-    REPRO_SEED,
+    experiments, run_campaign_jobs, run_campaign_observed, run_campaign_recovering_monitored,
+    GOLDEN_SCALE, REPRO_SEED,
 };
 use serscale_core::campaign::{Campaign, CampaignConfig, CampaignReport, CampaignRunOptions};
+use serscale_core::journal::SyncProbe;
 use serscale_core::session::RetryPolicy;
 use serscale_core::trace::{tee, Logbook, SessionObserver};
-use serscale_telemetry::{TelemetryOptions, TelemetrySink};
+use serscale_telemetry::{ProgressMode, TelemetryOptions, TelemetrySink};
 use serscale_verify::{OracleContext, TrialBudget};
 
 /// Simulated seconds of a full-scale campaign (64.8 beam hours), for the
@@ -49,6 +51,9 @@ struct Args {
     journal: Option<String>,
     resume: Option<String>,
     trial_timeout: Option<f64>,
+    listen: Option<String>,
+    linger: f64,
+    no_progress: bool,
 }
 
 fn default_jobs() -> usize {
@@ -71,6 +76,9 @@ fn parse_args() -> Result<Args, String> {
         journal: None,
         resume: None,
         trial_timeout: None,
+        listen: None,
+        linger: 0.0,
+        no_progress: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -133,12 +141,25 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.trial_timeout = Some(secs);
             }
+            "--listen" => {
+                args.listen = Some(it.next().ok_or("--listen needs an address (host:port)")?);
+            }
+            "--linger" => {
+                let s = it.next().ok_or("--linger needs seconds")?;
+                let secs: f64 = s.parse().map_err(|_| format!("bad linger time {s}"))?;
+                if !(secs >= 0.0 && secs.is_finite()) {
+                    return Err("--linger must be nonnegative".into());
+                }
+                args.linger = secs;
+            }
+            "--no-progress" => args.no_progress = true,
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--all] [--table N]* [--figure N]* [--headlines] \
                      [--ablations] [--sweep] [--selfcheck] [--golden] [--scale F] \
                      [--seed N] [--jobs N] [--telemetry-out DIR] \
-                     [--journal DIR | --resume DIR] [--trial-timeout SECS]\n       \
+                     [--journal DIR | --resume DIR] [--trial-timeout SECS] \
+                     [--listen HOST:PORT] [--linger SECS] [--no-progress]\n       \
                      repro verify [--budget small|medium|large] \
                      [--seed N] [--out verdict.json] [--telemetry-out DIR]"
                 );
@@ -162,6 +183,9 @@ fn parse_args() -> Result<Args, String> {
             "--journal and --resume are mutually exclusive (--resume already journals)".into(),
         );
     }
+    if args.linger > 0.0 && args.listen.is_none() {
+        return Err("--linger only makes sense with --listen".into());
+    }
     Ok(args)
 }
 
@@ -175,21 +199,29 @@ impl SessionObserver for Discard {}
 /// already holds a matching journal); without one, only the
 /// retry/quarantine policy differs from the plain path — and with nothing
 /// failing, not even that changes a byte of the report.
+///
+/// Returns the report plus how many trials the journal replayed instead
+/// of re-simulating (always 0 without a journal). The optional `probe`
+/// lets the monitoring plane watch journal fsync lag; both hooks are
+/// observe-only.
 fn run_campaign_robust(
     scale: f64,
     seed: u64,
     jobs: usize,
     retry: RetryPolicy,
     journal_dir: Option<&Path>,
+    probe: Option<SyncProbe>,
     observer: &mut dyn SessionObserver,
-) -> Result<CampaignReport, String> {
+) -> Result<(CampaignReport, u64), String> {
     match journal_dir {
-        Some(dir) => run_campaign_recovering(scale, seed, jobs, retry, dir, observer)
-            .map_err(|e| format!("run journal at {}: {e}", dir.display())),
+        Some(dir) => {
+            run_campaign_recovering_monitored(scale, seed, jobs, retry, dir, probe, observer)
+                .map_err(|e| format!("run journal at {}: {e}", dir.display()))
+        }
         None => {
             let mut config = CampaignConfig::paper_scaled(scale);
             config.seed = seed;
-            Ok(Campaign::new(config).run_recoverable(
+            let report = Campaign::new(config).run_recoverable(
                 CampaignRunOptions {
                     jobs,
                     retry,
@@ -197,7 +229,8 @@ fn run_campaign_robust(
                     recovered: None,
                 },
                 observer,
-            ))
+            );
+            Ok((report, 0))
         }
     }
 }
@@ -347,28 +380,89 @@ fn main() -> ExitCode {
     // The telemetry sink observes whichever campaign this invocation runs
     // (the analysis campaign if one is needed, otherwise the golden run).
     // Observation is one-way, so golden output and reports are unchanged
-    // whether the sink exists or not. The live progress line stays off in
-    // CI and golden runs, where stderr must remain hermetic.
-    let sink = match &args.telemetry_out {
-        Some(dir) => {
-            let options = TelemetryOptions {
-                progress: std::io::stderr().is_terminal()
-                    && std::env::var_os("CI").is_none()
-                    && !args.golden,
-                trial_spans: false,
-            };
-            match TelemetrySink::new(Path::new(dir), options) {
+    // whether the sink exists or not. `--listen` gets an in-memory sink
+    // when no `--telemetry-out` directory is given: the server reads live
+    // state, nothing lands on disk. The progress reporter rewrites a line
+    // in place on interactive terminals and falls back to plain periodic
+    // lines when stderr is not a TTY or `CI`/`NO_COLOR` is set; it stays
+    // off entirely in golden runs, where stderr must remain hermetic.
+    let sink = if args.telemetry_out.is_some() || args.listen.is_some() {
+        let interactive = std::io::stderr().is_terminal()
+            && std::env::var_os("CI").is_none()
+            && std::env::var_os("NO_COLOR").is_none();
+        let options = TelemetryOptions {
+            progress: !args.no_progress && !args.golden,
+            progress_mode: if interactive {
+                ProgressMode::Interactive
+            } else {
+                ProgressMode::Plain
+            },
+            trial_spans: false,
+        };
+        match &args.telemetry_out {
+            Some(dir) => match TelemetrySink::new(Path::new(dir), options) {
                 Ok(sink) => Some(sink),
                 Err(e) => {
                     eprintln!("repro: cannot open telemetry dir {dir}: {e}");
                     return ExitCode::FAILURE;
                 }
-            }
+            },
+            None => Some(TelemetrySink::in_memory(options)),
         }
-        None => None,
+    } else {
+        None
     };
+
+    // The monitoring plane: live /metrics, /healthz, /progress, /spans
+    // and /campaign over the sink's state. The address goes to *stderr* —
+    // stdout is golden-diffed byte for byte and must stay hermetic.
+    let mut monitor = match (&sink, &args.listen) {
+        (Some(sink), Some(addr)) => match sink.serve(addr) {
+            Ok(server) => {
+                eprintln!("monitoring on http://{}", server.addr());
+                Some(server)
+            }
+            Err(e) => {
+                eprintln!("repro: cannot listen on {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => None,
+    };
+
+    // Publish slow-changing campaign facts for `/campaign`, and wire the
+    // journal's fsync probe into `/healthz` when the run is journaled.
+    let probe = match (&sink, &journal_dir) {
+        (Some(sink), Some(_)) => {
+            let probe = SyncProbe::new();
+            sink.attach_sync_probe(probe.clone());
+            Some(probe)
+        }
+        _ => None,
+    };
+    if let Some(sink) = &sink {
+        let (fp_scale, fp_seed) = if needs_campaign {
+            (args.scale, args.seed)
+        } else {
+            (GOLDEN_SCALE, REPRO_SEED)
+        };
+        let mut config = CampaignConfig::paper_scaled(fp_scale);
+        config.seed = fp_seed;
+        let fingerprint = serscale_core::journal::config_fingerprint(&config);
+        let journal = journal_dir.as_deref().map(|dir| {
+            serscale_core::journal::journal_path(dir)
+                .display()
+                .to_string()
+        });
+        sink.set_campaign_status(|status| {
+            status.config_fingerprint = Some(fingerprint);
+            status.journal = journal;
+        });
+    }
+
     let mut trace = Logbook::new();
     let mut golden_report: Option<CampaignReport> = None;
+    let mut resumed_trials = 0u64;
 
     if args.golden {
         // The golden diff is pinned to one (scale, seed) pair; only the
@@ -390,9 +484,13 @@ fn main() -> ExitCode {
                         args.jobs,
                         retry,
                         golden_journal,
+                        probe.clone(),
                         &mut observer,
                     ) {
-                        Ok(report) => report,
+                        Ok((report, resumed)) => {
+                            resumed_trials = resumed;
+                            report
+                        }
                         Err(e) => {
                             eprintln!("repro: {e}");
                             return ExitCode::FAILURE;
@@ -409,9 +507,13 @@ fn main() -> ExitCode {
                     args.jobs,
                     retry,
                     golden_journal,
+                    probe.clone(),
                     &mut Discard,
                 ) {
-                    Ok(report) => report,
+                    Ok((report, resumed)) => {
+                        resumed_trials = resumed;
+                        report
+                    }
                     Err(e) => {
                         eprintln!("repro: {e}");
                         return ExitCode::FAILURE;
@@ -440,11 +542,13 @@ fn main() -> ExitCode {
                     args.jobs,
                     retry,
                     journal_dir.as_deref(),
+                    probe.clone(),
                     observer,
                 )
             } else {
-                Ok(run_campaign_observed(
-                    args.scale, args.seed, args.jobs, observer,
+                Ok((
+                    run_campaign_observed(args.scale, args.seed, args.jobs, observer),
+                    0,
                 ))
             }
         };
@@ -455,10 +559,13 @@ fn main() -> ExitCode {
                 run(&mut observer)
             }
             None if crash_safe => run(&mut Discard),
-            None => Ok(run_campaign_jobs(args.scale, args.seed, args.jobs)),
+            None => Ok((run_campaign_jobs(args.scale, args.seed, args.jobs), 0)),
         };
         Some(match outcome {
-            Ok(report) => report,
+            Ok((report, resumed)) => {
+                resumed_trials = resumed;
+                report
+            }
             Err(e) => {
                 eprintln!("repro: {e}");
                 return ExitCode::FAILURE;
@@ -527,18 +634,35 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
-        if let Err(e) = sink
-            .write()
-            .and_then(|_| sink.write_extra("trace.jsonl", &trace.to_jsonl()))
-        {
-            eprintln!("repro: telemetry write failed: {e}");
-            return ExitCode::FAILURE;
+        sink.set_campaign_status(|status| {
+            status.resumed_trials = resumed_trials;
+            status.done = true;
+        });
+        if args.telemetry_out.is_some() {
+            // Artifacts land before any linger window, so a live scrape
+            // during the window and the on-disk snapshot agree exactly.
+            if let Err(e) = sink
+                .write()
+                .and_then(|_| sink.write_extra("trace.jsonl", &trace.to_jsonl()))
+            {
+                eprintln!("repro: telemetry write failed: {e}");
+                return ExitCode::FAILURE;
+            }
         }
         eprint!("{}", sink.summary());
-        eprintln!(
-            "telemetry written to {}",
-            args.telemetry_out.as_deref().unwrap_or("?")
-        );
+        if let Some(dir) = args.telemetry_out.as_deref() {
+            eprintln!("telemetry written to {dir}");
+        }
+    }
+    if let Some(server) = &mut monitor {
+        // Hold the endpoints up so scrapers can read the final state —
+        // a full-scale campaign finishes in under a second, far faster
+        // than any polling loop.
+        if args.linger > 0.0 {
+            eprintln!("monitoring lingers {:.0}s before shutdown…", args.linger);
+            std::thread::sleep(std::time::Duration::from_secs_f64(args.linger));
+        }
+        server.shutdown();
     }
     ExitCode::SUCCESS
 }

@@ -98,10 +98,46 @@ pub fn run_campaign_recovering(
     journal_dir: &std::path::Path,
     observer: &mut dyn serscale_core::trace::SessionObserver,
 ) -> std::io::Result<CampaignReport> {
+    run_campaign_recovering_monitored(scale, seed, jobs, retry, journal_dir, None, observer)
+        .map(|(report, _resumed)| report)
+}
+
+/// [`run_campaign_recovering`] with the monitoring plane's hooks: an
+/// optional [`SyncProbe`](serscale_core::journal::SyncProbe) is attached
+/// to the journal writer (so `/healthz` can report fsync lag), and the
+/// returned pair carries how many trials the journal replayed instead of
+/// re-simulating (surfaced on `/campaign` as `resumed_trials`). The
+/// hooks are observe-only; the report is bit-identical either way.
+///
+/// # Errors
+///
+/// Propagates journal I/O failures; a journal for a *different*
+/// configuration (wrong seed or scale) is refused rather than resumed.
+///
+/// # Panics
+///
+/// Panics unless `0 < scale ≤ 1` and `jobs > 0`, or if a journal write
+/// cannot be made durable mid-run.
+pub fn run_campaign_recovering_monitored(
+    scale: f64,
+    seed: u64,
+    jobs: usize,
+    retry: RetryPolicy,
+    journal_dir: &std::path::Path,
+    probe: Option<serscale_core::journal::SyncProbe>,
+    observer: &mut dyn serscale_core::trace::SessionObserver,
+) -> std::io::Result<(CampaignReport, u64)> {
     let mut config = CampaignConfig::paper_scaled(scale);
     config.seed = seed;
     let campaign = Campaign::new(config);
     let (mut writer, recovered) = start_or_resume(journal_dir, campaign.config())?;
+    if let Some(probe) = probe {
+        writer.attach_probe(probe);
+    }
+    let resumed = recovered.as_ref().map_or(
+        0,
+        serscale_core::journal::RecoveredCampaign::trials_recovered,
+    );
     let report = campaign.run_recoverable(
         CampaignRunOptions {
             jobs,
@@ -111,7 +147,7 @@ pub fn run_campaign_recovering(
         },
         observer,
     );
-    Ok(report)
+    Ok((report, resumed))
 }
 
 /// Renders a campaign report as a line-oriented, bit-stable summary — the

@@ -411,6 +411,76 @@ pub struct JournalWriter {
     last_fsync: Option<std::time::Instant>,
     /// Bytes handed to the OS since the last fdatasync.
     dirty: bool,
+    /// Observe-only durability probe for the monitoring plane.
+    probe: Option<SyncProbe>,
+}
+
+/// A shared, observe-only view of the journal's durability: how long ago
+/// the last fdatasync landed. A monitoring endpoint holding a clone can
+/// report fsync lag without any channel back into the writer — the probe
+/// is a pair of atomics the writer stamps and readers load.
+#[derive(Debug, Clone)]
+pub struct SyncProbe {
+    inner: std::sync::Arc<SyncProbeInner>,
+}
+
+#[derive(Debug)]
+struct SyncProbeInner {
+    epoch: std::time::Instant,
+    /// Nanoseconds from `epoch` to the most recent fdatasync.
+    last_sync_ns: std::sync::atomic::AtomicU64,
+    /// Total fdatasyncs observed.
+    syncs: std::sync::atomic::AtomicU64,
+}
+
+impl Default for SyncProbe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SyncProbe {
+    /// A fresh probe; attach it with [`JournalWriter::attach_probe`].
+    pub fn new() -> Self {
+        SyncProbe {
+            inner: std::sync::Arc::new(SyncProbeInner {
+                epoch: std::time::Instant::now(),
+                last_sync_ns: std::sync::atomic::AtomicU64::new(0),
+                syncs: std::sync::atomic::AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records that an fdatasync just completed.
+    fn mark(&self) {
+        let now = u64::try_from(self.inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.inner
+            .last_sync_ns
+            .store(now, std::sync::atomic::Ordering::Relaxed);
+        self.inner
+            .syncs
+            .fetch_add(1, std::sync::atomic::Ordering::Release);
+    }
+
+    /// How many fdatasyncs the writer has completed.
+    pub fn syncs(&self) -> u64 {
+        self.inner.syncs.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Host time since the last completed fdatasync, or `None` before the
+    /// first one. Bounded by [`FSYNC_INTERVAL`] plus one wave during a
+    /// healthy run — a growing lag means the journal has stalled.
+    pub fn lag(&self) -> Option<std::time::Duration> {
+        if self.syncs() == 0 {
+            return None;
+        }
+        let last = self
+            .inner
+            .last_sync_ns
+            .load(std::sync::atomic::Ordering::Relaxed);
+        let now = u64::try_from(self.inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        Some(std::time::Duration::from_nanos(now.saturating_sub(last)))
+    }
 }
 
 /// Host-time throttle between fdatasyncs on the per-wave sync path.
@@ -423,7 +493,15 @@ impl JournalWriter {
             pending: String::new(),
             last_fsync: None,
             dirty: false,
+            probe: None,
         }
+    }
+
+    /// Attaches a [`SyncProbe`] the writer stamps on every fdatasync, so
+    /// a monitoring endpoint can report fsync lag. Observe-only: the
+    /// probe never changes what or when the writer syncs.
+    pub fn attach_probe(&mut self, probe: SyncProbe) {
+        self.probe = Some(probe);
     }
 
     /// Buffers one record. Nothing reaches the OS until
@@ -447,6 +525,9 @@ impl JournalWriter {
         self.file.sync_data()?;
         self.last_fsync = Some(std::time::Instant::now());
         self.dirty = false;
+        if let Some(probe) = &self.probe {
+            probe.mark();
+        }
         Ok(())
     }
 

@@ -26,10 +26,76 @@
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel;
 use crossbeam::thread;
+
+/// What one pool worker did during a [`par_map_with_profile`] call:
+/// observe-only utilization accounting for the live monitoring plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerReport {
+    /// Host nanoseconds this worker spent inside the work closure.
+    pub busy_nanos: u64,
+    /// Shards this worker pulled off the queue (work stealing makes the
+    /// split uneven; the skew *is* the signal).
+    pub shards: u64,
+}
+
+/// Per-worker utilization for one pool invocation. Produced alongside the
+/// outputs by [`par_map_with_profile`]; purely host-clock telemetry, so it
+/// varies run to run and must never feed back into the simulation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PoolProfile {
+    /// One report per worker, in worker-index order (a single entry for
+    /// the inline `jobs == 1` path).
+    pub workers: Vec<WorkerReport>,
+    /// Host wall nanoseconds of the whole invocation (feed → drain).
+    pub wall_nanos: u64,
+}
+
+impl PoolProfile {
+    /// A profile for work that ran inline on the calling thread.
+    pub fn inline(wall_nanos: u64, shards: u64) -> Self {
+        PoolProfile {
+            workers: vec![WorkerReport {
+                busy_nanos: wall_nanos,
+                shards,
+            }],
+            wall_nanos,
+        }
+    }
+
+    /// The longest single-worker busy time — the invocation's critical
+    /// path. Wall time below this bound is unreachable at any worker
+    /// count.
+    pub fn critical_path_nanos(&self) -> u64 {
+        self.workers.iter().map(|w| w.busy_nanos).max().unwrap_or(0)
+    }
+
+    /// Total busy nanoseconds summed across workers.
+    pub fn busy_nanos(&self) -> u64 {
+        self.workers.iter().map(|w| w.busy_nanos).sum()
+    }
+
+    /// Total idle nanoseconds: wall time not spent in the work closure,
+    /// summed across workers (queue waits, channel sends, merge stalls).
+    pub fn idle_nanos(&self) -> u64 {
+        let span = self.wall_nanos.saturating_mul(self.workers.len() as u64);
+        span.saturating_sub(self.busy_nanos())
+    }
+
+    /// Busy fraction of the pool's total worker-time, in `[0, 1]`
+    /// (1.0 when the profile is empty, matching a no-op pool).
+    pub fn utilization(&self) -> f64 {
+        let span = self.wall_nanos.saturating_mul(self.workers.len() as u64);
+        if span == 0 {
+            1.0
+        } else {
+            (self.busy_nanos() as f64 / span as f64).min(1.0)
+        }
+    }
+}
 
 /// Why one supervised attempt failed (see [`call_caught`] and
 /// [`call_with_deadline`]).
@@ -141,13 +207,42 @@ where
     M: Fn() -> S + Sync,
     F: Fn(&mut S, I) -> O + Sync,
 {
+    par_map_with_profile(jobs, items, make_state, work).0
+}
+
+/// [`par_map_with`] that also reports per-worker utilization: the outputs
+/// (identical, bit for bit, to the unprofiled call) plus a
+/// [`PoolProfile`] of busy/steal accounting per worker. Profiling is
+/// observe-only — timestamps are taken around the work closure and never
+/// influence scheduling, ordering or the outputs.
+///
+/// # Panics
+///
+/// Panics if `jobs == 0`, and re-raises shard panics like
+/// [`par_map_with`].
+pub fn par_map_with_profile<S, I, O, M, F>(
+    jobs: usize,
+    items: Vec<I>,
+    make_state: M,
+    work: F,
+) -> (Vec<O>, PoolProfile)
+where
+    I: Send,
+    O: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(&mut S, I) -> O + Sync,
+{
     assert!(jobs > 0, "a pool needs at least one worker");
+    let clock = Instant::now();
     if jobs == 1 || items.len() < 2 {
         let mut state = make_state();
-        return items
+        let shards = items.len() as u64;
+        let outputs: Vec<O> = items
             .into_iter()
             .map(|item| work(&mut state, item))
             .collect();
+        let wall = u64::try_from(clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        return (outputs, PoolProfile::inline(wall, shards));
     }
 
     let total = items.len();
@@ -160,31 +255,41 @@ where
     let abort = AtomicBool::new(false);
 
     let scope_result = thread::scope(|scope| {
-        for _ in 0..jobs {
-            let shard_rx = work_rx.clone();
-            let result_tx = out_tx.clone();
-            let make_state = &make_state;
-            let work = &work;
-            let abort = &abort;
-            scope.spawn(move |_| {
-                let mut state = make_state();
-                for (index, item) in shard_rx.iter() {
-                    if abort.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let outcome = match catch_unwind(AssertUnwindSafe(|| work(&mut state, item))) {
-                        Ok(output) => ShardOutcome::Done(output),
-                        Err(payload) => {
-                            abort.store(true, Ordering::Relaxed);
-                            ShardOutcome::Panicked(payload)
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                let shard_rx = work_rx.clone();
+                let result_tx = out_tx.clone();
+                let make_state = &make_state;
+                let work = &work;
+                let abort = &abort;
+                scope.spawn(move |_| {
+                    let mut state = make_state();
+                    let mut report = WorkerReport::default();
+                    for (index, item) in shard_rx.iter() {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
                         }
-                    };
-                    if result_tx.send((index, outcome)).is_err() {
-                        break;
+                        let shard_clock = Instant::now();
+                        let outcome =
+                            match catch_unwind(AssertUnwindSafe(|| work(&mut state, item))) {
+                                Ok(output) => ShardOutcome::Done(output),
+                                Err(payload) => {
+                                    abort.store(true, Ordering::Relaxed);
+                                    ShardOutcome::Panicked(payload)
+                                }
+                            };
+                        report.busy_nanos = report.busy_nanos.saturating_add(
+                            u64::try_from(shard_clock.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                        );
+                        report.shards += 1;
+                        if result_tx.send((index, outcome)).is_err() {
+                            break;
+                        }
                     }
-                }
-            });
-        }
+                    report
+                })
+            })
+            .collect();
         // The scope-local handles must go: workers hold the only remaining
         // clones, so the collector's iterator can observe the disconnect.
         drop(work_rx);
@@ -213,20 +318,31 @@ where
                 }
             }
         }
-        (slots, first_panic)
+        // The result channel disconnected, so every worker has exited its
+        // loop; joining here only collects their utilization reports.
+        let workers: Vec<WorkerReport> = handles
+            .into_iter()
+            .map(|handle| handle.join().unwrap_or_default())
+            .collect();
+        (slots, first_panic, workers)
     });
 
-    let (slots, first_panic) = match scope_result {
+    let (slots, first_panic, workers) = match scope_result {
         Ok(collected) => collected,
         Err(payload) => resume_unwind(payload),
     };
     if let Some(payload) = first_panic {
         resume_unwind(payload);
     }
-    slots
+    let outputs = slots
         .into_iter()
         .map(|slot| slot.expect("pool drained without a panic, so every shard reported"))
-        .collect()
+        .collect();
+    let profile = PoolProfile {
+        workers,
+        wall_nanos: u64::try_from(clock.elapsed().as_nanos()).unwrap_or(u64::MAX),
+    };
+    (outputs, profile)
 }
 
 /// [`par_map_with`] for stateless shards.
@@ -354,6 +470,44 @@ mod tests {
         assert_eq!(backoff_delay(base, 9), Duration::from_secs(1));
         assert_eq!(backoff_delay(base, 63), Duration::from_secs(1));
         assert_eq!(backoff_delay(Duration::ZERO, 5), Duration::ZERO);
+    }
+
+    #[test]
+    fn profile_accounts_for_every_shard() {
+        for jobs in [1usize, 3, 8] {
+            let (out, profile) = par_map_with_profile(
+                jobs,
+                (0..200u64).collect(),
+                || (),
+                |(), x| {
+                    // A little real work so busy time is nonzero.
+                    (0..50u64).fold(x, |acc, i| acc.wrapping_mul(31).wrapping_add(i))
+                },
+            );
+            assert_eq!(out.len(), 200);
+            let shards: u64 = profile.workers.iter().map(|w| w.shards).sum();
+            assert_eq!(shards, 200, "jobs = {jobs}");
+            assert!(!profile.workers.is_empty() && profile.workers.len() <= jobs);
+            assert!(profile.critical_path_nanos() <= profile.busy_nanos());
+            assert!((0.0..=1.0).contains(&profile.utilization()));
+        }
+    }
+
+    #[test]
+    fn inline_profile_is_one_fully_busy_worker() {
+        let (_, profile) = par_map_with_profile(1, vec![1u8, 2, 3], || (), |(), x| x);
+        assert_eq!(profile.workers.len(), 1);
+        assert_eq!(profile.workers[0].shards, 3);
+        assert_eq!(profile.workers[0].busy_nanos, profile.wall_nanos);
+        assert_eq!(profile.idle_nanos(), 0);
+    }
+
+    #[test]
+    fn profiled_outputs_match_unprofiled() {
+        let plain = par_map(4, (0..300u32).collect(), |x| x ^ 0x5a5a);
+        let (profiled, _) =
+            par_map_with_profile(4, (0..300u32).collect(), || (), |(), x| x ^ 0x5a5a);
+        assert_eq!(plain, profiled);
     }
 
     #[test]

@@ -470,16 +470,22 @@ impl TestSession {
                 let wave = self.wave_size(&acc, plan.jobs, next_trial);
                 let trials: Vec<u64> = (next_trial..next_trial + wave as u64).collect();
                 let retry = plan.retry;
-                let executions: Vec<TrialExecution> = if plan.jobs == 1 {
+                let (executions, pool): (Vec<TrialExecution>, _) = if plan.jobs == 1 {
                     let runner = &mut self.runner;
-                    trials
+                    let shards = trials.len() as u64;
+                    let executions: Vec<TrialExecution> = trials
                         .into_iter()
                         .map(|t| run_trial_robust(runner, &session_rng, t, retry))
-                        .collect()
+                        .collect();
+                    let wall = u64::try_from(wave_clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    (
+                        executions,
+                        crate::parallel::PoolProfile::inline(wall, shards),
+                    )
                 } else {
                     let dut = self.runner.dut().clone();
                     let root = &session_rng;
-                    crate::parallel::par_map_with(
+                    crate::parallel::par_map_with_profile(
                         plan.jobs,
                         trials,
                         move || BenchmarkRunner::new(dut.clone(), flux),
@@ -522,6 +528,7 @@ impl TestSession {
                     host_nanos: u64::try_from(wave_clock.elapsed().as_nanos()).unwrap_or(u64::MAX),
                     retries: wave_retries,
                     quarantined: wave_quarantined,
+                    pool,
                 });
                 if let Some(reason) = stopped {
                     break reason;

@@ -62,7 +62,7 @@ pub enum LogEvent {
 /// run to run and across `--jobs`), so simulation-facing observers like
 /// [`Logbook`] must ignore it — and the reference executor, which has no
 /// waves, never reports it at all.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct WaveStats {
     /// Index of the first trial in the wave.
     pub first_trial: u64,
@@ -78,6 +78,10 @@ pub struct WaveStats {
     pub retries: u64,
     /// Absorbed trials that exhausted every retry and were quarantined.
     pub quarantined: u64,
+    /// Per-worker busy/steal accounting for the wave's pool invocation
+    /// (host-clock telemetry like `host_nanos`; a single inline entry at
+    /// `jobs == 1`).
+    pub pool: crate::parallel::PoolProfile,
 }
 
 impl WaveStats {
@@ -181,7 +185,7 @@ impl<A: SessionObserver, B: SessionObserver> SessionObserver for Tee<A, B> {
         self.1.on_session_end(at, reason);
     }
     fn on_wave(&mut self, stats: WaveStats) {
-        self.0.on_wave(stats);
+        self.0.on_wave(stats.clone());
         self.1.on_wave(stats);
     }
 }
@@ -583,8 +587,7 @@ mod tests {
             planned: 32,
             absorbed: 32,
             host_nanos: 1,
-            retries: 0,
-            quarantined: 0,
+            ..WaveStats::default()
         };
         assert!((full.efficiency() - 1.0).abs() < 1e-12);
         let cut = WaveStats {
@@ -592,8 +595,7 @@ mod tests {
             planned: 32,
             absorbed: 8,
             host_nanos: 1,
-            retries: 0,
-            quarantined: 0,
+            ..WaveStats::default()
         };
         assert!((cut.efficiency() - 0.25).abs() < 1e-12);
     }

@@ -25,10 +25,13 @@ use std::sync::{Arc, Mutex};
 use serscale_core::campaign::CampaignReport;
 use serscale_types::CacheLevel;
 
+use serscale_core::journal::SyncProbe;
+
 use crate::json;
 use crate::metrics::{Registry, Shard};
 use crate::observer::TelemetryObserver;
-use crate::progress::Progress;
+use crate::progress::{Progress, ProgressMode};
+use crate::serve::{CampaignStatus, MonitorServer, MonitorState};
 use crate::span::{SpanId, SpanLevel, Tracer};
 
 /// Behavioral switches for a sink.
@@ -36,8 +39,12 @@ use crate::span::{SpanId, SpanLevel, Tracer};
 pub struct TelemetryOptions {
     /// Print a live progress line to stderr. Must stay `false` in CI and
     /// golden runs; the `repro` binary only turns it on for interactive
-    /// terminals.
+    /// terminals (or plain mode when explicitly useful).
     pub progress: bool,
+    /// How an enabled progress reporter writes: in-place rewrites for
+    /// TTYs, plain periodic lines for logs. Ignored when `progress` is
+    /// off.
+    pub progress_mode: ProgressMode,
     /// Record one span per benchmark trial (sim-clock timestamps). Off by
     /// default: trials are numerous and wave/session spans usually carry
     /// enough structure.
@@ -57,6 +64,10 @@ pub struct TelemetrySink {
     progress: Arc<Mutex<Progress>>,
     campaign_span: SpanId,
     options: TelemetryOptions,
+    /// Slow-changing campaign facts surfaced by `/campaign`.
+    status: Arc<Mutex<CampaignStatus>>,
+    /// Journal fsync probe surfaced by `/healthz`, when journaled.
+    probe: Arc<Mutex<Option<SyncProbe>>>,
 }
 
 impl TelemetrySink {
@@ -81,10 +92,43 @@ impl TelemetrySink {
             shard,
             tracer,
             events: Arc::new(Mutex::new(String::new())),
-            progress: Arc::new(Mutex::new(Progress::new(options.progress))),
+            progress: Arc::new(Mutex::new(Progress::with_mode(
+                options.progress,
+                options.progress_mode,
+            ))),
             campaign_span,
             options,
+            status: Arc::new(Mutex::new(CampaignStatus::default())),
+            probe: Arc::new(Mutex::new(None)),
         }
+    }
+
+    /// Starts the live monitoring server on `addr` (use `127.0.0.1:0`
+    /// for an ephemeral port; read the real one from
+    /// [`MonitorServer::addr`]). The server only gets read handles into
+    /// the sink, so attaching it cannot perturb a run.
+    pub fn serve(&self, addr: &str) -> std::io::Result<MonitorServer> {
+        MonitorServer::bind(
+            addr,
+            MonitorState::new(
+                self.registry.clone(),
+                Arc::clone(&self.tracer),
+                Arc::clone(&self.progress),
+                Arc::clone(&self.status),
+                Arc::clone(&self.probe),
+            ),
+        )
+    }
+
+    /// Publishes the journal's fsync probe so `/healthz` can report sync
+    /// lag. Call after attaching the same probe to the `JournalWriter`.
+    pub fn attach_sync_probe(&self, probe: SyncProbe) {
+        *self.probe.lock().expect("probe cell poisoned") = Some(probe);
+    }
+
+    /// Updates the `/campaign` status cell in place.
+    pub fn set_campaign_status(&self, update: impl FnOnce(&mut CampaignStatus)) {
+        update(&mut self.status.lock().expect("status cell poisoned"));
     }
 
     /// A fresh observer feeding this sink. Each observer owns a registry

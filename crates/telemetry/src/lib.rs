@@ -21,8 +21,13 @@
 //! - [`export`] — the [`TelemetrySink`] writing `events.jsonl`,
 //!   `spans.jsonl`, `metrics.prom` and `summary.txt`, plus the
 //!   report-vs-counters crosscheck.
-//! - [`progress`] — a rate-limited stderr progress line for interactive
-//!   runs (off in CI and golden runs).
+//! - [`serve`] — the [`MonitorServer`], a dependency-free HTTP/1.1
+//!   monitoring plane (`/metrics`, `/healthz`, `/progress`, `/spans`,
+//!   `/campaign`) over the same registry/tracer/progress state, for
+//!   `curl` and Prometheus scrapes of a live run.
+//! - [`progress`] — a rate-limited stderr progress reporter for
+//!   interactive runs (TTY-aware: in-place rewrites on terminals, plain
+//!   periodic lines otherwise; off in CI and golden runs).
 //! - [`json`] — a minimal JSON writer *and parser*; the exporters
 //!   self-verify their streams because the vendored `serde` is a no-op
 //!   stand-in.
@@ -43,10 +48,12 @@ pub mod json;
 pub mod metrics;
 pub mod observer;
 pub mod progress;
+pub mod serve;
 pub mod span;
 
 pub use export::{TelemetryOptions, TelemetrySink};
 pub use metrics::{MetricsSnapshot, Registry};
 pub use observer::TelemetryObserver;
-pub use progress::Progress;
+pub use progress::{Progress, ProgressMode, ProgressSnapshot};
+pub use serve::{CampaignStatus, MonitorServer};
 pub use span::{SpanLevel, Tracer};

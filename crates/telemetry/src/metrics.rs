@@ -55,7 +55,8 @@ impl SeriesKey {
     }
 
     /// Renders the key in Prometheus exposition syntax:
-    /// `name{k1="v1",k2="v2"}` (bare `name` when unlabeled).
+    /// `name{k1="v1",k2="v2"}` (bare `name` when unlabeled). Label values
+    /// are escaped per the exposition format ([`escape_label_value`]).
     pub fn render(&self) -> String {
         if self.labels.is_empty() {
             return self.name.clone();
@@ -66,15 +67,68 @@ impl SeriesKey {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(
-                out,
-                "{k}=\"{}\"",
-                v.replace('\\', "\\\\").replace('"', "\\\"")
-            );
+            let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
         }
         out.push('}');
         out
     }
+}
+
+/// Escapes a label value for the Prometheus text exposition format:
+/// backslash, double-quote and newline become `\\`, `\"` and `\n`
+/// (in that order — the backslash pass must run first).
+pub fn escape_label_value(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Escapes `# HELP` text for the exposition format: only backslash and
+/// newline are special in help strings (quotes are not).
+pub fn escape_help_text(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// The `# HELP` line text for a metric name. Known series get a curated
+/// description; anything else gets a generic one so every exposed series
+/// still carries HELP/TYPE metadata, as the format requires.
+fn help_text(name: &str) -> &'static str {
+    match name {
+        "edac_events" => "EDAC error-report records harvested, by voltage point, rail and level.",
+        "runs_total" => "Completed benchmark trials, by voltage point and benchmark.",
+        "run_failures_total" => "Trials ending in SDC or a crash, by failure class.",
+        "sessions_total" => "Beam sessions started, by operating point.",
+        "recoveries_total" => "Crash recoveries that consumed beam time.",
+        "recovery_time_lost" => "Simulated seconds lost to crash recovery.",
+        "trial_wall_time" => "Per-trial simulated wall time in seconds.",
+        "wave_merge_latency" => "Host seconds to execute and merge one speculative wave.",
+        "wave_critical_path" => "Longest single-worker busy time per wave, in host seconds.",
+        "wave_trials_planned_total" => "Trials launched speculatively by the wave engine.",
+        "wave_trials_absorbed_total" => "Speculative trials absorbed by the canonical merge.",
+        "waves_total" => "Speculative waves executed and merged.",
+        "trial_retries" => "Retry attempts spent on panicking or timed-out trials.",
+        "quarantined_trials" => "Trials that exhausted every retry and were quarantined.",
+        "worker_busy_seconds" => "Cumulative host seconds each pool worker spent executing trials.",
+        "worker_idle_seconds" => "Cumulative host seconds each pool worker spent off the hot path.",
+        "worker_shards_total" => "Work-stealing shards each pool worker pulled off the queue.",
+        "telemetry_events_total" => "Observer callbacks captured into the JSONL event stream.",
+        "session_sim_seconds" => "Simulated duration of the most recent session at this point.",
+        "session_upsets_per_minute" => "Upset-rate estimate of the most recent session.",
+        "session_recovery_lost_seconds" => "Recovery time lost in the most recent session.",
+        _ => "serscale series (no curated help text).",
+    }
+}
+
+/// Appends `# HELP` / `# TYPE` metadata for `name` if it has not been
+/// emitted yet.
+fn write_meta(out: &mut String, seen: &mut Vec<String>, name: &str, kind: &str) {
+    if seen.iter().any(|s| s == name) {
+        return;
+    }
+    seen.push(name.to_string());
+    let _ = writeln!(out, "# HELP {name} {}", escape_help_text(help_text(name)));
+    let _ = writeln!(out, "# TYPE {name} {kind}");
 }
 
 /// A monotonic counter handle. Cloning shares the underlying cell.
@@ -391,16 +445,23 @@ impl MetricsSnapshot {
     }
 
     /// Renders the snapshot in the Prometheus text exposition format
-    /// (sorted, so two snapshots of identical series diff cleanly).
+    /// (sorted, so two snapshots of identical series diff cleanly). Every
+    /// metric name carries `# HELP` and `# TYPE` lines, and label values
+    /// are escaped per the format — both the `metrics.prom` file exporter
+    /// and the live `/metrics` endpoint render through here.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
+        let mut seen: Vec<String> = Vec::new();
         for (key, value) in &self.counters {
+            write_meta(&mut out, &mut seen, &key.name, "counter");
             let _ = writeln!(out, "{} {value}", key.render());
         }
         for (key, value) in &self.gauges {
+            write_meta(&mut out, &mut seen, &key.name, "gauge");
             let _ = writeln!(out, "{} {value}", key.render());
         }
         for (key, hist) in &self.histograms {
+            write_meta(&mut out, &mut seen, &key.name, "histogram");
             let mut cumulative = 0u64;
             for (i, &n) in hist.buckets.iter().enumerate() {
                 cumulative += n;
@@ -553,6 +614,81 @@ mod tests {
             .position(|l| l.starts_with("zz_total"))
             .unwrap();
         assert!(aa < zz);
+    }
+
+    #[test]
+    fn adversarial_label_values_escape_per_exposition_format() {
+        // Raw value mixing every character the format makes special, plus
+        // the realistic operating-point label that motivated the fix.
+        let evil = "870mV@2.4 GHz\\path\"quoted\"\nnext";
+        let key = SeriesKey::new("edac_events", &[("voltage", evil)]);
+        let rendered = key.render();
+        assert_eq!(
+            rendered,
+            "edac_events{voltage=\"870mV@2.4 GHz\\\\path\\\"quoted\\\"\\nnext\"}"
+        );
+        assert!(
+            !rendered.contains('\n'),
+            "a raw newline splits the exposition line: {rendered}"
+        );
+        // The same escaping reaches the full snapshot render (shared by
+        // the file exporter and the /metrics endpoint).
+        let registry = Registry::new();
+        let shard = registry.shard();
+        shard.counter("edac_events", &[("voltage", evil)]).add(2);
+        registry
+            .gauge(&shard, "session_sim_seconds", &[("voltage", evil)])
+            .set(1.5);
+        shard
+            .histogram("trial_wall_time", &[("voltage", evil)])
+            .observe(0.25);
+        let text = registry.snapshot().render_prometheus();
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#')
+                    || line
+                        .rsplit_once(' ')
+                        .is_some_and(|(_, v)| v.parse::<f64>().is_ok()),
+                "unparseable exposition line: {line:?}"
+            );
+        }
+        assert!(text.contains("\\\"quoted\\\"\\nnext"), "{text}");
+    }
+
+    #[test]
+    fn every_series_carries_help_and_type_lines() {
+        let registry = Registry::new();
+        let shard = registry.shard();
+        shard.counter("runs_total", &[("voltage", "v")]).inc();
+        shard.counter("made_up_metric", &[]).inc();
+        registry.gauge(&shard, "session_sim_seconds", &[]).set(9.0);
+        shard.histogram("wave_merge_latency", &[]).observe(0.5);
+        let text = registry.snapshot().render_prometheus();
+        for (name, kind) in [
+            ("runs_total", "counter"),
+            ("made_up_metric", "counter"),
+            ("session_sim_seconds", "gauge"),
+            ("wave_merge_latency", "histogram"),
+        ] {
+            assert!(text.contains(&format!("# TYPE {name} {kind}\n")), "{text}");
+            let help = format!("# HELP {name} ");
+            assert!(text.contains(&help), "missing {help:?} in:\n{text}");
+        }
+        // Metadata precedes the series and is emitted once per name.
+        let type_lines = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE runs_total"))
+            .count();
+        assert_eq!(type_lines, 1);
+        let meta = text.lines().position(|l| l == "# TYPE runs_total counter");
+        let series = text.lines().position(|l| l.starts_with("runs_total{"));
+        assert!(meta < series, "{meta:?} vs {series:?}");
+    }
+
+    #[test]
+    fn help_text_escapes_backslash_and_newline() {
+        assert_eq!(escape_help_text("a\\b\nc"), "a\\\\b\\nc");
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
     }
 
     #[test]

@@ -28,9 +28,19 @@ use serscale_soc::platform::OperatingPoint;
 use serscale_types::{ArrayKind, CacheLevel, SimDuration, SimInstant, VoltageDomain};
 use serscale_workload::Benchmark;
 
-use crate::metrics::{Counter, Histogram, Registry, Shard};
+use crate::metrics::{Counter, Gauge, Histogram, Registry, Shard};
 use crate::progress::Progress;
 use crate::span::{SpanId, SpanLevel, Tracer};
+
+/// Cumulative pool accounting for one worker slot (index = `worker`
+/// label), carried across waves and sessions by the observer.
+struct WorkerSlot {
+    busy_nanos: u64,
+    idle_nanos: u64,
+    busy_gauge: Gauge,
+    idle_gauge: Gauge,
+    shards: Counter,
+}
 
 /// Per-session state: identity, rolling counts, and the cached series
 /// handles every callback bumps without re-resolving labels.
@@ -59,6 +69,8 @@ struct SessionState {
     recoveries: Counter,
     recovery_hist: Histogram,
     wave_latency: Histogram,
+    wave_critical_path: Histogram,
+    waves: Counter,
     wave_planned: Counter,
     wave_absorbed: Counter,
     trial_retries: Counter,
@@ -84,6 +96,8 @@ impl SessionState {
             recoveries: shard.counter("recoveries_total", &[("voltage", &voltage)]),
             recovery_hist: shard.histogram("recovery_time_lost", &[("voltage", &voltage)]),
             wave_latency: shard.histogram("wave_merge_latency", &[("voltage", &voltage)]),
+            wave_critical_path: shard.histogram("wave_critical_path", &[("voltage", &voltage)]),
+            waves: shard.counter("waves_total", &[("voltage", &voltage)]),
             wave_planned: shard.counter("wave_trials_planned_total", &[("voltage", &voltage)]),
             wave_absorbed: shard.counter("wave_trials_absorbed_total", &[("voltage", &voltage)]),
             trial_retries: shard.counter("trial_retries", &[("voltage", &voltage)]),
@@ -201,6 +215,9 @@ pub struct TelemetryObserver {
     state: Option<SessionState>,
     /// Sim-seconds completed in *earlier* sessions (for progress/ETA).
     completed_sim_secs: f64,
+    /// Per-worker busy/idle/shard accounting, cumulative across waves
+    /// (indexed by worker slot; grows to the pool's `--jobs` width).
+    workers: Vec<WorkerSlot>,
 }
 
 impl TelemetryObserver {
@@ -226,6 +243,36 @@ impl TelemetryObserver {
             trial_spans,
             state: None,
             completed_sim_secs: 0.0,
+            workers: Vec::new(),
+        }
+    }
+
+    /// Folds one wave's [`PoolProfile`](serscale_core::parallel::PoolProfile)
+    /// into the cumulative per-worker series. Host-clock data: the values
+    /// vary run to run and with `--jobs`, unlike the simulation series.
+    fn account_pool(&mut self, pool: &serscale_core::parallel::PoolProfile) {
+        for (index, report) in pool.workers.iter().enumerate() {
+            if self.workers.len() <= index {
+                let label = self.workers.len().to_string();
+                let labels = [("worker", label.as_str())];
+                self.workers.push(WorkerSlot {
+                    busy_nanos: 0,
+                    idle_nanos: 0,
+                    busy_gauge: self
+                        .registry
+                        .gauge(&self.shard, "worker_busy_seconds", &labels),
+                    idle_gauge: self
+                        .registry
+                        .gauge(&self.shard, "worker_idle_seconds", &labels),
+                    shards: self.shard.counter("worker_shards_total", &labels),
+                });
+            }
+            let slot = &mut self.workers[index];
+            slot.busy_nanos += report.busy_nanos;
+            slot.idle_nanos += pool.wall_nanos.saturating_sub(report.busy_nanos);
+            slot.busy_gauge.set(slot.busy_nanos as f64 / 1e9);
+            slot.idle_gauge.set(slot.idle_nanos as f64 / 1e9);
+            slot.shards.add(report.shards);
         }
     }
 
@@ -429,8 +476,13 @@ impl SessionObserver for TelemetryObserver {
     }
 
     fn on_wave(&mut self, stats: WaveStats) {
+        self.account_pool(&stats.pool);
         let Some(state) = &self.state else { return };
         state.wave_latency.observe(stats.host_nanos as f64 / 1e9);
+        state
+            .wave_critical_path
+            .observe(stats.pool.critical_path_nanos() as f64 / 1e9);
+        state.waves.inc();
         state.wave_planned.add(stats.planned as u64);
         state.wave_absorbed.add(stats.absorbed as u64);
         state.trial_retries.add(stats.retries);
@@ -571,6 +623,46 @@ mod tests {
         assert_eq!(
             snap.counter_total("trial_retries", &[]),
             report.trial_retries
+        );
+    }
+
+    #[test]
+    fn worker_utilization_series_cover_the_pool() {
+        use serscale_core::session::ExecutionPlan;
+        let sink = TelemetrySink::in_memory(TelemetryOptions::default());
+        let mut observer = sink.observer();
+        let point = OperatingPoint::vmin_2400();
+        let dut = DeviceUnderTest::xgene2(point, DeviceUnderTest::paper_vmin(point.frequency));
+        let mut session = TestSession::new(
+            dut,
+            Flux::per_cm2_s(1.5e6),
+            SessionLimits::time_boxed(SimDuration::from_minutes(60.0)),
+        );
+        session.run_planned(
+            &mut SimRng::seed_from(13),
+            ExecutionPlan::with_jobs(2),
+            &mut observer,
+        );
+        let snap = sink.registry().snapshot();
+        let waves = snap.counter_total("waves_total", &[]);
+        assert!(waves > 0, "a 60-minute session merges waves");
+        // Both worker slots surface cumulative busy/idle gauges and a
+        // shard counter; idle + busy per worker covers the pool wall.
+        for worker in ["0", "1"] {
+            let busy = snap
+                .gauge_value("worker_busy_seconds", &[("worker", worker)])
+                .unwrap_or_else(|| panic!("worker {worker} busy gauge missing"));
+            let idle = snap
+                .gauge_value("worker_idle_seconds", &[("worker", worker)])
+                .expect("idle gauge");
+            assert!(busy >= 0.0 && idle >= 0.0, "worker {worker}: {busy}/{idle}");
+        }
+        assert!(snap.counter_total("worker_shards_total", &[]) > 0);
+        let key =
+            crate::metrics::SeriesKey::new("wave_critical_path", &[("voltage", &point.label())]);
+        assert_eq!(
+            snap.histograms[&key].count, waves,
+            "every merged wave lands one critical-path observation"
         );
     }
 

@@ -1,0 +1,620 @@
+//! A live monitoring plane: a dependency-free HTTP/1.1 server over the
+//! sink's registry, tracer, progress reporter and campaign status.
+//!
+//! The paper's beam campaigns run for hours; the reproduction's run in
+//! seconds — but the *operational* questions are the same: is the run
+//! alive, how far along is it, is the journal keeping up, how busy are
+//! the workers. [`MonitorServer`] answers them over plain HTTP so `curl`
+//! and Prometheus can watch a campaign without any client library:
+//!
+//! | endpoint    | payload                                                |
+//! |-------------|--------------------------------------------------------|
+//! | `/metrics`  | Prometheus text exposition of every live series        |
+//! | `/healthz`  | liveness, journal fsync lag, quarantine count (JSON)   |
+//! | `/progress` | trials done, σ̂ estimate, fraction, ETA (JSON)          |
+//! | `/spans`    | the most recent closed spans (JSONL, newest last)      |
+//! | `/campaign` | journal-backed status: fingerprint, resume, waves      |
+//! | `/`         | a plain-text index of the above                        |
+//!
+//! ## Observe-only, enforced structurally
+//!
+//! The server holds *read* handles: a registry clone (snapshots merge
+//! shard data without blocking writers), the tracer `Arc`, the progress
+//! mutex and a small status cell the driver updates at run boundaries.
+//! There is no channel from a request handler back into the engine, so a
+//! scrape storm can slow the host down but can never change a report —
+//! `tests/scrape_consistency.rs` hammers a live campaign and diffs its
+//! artifacts against a server-less run to prove it.
+//!
+//! ## Anatomy
+//!
+//! One accept thread pushes connections into an `mpsc` channel drained
+//! by [`WORKERS`] handler threads (the receiver is shared behind a
+//! mutex — `std::net` only, no external crates). Sockets carry short
+//! read/write timeouts so one stalled client cannot wedge a worker.
+//! [`MonitorServer::shutdown`] flips an atomic flag, nudges the accept
+//! loop awake with a loopback connection, drops the channel sender and
+//! joins every thread — a bounded, graceful stop with no `unsafe` signal
+//! handling. An abrupt kill is also safe: the server owns no run state,
+//! so the journal's torn-tail recovery covers it like any other crash.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use serscale_core::journal::SyncProbe;
+
+use crate::json;
+use crate::metrics::Registry;
+use crate::progress::Progress;
+use crate::span::Tracer;
+
+/// Handler threads draining the accept queue.
+const WORKERS: usize = 4;
+/// Per-socket read/write timeout: a stalled client loses its slot.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(2);
+/// Upper bound on an accepted request head (request line + headers).
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+/// `/spans` returns at most this many of the newest closed spans.
+const SPAN_WINDOW: usize = 64;
+
+/// Slow-changing campaign facts the driver publishes at run boundaries
+/// (the fast-changing numbers live in the registry and progress state).
+#[derive(Debug, Clone, Default)]
+pub struct CampaignStatus {
+    /// The config fingerprint the journal locks resume decisions to
+    /// (rendered in hex, like the journal header), if known.
+    pub config_fingerprint: Option<u64>,
+    /// The journal path, when the run is journaled.
+    pub journal: Option<String>,
+    /// Trials replayed from a prior journal instead of re-executed.
+    pub resumed_trials: u64,
+    /// Whether the campaign has finished (the server may linger after).
+    pub done: bool,
+}
+
+/// Everything a request handler may read. Cloning is cheap — the fields
+/// are handles into state owned elsewhere.
+#[derive(Clone)]
+pub struct MonitorState {
+    registry: Registry,
+    tracer: Arc<Tracer>,
+    progress: Arc<Mutex<Progress>>,
+    status: Arc<Mutex<CampaignStatus>>,
+    probe: Arc<Mutex<Option<SyncProbe>>>,
+    started: Instant,
+}
+
+impl MonitorState {
+    /// Bundles read handles for the server. Called by
+    /// [`TelemetrySink::serve`](crate::export::TelemetrySink::serve);
+    /// public for tests that assemble a state by hand.
+    pub fn new(
+        registry: Registry,
+        tracer: Arc<Tracer>,
+        progress: Arc<Mutex<Progress>>,
+        status: Arc<Mutex<CampaignStatus>>,
+        probe: Arc<Mutex<Option<SyncProbe>>>,
+    ) -> Self {
+        MonitorState {
+            registry,
+            tracer,
+            progress,
+            status,
+            probe,
+            started: Instant::now(),
+        }
+    }
+
+    fn healthz(&self) -> String {
+        let snapshot = self.registry.snapshot();
+        let quarantined = snapshot.counter_total("quarantined_trials", &[]);
+        let probe = self.probe.lock().expect("probe cell poisoned").clone();
+        let (syncs, lag) = match &probe {
+            Some(p) => (Some(p.syncs()), p.lag()),
+            None => (None, None),
+        };
+        let mut out = String::from("{\"status\":\"ok\"");
+        out.push_str(&format!(
+            ",\"uptime_seconds\":{}",
+            json::number(self.started.elapsed().as_secs_f64())
+        ));
+        match syncs {
+            Some(n) => out.push_str(&format!(",\"journal_syncs\":{n}")),
+            None => out.push_str(",\"journal_syncs\":null"),
+        }
+        match lag {
+            Some(d) => out.push_str(&format!(
+                ",\"journal_fsync_lag_seconds\":{}",
+                json::number(d.as_secs_f64())
+            )),
+            None => out.push_str(",\"journal_fsync_lag_seconds\":null"),
+        }
+        out.push_str(&format!(",\"quarantined_trials\":{quarantined}}}"));
+        out
+    }
+
+    fn campaign(&self) -> String {
+        let snapshot = self.registry.snapshot();
+        let status = self.status.lock().expect("status cell poisoned").clone();
+        let mut out = String::from("{");
+        match status.config_fingerprint {
+            Some(fp) => out.push_str(&format!("\"config_fingerprint\":\"{fp:016x}\"")),
+            None => out.push_str("\"config_fingerprint\":null"),
+        }
+        match &status.journal {
+            Some(path) => out.push_str(&format!(",\"journal\":{}", json::escape(path))),
+            None => out.push_str(",\"journal\":null"),
+        }
+        out.push_str(&format!(",\"resumed_trials\":{}", status.resumed_trials));
+        out.push_str(&format!(",\"done\":{}", status.done));
+        out.push_str(&format!(
+            ",\"trials_done\":{}",
+            snapshot.counter_total("runs_total", &[])
+        ));
+        out.push_str(&format!(
+            ",\"waves_merged\":{}",
+            snapshot.counter_total("waves_total", &[])
+        ));
+        out.push_str(&format!(
+            ",\"trials_retried\":{}",
+            snapshot.counter_total("trial_retries", &[])
+        ));
+        out.push_str(&format!(
+            ",\"quarantined_trials\":{}",
+            snapshot.counter_total("quarantined_trials", &[])
+        ));
+        out.push('}');
+        out
+    }
+
+    fn spans(&self) -> String {
+        let records = self.tracer.records();
+        let start = records.len().saturating_sub(SPAN_WINDOW);
+        let mut out = String::new();
+        for record in &records[start..] {
+            out.push_str(&record.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    fn respond(&self, method: &str, path: &str) -> Response {
+        if method != "GET" {
+            return Response::text(405, "405 method not allowed\nonly GET is supported\n");
+        }
+        // Ignore any query string: `/progress?x=1` reads as `/progress`.
+        let path = path.split('?').next().unwrap_or(path);
+        match path {
+            "/" => Response::text(
+                200,
+                "serscale monitor\n\
+                 /metrics   Prometheus text exposition\n\
+                 /healthz   liveness + journal fsync lag (JSON)\n\
+                 /progress  trials, sigma estimate, ETA (JSON)\n\
+                 /spans     recent closed spans (JSONL)\n\
+                 /campaign  journal-backed campaign status (JSON)\n",
+            ),
+            "/metrics" => Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4; charset=utf-8",
+                body: self.registry.snapshot().render_prometheus(),
+            },
+            "/healthz" => Response::json(self.healthz()),
+            "/progress" => Response::json(
+                self.progress
+                    .lock()
+                    .expect("progress poisoned")
+                    .snapshot()
+                    .to_json(),
+            ),
+            "/spans" => Response {
+                status: 200,
+                content_type: "application/jsonl; charset=utf-8",
+                body: self.spans(),
+            },
+            "/campaign" => Response::json(self.campaign()),
+            _ => Response::text(404, "404 not found\ntry / for the endpoint index\n"),
+        }
+    }
+}
+
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+}
+
+impl Response {
+    fn text(status: u16, body: &str) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.to_string(),
+        }
+    }
+
+    fn json(body: String) -> Self {
+        Response {
+            status: 200,
+            content_type: "application/json; charset=utf-8",
+            body,
+        }
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let reason = match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            _ => "Internal Server Error",
+        };
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len(),
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(self.body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+/// Reads the request head (up to the blank line or [`MAX_REQUEST_BYTES`])
+/// and returns `(method, path)` from the request line.
+fn parse_request(stream: &mut TcpStream) -> Result<(String, String), String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
+                {
+                    break;
+                }
+                if buf.len() > MAX_REQUEST_BYTES {
+                    return Err("request head too large".to_string());
+                }
+            }
+            Err(e) => return Err(format!("read failed: {e}")),
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let line = head.lines().next().unwrap_or("");
+    let mut parts = line.split_whitespace();
+    match (parts.next(), parts.next(), parts.next()) {
+        (Some(method), Some(path), Some(version)) if version.starts_with("HTTP/1") => {
+            Ok((method.to_string(), path.to_string()))
+        }
+        _ => Err(format!("malformed request line {line:?}")),
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &MonitorState) {
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let response = match parse_request(&mut stream) {
+        Ok((method, path)) => state.respond(&method, &path),
+        Err(reason) => Response::text(400, &format!("400 bad request\n{reason}\n")),
+    };
+    // A client that hung up mid-response is its own problem; the server
+    // must not die (or log on stdout, which is golden-diffed) over it.
+    let _ = response.write_to(&mut stream);
+}
+
+/// The running monitoring server. Bind with [`MonitorServer::bind`]
+/// (usually via [`TelemetrySink::serve`](crate::export::TelemetrySink::serve)),
+/// stop with [`shutdown`](MonitorServer::shutdown); dropping the handle
+/// shuts down too.
+pub struct MonitorServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl MonitorServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// the accept thread plus [`WORKERS`] handler threads.
+    pub fn bind(addr: &str, state: MonitorState) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        // std's Receiver is single-consumer; the mutex turns the worker
+        // pool into take-turns consumers without any external crate.
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..WORKERS)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let state = state.clone();
+                std::thread::Builder::new()
+                    .name(format!("serscale-monitor-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only while waiting, not handling.
+                        let conn = rx.lock().expect("monitor queue poisoned").recv();
+                        match conn {
+                            Ok(stream) => handle_connection(stream, &state),
+                            Err(_) => break, // sender gone: shutdown
+                        }
+                    })
+                    .expect("spawn monitor worker")
+            })
+            .collect();
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("serscale-monitor-accept".to_string())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            break; // the shutdown nudge or any later conn
+                        }
+                        match conn {
+                            Ok(stream) => {
+                                if tx.send(stream).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(_) => {
+                                // Transient accept errors (EMFILE, reset
+                                // before accept) should not kill the
+                                // monitoring plane.
+                                if stop.load(Ordering::Acquire) {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    // Dropping `tx` here wakes every idle worker.
+                })
+                .expect("spawn monitor accept thread")
+        };
+        Ok(MonitorServer {
+            addr,
+            stop,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address — the real port when bound to `:0`.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains in-flight requests and joins every thread.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the accept loop: `incoming()` has no timeout, so poke
+        // it with a throwaway loopback connection. If even that fails the
+        // listener is already dead and the loop has exited on the error.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for MonitorServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One blocking `GET` against a [`MonitorServer`], returning the status
+/// code and body. This is the crate's own scrape client — the
+/// consistency tests, the CI monitoring job's reconciler and the
+/// scrape-storm benchmark all poll through it.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, SOCKET_TIMEOUT)?;
+    stream.set_read_timeout(Some(SOCKET_TIMEOUT))?;
+    stream.set_write_timeout(Some(SOCKET_TIMEOUT))?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: serscale\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::other("response missing header/body separator"))?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other(format!("bad status line in {head:?}")))?;
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::{TelemetryOptions, TelemetrySink};
+    use crate::json::JsonValue;
+
+    fn sink_with_server() -> (TelemetrySink, MonitorServer) {
+        let sink = TelemetrySink::in_memory(TelemetryOptions::default());
+        let server = sink.serve("127.0.0.1:0").expect("bind");
+        (sink, server)
+    }
+
+    #[test]
+    fn index_lists_every_endpoint() {
+        let (_sink, server) = sink_with_server();
+        let (status, body) = http_get(server.addr(), "/").expect("GET /");
+        assert_eq!(status, 200);
+        for endpoint in ["/metrics", "/healthz", "/progress", "/spans", "/campaign"] {
+            assert!(body.contains(endpoint), "index missing {endpoint}: {body}");
+        }
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_live_series() {
+        let (sink, server) = sink_with_server();
+        sink.add_counter("edac_events", &[("voltage", "870mV@2.4 GHz")], 7);
+        let (status, body) = http_get(server.addr(), "/metrics").expect("GET /metrics");
+        assert_eq!(status, 200);
+        assert!(body.contains("# TYPE edac_events counter"), "{body}");
+        assert!(
+            body.contains("edac_events{voltage=\"870mV@2.4 GHz\"} 7"),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn healthz_reports_probe_and_quarantines() {
+        let (sink, server) = sink_with_server();
+        let (_, body) = http_get(server.addr(), "/healthz").expect("GET /healthz");
+        let doc = json::parse(&body).expect("healthz parses");
+        assert_eq!(doc.get("status").and_then(JsonValue::as_str), Some("ok"));
+        assert_eq!(doc.get("journal_syncs"), Some(&JsonValue::Null));
+        // Attach a probe: syncs surface as a number.
+        sink.attach_sync_probe(SyncProbe::new());
+        let (_, body) = http_get(server.addr(), "/healthz").expect("GET /healthz");
+        let doc = json::parse(&body).expect("healthz parses");
+        assert_eq!(
+            doc.get("journal_syncs").and_then(JsonValue::as_f64),
+            Some(0.0)
+        );
+        assert_eq!(
+            doc.get("quarantined_trials").and_then(JsonValue::as_f64),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn progress_endpoint_matches_reporter_state() {
+        let (sink, server) = sink_with_server();
+        sink.set_progress_target_sim_secs(1000.0);
+        let (_, body) = http_get(server.addr(), "/progress").expect("GET /progress");
+        let doc = json::parse(&body).expect("progress parses");
+        assert_eq!(doc.get("trials").and_then(JsonValue::as_f64), Some(0.0));
+        assert_eq!(
+            doc.get("target_sim_seconds").and_then(JsonValue::as_f64),
+            Some(1000.0)
+        );
+    }
+
+    #[test]
+    fn campaign_endpoint_reflects_driver_status() {
+        let (sink, server) = sink_with_server();
+        sink.set_campaign_status(|status| {
+            status.config_fingerprint = Some(0xdead_beef);
+            status.journal = Some("runs/journal.serj".to_string());
+            status.resumed_trials = 42;
+        });
+        let (_, body) = http_get(server.addr(), "/campaign").expect("GET /campaign");
+        let doc = json::parse(&body).expect("campaign parses");
+        assert_eq!(
+            doc.get("config_fingerprint").and_then(JsonValue::as_str),
+            Some("00000000deadbeef")
+        );
+        assert_eq!(
+            doc.get("journal").and_then(JsonValue::as_str),
+            Some("runs/journal.serj")
+        );
+        assert_eq!(
+            doc.get("resumed_trials").and_then(JsonValue::as_f64),
+            Some(42.0)
+        );
+        assert_eq!(doc.get("done"), Some(&JsonValue::Bool(false)));
+    }
+
+    #[test]
+    fn spans_endpoint_serves_recent_jsonl() {
+        let (sink, server) = sink_with_server();
+        for i in 0..100 {
+            sink.tracer().in_span(
+                crate::span::SpanLevel::Wave,
+                &format!("wave@{i}"),
+                crate::span::SpanId::ROOT,
+                || (),
+            );
+        }
+        let (status, body) = http_get(server.addr(), "/spans").expect("GET /spans");
+        assert_eq!(status, 200);
+        let docs = json::parse_lines(&body).expect("spans parse");
+        assert_eq!(docs.len(), SPAN_WINDOW, "window caps the span dump");
+        let last = docs.last().expect("nonempty");
+        assert_eq!(
+            last.get("name").and_then(JsonValue::as_str),
+            Some("wave@99"),
+            "newest span last"
+        );
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_get_http_errors() {
+        let (_sink, server) = sink_with_server();
+        let (status, _) = http_get(server.addr(), "/nope").expect("GET /nope");
+        assert_eq!(status, 404);
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        stream
+            .write_all(b"POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .expect("write");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read");
+        assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+        // A malformed request line gets a 400, not a hang or a panic.
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        stream.write_all(b"garbage\r\n\r\n").expect("write");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read");
+        assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
+    }
+
+    #[test]
+    fn query_strings_are_ignored() {
+        let (_sink, server) = sink_with_server();
+        let (status, _) = http_get(server.addr(), "/progress?verbose=1").expect("GET");
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly_and_is_idempotent() {
+        let (_sink, mut server) = sink_with_server();
+        let addr = server.addr();
+        http_get(addr, "/healthz").expect("server up");
+        server.shutdown();
+        server.shutdown(); // second call is a no-op
+        assert!(
+            http_get(addr, "/healthz").is_err(),
+            "server must be down after shutdown"
+        );
+    }
+
+    #[test]
+    fn concurrent_scrapes_all_succeed() {
+        let (sink, server) = sink_with_server();
+        sink.add_counter("runs_total", &[("voltage", "nominal")], 5);
+        let addr = server.addr();
+        let handles: Vec<_> = (0..16)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let path = ["/metrics", "/healthz", "/progress", "/campaign"][i % 4];
+                    http_get(addr, path).expect("scrape")
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (status, body) = handle.join().expect("join scraper");
+            assert_eq!(status, 200);
+            assert!(!body.is_empty());
+        }
+    }
+}
