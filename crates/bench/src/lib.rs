@@ -19,6 +19,7 @@
 pub mod experiments;
 pub mod paper;
 pub mod selfcheck;
+pub mod throughput;
 
 use serscale_core::campaign::{Campaign, CampaignConfig, CampaignReport, CampaignRunOptions};
 use serscale_core::journal::start_or_resume;

@@ -471,9 +471,9 @@ mod tests {
 
     #[test]
     fn upset_rates_rise_across_sessions() {
-        // Even a 3%-length campaign shows Table 2's rate ordering between
+        // Even an 8%-length campaign shows Table 2's rate ordering between
         // the extremes.
-        let report = Campaign::new(quick_config(8, 0.03)).run();
+        let report = Campaign::new(quick_config(8, 0.08)).run();
         let nominal = report.baseline().unwrap().upset_rate().per_minute();
         let v790 = report
             .session_at(OperatingPoint::vmin_900())
@@ -485,7 +485,7 @@ mod tests {
 
     #[test]
     fn sdc_share_explodes_at_vmin_2400() {
-        let report = Campaign::new(quick_config(9, 0.05)).run();
+        let report = Campaign::new(quick_config(9, 0.1)).run();
         let nominal_share = report.baseline().unwrap().failure_shares()[&FailureClass::Sdc];
         let vmin_share = report
             .session_at(OperatingPoint::vmin_2400())

@@ -5,13 +5,15 @@
 //! pool that executes such shards across threads while keeping the
 //! *results* exactly what the sequential code would have produced:
 //!
-//! * **Order canonicalization** — every shard is tagged with its input
-//!   index and the output vector is reassembled in input order, so callers
-//!   can reduce left-to-right exactly as the sequential loop does.
+//! * **Order canonicalization** — work is dispatched as contiguous
+//!   *chunks* of input items, each tagged with its queue index, and the
+//!   output vector is reassembled in input order, so callers can reduce
+//!   left-to-right exactly as the sequential loop does. Chunking keeps the
+//!   channel round-trips per item negligible even for microsecond shards.
 //! * **No shared mutable state** — each worker builds its own scratch
 //!   state (e.g. a [`BenchmarkRunner`](crate::runner::BenchmarkRunner)
-//!   with its kernel caches) via a factory closure; shards communicate
-//!   only through bounded channels.
+//!   with its strike buffers and envelope caches) via a factory closure;
+//!   shards communicate only through bounded channels.
 //! * **Panic isolation** — a panicking shard does not tear down the pool
 //!   mid-flight. The pool stops feeding new work, drains the in-flight
 //!   results, joins every worker, and only then resumes the first panic
@@ -37,8 +39,9 @@ use crossbeam::thread;
 pub struct WorkerReport {
     /// Host nanoseconds this worker spent inside the work closure.
     pub busy_nanos: u64,
-    /// Shards this worker pulled off the queue (work stealing makes the
-    /// split uneven; the skew *is* the signal).
+    /// Shards (input items) this worker pulled off the queue, counted
+    /// across every chunk it stole (work stealing makes the split uneven;
+    /// the skew *is* the signal).
     pub shards: u64,
 }
 
@@ -182,19 +185,51 @@ pub fn backoff_delay(base: Duration, attempt: u32) -> Duration {
     base.saturating_mul(1u32 << attempt.min(10)).min(CAP)
 }
 
-/// What a worker reports back for one shard.
+/// What a worker reports back for one chunk of shards.
 enum ShardOutcome<O> {
-    Done(O),
+    Done(Vec<O>),
     Panicked(Box<dyn std::any::Any + Send>),
 }
 
-/// Maps `work` over `items` on `jobs` worker threads, returning outputs
-/// in input order.
+/// The host's hardware thread count, probed once per process.
+fn host_parallelism() -> usize {
+    use std::sync::OnceLock;
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| std::thread::available_parallelism().map_or(1, usize::from))
+}
+
+/// How many worker threads a `jobs` request actually spawns: `jobs`
+/// capped at the host's hardware threads.
+///
+/// The engine's work is CPU-bound, so threads beyond the core count only
+/// add context-switch and channel overhead — and the determinism contract
+/// makes `jobs` a pure throughput knob (the report is bit-identical at
+/// any value), so capping the *execution substrate* never changes a
+/// result. Wave planning still uses the requested `jobs`.
+pub fn effective_workers(jobs: usize) -> usize {
+    jobs.min(host_parallelism())
+}
+
+/// Maps `work` over `items` on up to `jobs` worker threads, returning
+/// outputs in input order.
 ///
 /// Each worker calls `make_state()` once and threads the resulting scratch
-/// value through every shard it steals. With `jobs == 1` (or fewer than
-/// two items) everything runs inline on the calling thread — the reference
-/// path the determinism tests compare against.
+/// value through every shard it steals. This is how the session driver
+/// gives each worker its own [`BenchmarkRunner`](crate::runner) — and with
+/// it the runner's per-worker scratch arenas (strike buffers, cached rate
+/// envelopes), which amortize across every trial the worker executes
+/// without any cross-thread sharing.
+///
+/// The thread count actually spawned is [`effective_workers`]`(jobs)`:
+/// oversubscribing a CPU-bound pool past the core count only adds
+/// overhead, and the determinism contract guarantees the outputs don't
+/// depend on the worker count. When that leaves a single worker (or there
+/// are fewer than two items) everything runs inline on the calling
+/// thread — the reference path the determinism tests compare against.
+///
+/// Work is dispatched in contiguous *chunks* of several shards, not one
+/// shard at a time, so per-shard channel traffic amortizes away for the
+/// microsecond-scale trials the campaign engine feeds through here.
 ///
 /// # Panics
 ///
@@ -233,8 +268,9 @@ where
     F: Fn(&mut S, I) -> O + Sync,
 {
     assert!(jobs > 0, "a pool needs at least one worker");
-    let clock = Instant::now();
-    if jobs == 1 || items.len() < 2 {
+    let workers = effective_workers(jobs).min(items.len());
+    if workers <= 1 || items.len() < 2 {
+        let clock = Instant::now();
         let mut state = make_state();
         let shards = items.len() as u64;
         let outputs: Vec<O> = items
@@ -244,20 +280,56 @@ where
         let wall = u64::try_from(clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
         return (outputs, PoolProfile::inline(wall, shards));
     }
+    pooled_map(workers, items, make_state, work)
+}
 
+/// The threaded pool behind [`par_map_with_profile`], with an exact
+/// worker count (no host-parallelism clamp — tests use this to exercise
+/// the threaded path regardless of the machine they run on).
+fn pooled_map<S, I, O, M, F>(
+    workers: usize,
+    items: Vec<I>,
+    make_state: M,
+    work: F,
+) -> (Vec<O>, PoolProfile)
+where
+    I: Send,
+    O: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(&mut S, I) -> O + Sync,
+{
+    let clock = Instant::now();
     let total = items.len();
-    let jobs = jobs.min(total);
+    let workers = workers.min(total).max(1);
+    // Contiguous chunks, roughly four per worker: large enough that the
+    // per-chunk channel round-trip amortizes across many shards, small
+    // enough that the end-of-queue imbalance stays a fraction of one
+    // worker's share.
+    let chunk_size = total.div_ceil(workers * 4).max(1);
+    let chunks: Vec<(usize, Vec<I>)> = {
+        let mut iter = items.into_iter();
+        let mut chunks = Vec::with_capacity(total.div_ceil(chunk_size));
+        loop {
+            let chunk: Vec<I> = iter.by_ref().take(chunk_size).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            chunks.push((chunks.len(), chunk));
+        }
+        chunks
+    };
+    let slot_count = chunks.len();
     // Small bounded buffers: enough to keep workers from starving between
     // collector wakeups, small enough that a stop-rule overshoot or a
     // panic leaves little queued work behind.
-    let (work_tx, work_rx) = channel::bounded::<(usize, I)>(2 * jobs);
-    let (out_tx, out_rx) = channel::bounded::<(usize, ShardOutcome<O>)>(2 * jobs);
+    let (work_tx, work_rx) = channel::bounded::<(usize, Vec<I>)>(2 * workers);
+    let (out_tx, out_rx) = channel::bounded::<(usize, ShardOutcome<O>)>(2 * workers);
     let abort = AtomicBool::new(false);
 
     let scope_result = thread::scope(|scope| {
-        let handles: Vec<_> = (0..jobs)
+        let handles: Vec<_> = (0..workers)
             .map(|_| {
-                let shard_rx = work_rx.clone();
+                let chunk_rx = work_rx.clone();
                 let result_tx = out_tx.clone();
                 let make_state = &make_state;
                 let work = &work;
@@ -265,23 +337,28 @@ where
                 scope.spawn(move |_| {
                     let mut state = make_state();
                     let mut report = WorkerReport::default();
-                    for (index, item) in shard_rx.iter() {
+                    for (index, chunk) in chunk_rx.iter() {
                         if abort.load(Ordering::Relaxed) {
                             break;
                         }
-                        let shard_clock = Instant::now();
-                        let outcome =
-                            match catch_unwind(AssertUnwindSafe(|| work(&mut state, item))) {
-                                Ok(output) => ShardOutcome::Done(output),
-                                Err(payload) => {
-                                    abort.store(true, Ordering::Relaxed);
-                                    ShardOutcome::Panicked(payload)
-                                }
-                            };
+                        let shards = chunk.len() as u64;
+                        let chunk_clock = Instant::now();
+                        let outcome = match catch_unwind(AssertUnwindSafe(|| {
+                            chunk
+                                .into_iter()
+                                .map(|item| work(&mut state, item))
+                                .collect::<Vec<O>>()
+                        })) {
+                            Ok(outputs) => ShardOutcome::Done(outputs),
+                            Err(payload) => {
+                                abort.store(true, Ordering::Relaxed);
+                                ShardOutcome::Panicked(payload)
+                            }
+                        };
                         report.busy_nanos = report.busy_nanos.saturating_add(
-                            u64::try_from(shard_clock.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                            u64::try_from(chunk_clock.elapsed().as_nanos()).unwrap_or(u64::MAX),
                         );
-                        report.shards += 1;
+                        report.shards += shards;
                         if result_tx.send((index, outcome)).is_err() {
                             break;
                         }
@@ -299,18 +376,18 @@ where
         // deadlock against a full result queue.
         let abort_ref = &abort;
         scope.spawn(move |_| {
-            for pair in items.into_iter().enumerate() {
+            for pair in chunks {
                 if abort_ref.load(Ordering::Relaxed) || work_tx.send(pair).is_err() {
                     break;
                 }
             }
         });
 
-        let mut slots: Vec<Option<O>> = (0..total).map(|_| None).collect();
+        let mut slots: Vec<Option<Vec<O>>> = (0..slot_count).map(|_| None).collect();
         let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
         for (index, outcome) in out_rx.iter() {
             match outcome {
-                ShardOutcome::Done(output) => slots[index] = Some(output),
+                ShardOutcome::Done(outputs) => slots[index] = Some(outputs),
                 ShardOutcome::Panicked(payload) => {
                     if first_panic.is_none() {
                         first_panic = Some(payload);
@@ -336,7 +413,7 @@ where
     }
     let outputs = slots
         .into_iter()
-        .map(|slot| slot.expect("pool drained without a panic, so every shard reported"))
+        .flat_map(|slot| slot.expect("pool drained without a panic, so every chunk reported"))
         .collect();
     let profile = PoolProfile {
         workers,
@@ -375,6 +452,27 @@ mod tests {
     }
 
     #[test]
+    fn threaded_pool_preserves_order_for_awkward_chunk_splits() {
+        // Force the threaded path (the public API may inline on small
+        // hosts) with totals that don't divide evenly into chunks.
+        for workers in [2usize, 3, 8] {
+            for total in [2u64, 7, 257, 1000] {
+                let (got, _) = pooled_map(workers, (0..total).collect(), || (), |(), x| x * x);
+                let want: Vec<u64> = (0..total).map(|x| x * x).collect();
+                assert_eq!(got, want, "workers = {workers}, total = {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn effective_workers_caps_at_host_parallelism() {
+        assert_eq!(effective_workers(1), 1);
+        let cap = effective_workers(usize::MAX);
+        assert!(cap >= 1);
+        assert_eq!(effective_workers(cap + 7), cap);
+    }
+
+    #[test]
     fn empty_and_singleton_inputs() {
         assert_eq!(par_map(4, Vec::<u32>::new(), |x| x), Vec::<u32>::new());
         assert_eq!(par_map(4, vec![9], |x| x + 1), vec![10]);
@@ -383,9 +481,9 @@ mod tests {
     #[test]
     fn worker_state_is_built_per_worker_and_reused() {
         let factories = AtomicUsize::new(0);
-        let jobs = 3;
-        let out = par_map_with(
-            jobs,
+        let workers = 3;
+        let (out, _) = pooled_map(
+            workers,
             (0..100u64).collect(),
             || {
                 factories.fetch_add(1, Ordering::Relaxed);
@@ -398,18 +496,26 @@ mod tests {
         );
         assert_eq!(out.len(), 100);
         let built = factories.load(Ordering::Relaxed);
-        assert!(built <= jobs, "at most one state per worker, got {built}");
+        assert!(
+            built <= workers,
+            "at most one state per worker, got {built}"
+        );
     }
 
     #[test]
     fn shard_panic_propagates_after_drain() {
         let caught = catch_unwind(|| {
-            par_map(4, (0..64u32).collect(), |x| {
-                if x == 13 {
-                    panic!("shard 13 exploded");
-                }
-                x
-            })
+            pooled_map(
+                4,
+                (0..64u32).collect(),
+                || (),
+                |(), x| {
+                    if x == 13 {
+                        panic!("shard 13 exploded");
+                    }
+                    x
+                },
+            )
         });
         let payload = caught.expect_err("panic must propagate");
         let message = payload
@@ -474,22 +580,26 @@ mod tests {
 
     #[test]
     fn profile_accounts_for_every_shard() {
+        let work = |(): &mut (), x: u64| {
+            // A little real work so busy time is nonzero.
+            (0..50u64).fold(x, |acc, i| acc.wrapping_mul(31).wrapping_add(i))
+        };
         for jobs in [1usize, 3, 8] {
-            let (out, profile) = par_map_with_profile(
-                jobs,
-                (0..200u64).collect(),
-                || (),
-                |(), x| {
-                    // A little real work so busy time is nonzero.
-                    (0..50u64).fold(x, |acc, i| acc.wrapping_mul(31).wrapping_add(i))
-                },
-            );
+            let (out, profile) = par_map_with_profile(jobs, (0..200u64).collect(), || (), work);
             assert_eq!(out.len(), 200);
             let shards: u64 = profile.workers.iter().map(|w| w.shards).sum();
             assert_eq!(shards, 200, "jobs = {jobs}");
             assert!(!profile.workers.is_empty() && profile.workers.len() <= jobs);
             assert!(profile.critical_path_nanos() <= profile.busy_nanos());
             assert!((0.0..=1.0).contains(&profile.utilization()));
+        }
+        for workers in [3usize, 8] {
+            let (out, profile) = pooled_map(workers, (0..200u64).collect(), || (), work);
+            assert_eq!(out.len(), 200);
+            let shards: u64 = profile.workers.iter().map(|w| w.shards).sum();
+            assert_eq!(shards, 200, "workers = {workers}");
+            assert_eq!(profile.workers.len(), workers);
+            assert!(profile.critical_path_nanos() <= profile.busy_nanos());
         }
     }
 
@@ -513,9 +623,14 @@ mod tests {
     #[test]
     fn results_identical_across_thread_counts() {
         let reference = par_map(1, (0..500u64).collect(), |x| x.wrapping_mul(0x9e37));
-        for jobs in [2, 5, 16] {
-            let got = par_map(jobs, (0..500u64).collect(), |x| x.wrapping_mul(0x9e37));
-            assert_eq!(got, reference, "jobs = {jobs}");
+        for workers in [2, 5, 16] {
+            let (got, _) = pooled_map(
+                workers,
+                (0..500u64).collect(),
+                || (),
+                |(), x| x.wrapping_mul(0x9e37),
+            );
+            assert_eq!(got, reference, "workers = {workers}");
         }
     }
 }

@@ -7,15 +7,35 @@
 //! program state — an *actual corrupted execution* of the benchmark kernel
 //! whose output is compared bit-exactly against the golden reference,
 //! which is precisely the SDC detector of the paper's test flow (§3.6).
+//!
+//! ## The batched hot path
+//!
+//! Event arrivals across all sources of one trial form a single Poisson
+//! process with mean `Σλᵢ` (superposition); each arrival belongs to
+//! source `i` with probability `λᵢ/Σλ` (multinomial splitting). The
+//! runner therefore draws **one** arrival count per trial from a cached
+//! `RateEnvelope` — the per-(array, voltage-domain, window) means,
+//! pre-summed in canonical order — and short-circuits the ≈95 % of
+//! trials whose count is zero before touching any array state. Strikes
+//! that do land go through the word-batched mask classifiers
+//! (`serscale-ecc`) via a reusable per-worker [`StrikeScratch`] arena.
+//!
+//! [`BenchmarkRunner::run_once_reference`] is the deliberately naive
+//! twin: it rebuilds the envelope from the physics every trial and
+//! classifies each strike through the real encode/decode codecs. Both
+//! paths consume the RNG stream draw-for-draw identically — the
+//! differential oracles in `serscale-verify` hold them to that.
 
 use std::collections::BTreeMap;
 
 use serscale_ecc::UpsetOutcome;
 use serscale_soc::edac::{EdacRecord, EdacSeverity};
+use serscale_soc::platform::{ArrayInstance, OperatingPoint};
+use serscale_sram::{MbuModel, StrikeScratch};
 use serscale_stats::poisson::sample_poisson;
 use serscale_stats::SimRng;
-use serscale_types::{Flux, SimDuration, SimInstant};
-use serscale_workload::kernel::{Corruption, Kernel, KernelOutput};
+use serscale_types::{ArrayKind, Flux, Millivolts, SimDuration, SimInstant};
+use serscale_workload::kernel::Corruption;
 use serscale_workload::Benchmark;
 
 use crate::classify::{ControlPc, EscalationModel, FailureClass, RunVerdict};
@@ -39,14 +59,253 @@ pub struct RunOutcome {
     pub sram_strikes: u64,
 }
 
+/// One event source inside a [`RateEnvelope`]: an SRAM array with its
+/// pre-resolved clustering model, or (implicitly, past the array list)
+/// the control/datapath logic.
+#[derive(Debug, Clone)]
+struct ArraySource {
+    instance: ArrayInstance,
+    mbu: MbuModel,
+    /// `p_extra(V_domain)` hoisted out of the strike loop: one `exp()`
+    /// per envelope build instead of one per strike.
+    p_extra: f64,
+    /// Mean events of all sources up to and including this one — the
+    /// selection threshold multinomial splitting compares against.
+    cumulative: f64,
+}
+
+/// The per-(operating point, benchmark) arrival-rate table: every
+/// source's expected event count for one run window, pre-summed so the
+/// hot path draws a single Poisson count and selects sources by one
+/// uniform each.
+///
+/// Built by one function used by both the batched and the reference
+/// paths, so the f64 summation order — and therefore every comparison
+/// against `cumulative` — is bit-identical between them.
+#[derive(Debug, Clone)]
+struct RateEnvelope {
+    point: OperatingPoint,
+    vmin: Millivolts,
+    duration: SimDuration,
+    dt: f64,
+    arrays: Vec<ArraySource>,
+    /// Mean through the control-logic source.
+    ctrl_cumulative: f64,
+    /// Grand total across arrays + control + datapath.
+    total: f64,
+}
+
+/// Which source an arrival belongs to.
+enum EventSource {
+    Array(usize),
+    Control,
+    Data,
+}
+
+impl RateEnvelope {
+    /// Builds the envelope from the physics at the DUT's current point.
+    fn build(
+        dut: &DeviceUnderTest,
+        flux: Flux,
+        benchmark: Benchmark,
+        duration: SimDuration,
+    ) -> Self {
+        let profile = benchmark.profile();
+        let dt = duration.as_secs();
+        let flux = flux.as_per_cm2_s();
+        let mut total = 0.0;
+        let mut arrays = Vec::new();
+        for instance in dut.soc().arrays() {
+            let sigma = dut
+                .observable_sigma(instance, profile.detection_factor())
+                .as_cm2();
+            total += sigma * flux * dt;
+            let domain = instance.array().voltage_domain();
+            let mbu = *dut.mbu_model(domain);
+            arrays.push(ArraySource {
+                instance: *instance,
+                p_extra: mbu.p_extra(dut.array_voltage(instance)),
+                mbu,
+                cumulative: total,
+            });
+        }
+        total += dut.control_sigma().as_cm2() * flux * dt;
+        let ctrl_cumulative = total;
+        total += dut.datapath_sigma().as_cm2() * flux * dt;
+        RateEnvelope {
+            point: dut.operating_point(),
+            vmin: dut.vmin(),
+            duration,
+            dt,
+            arrays,
+            ctrl_cumulative,
+            total,
+        }
+    }
+
+    /// Attributes one arrival to its source from a single uniform draw.
+    fn pick(&self, u: f64) -> EventSource {
+        let target = u * self.total;
+        let idx = self.arrays.partition_point(|s| s.cumulative <= target);
+        if idx < self.arrays.len() {
+            EventSource::Array(idx)
+        } else if target < self.ctrl_cumulative {
+            EventSource::Control
+        } else {
+            EventSource::Data
+        }
+    }
+}
+
+/// How a trial's strikes are classified: through the per-worker scratch
+/// arena and the mask-batched classifiers (the hot path), or through the
+/// allocating per-event codecs (the reference path the oracles diff
+/// against). Both consume the RNG identically.
+enum StrikeMode<'a> {
+    Batched(&'a mut StrikeScratch),
+    Reference,
+}
+
+/// Everything the event loop accumulates before the verdict phase.
+#[derive(Debug, Default)]
+struct TrialEvents {
+    edac: Vec<EdacRecord>,
+    sram_strikes: u64,
+    crash: Option<FailureClass>,
+    silent_corruptions: u64,
+    corruption_with_notification: bool,
+}
+
+/// Applies one word-level ECC outcome to the trial tally — the
+/// draw-order-critical core shared verbatim by both strike modes.
+fn apply_word_outcome(
+    outcome: UpsetOutcome,
+    when: SimInstant,
+    array: ArrayKind,
+    consume_probability: f64,
+    escalation: &EscalationModel,
+    rng: &mut SimRng,
+    tally: &mut TrialEvents,
+) {
+    match outcome {
+        UpsetOutcome::Corrected => tally.edac.push(EdacRecord {
+            time: when,
+            array,
+            severity: EdacSeverity::Corrected,
+        }),
+        UpsetOutcome::DetectedUncorrectable => {
+            tally.edac.push(EdacRecord {
+                time: when,
+                array,
+                severity: EdacSeverity::Uncorrected,
+            });
+            if let Some(class) = escalation.escalate_ue(rng) {
+                tally.crash = Some(worst(tally.crash, class));
+            }
+        }
+        UpsetOutcome::MiscorrectedReported => {
+            // Logged as corrected — but the data is wrong.
+            tally.edac.push(EdacRecord {
+                time: when,
+                array,
+                severity: EdacSeverity::Corrected,
+            });
+            if rng.chance(consume_probability) {
+                tally.silent_corruptions += 1;
+                tally.corruption_with_notification = true;
+            }
+        }
+        UpsetOutcome::SilentCorruption => {
+            if rng.chance(consume_probability) {
+                tally.silent_corruptions += 1;
+            }
+        }
+    }
+}
+
+/// Runs one trial's event loop against an envelope: one Poisson count,
+/// then per event one source-selection uniform plus that source's own
+/// draws. Zero-count trials return without touching any array state.
+fn execute_trial(
+    env: &RateEnvelope,
+    escalation: &EscalationModel,
+    mut mode: StrikeMode<'_>,
+    rng: &mut SimRng,
+    benchmark: Benchmark,
+    start: SimInstant,
+) -> TrialEvents {
+    let mut tally = TrialEvents::default();
+    let events = sample_poisson(rng, env.total);
+    if events == 0 {
+        return tally;
+    }
+    let consume_probability = benchmark.profile().consume_probability();
+    for _ in 0..events {
+        match env.pick(rng.uniform()) {
+            EventSource::Array(idx) => {
+                let src = &env.arrays[idx];
+                tally.sram_strikes += 1;
+                let cluster = src.mbu.sample_cluster_len_with(rng, src.p_extra);
+                let kind = src.instance.kind();
+                match &mut mode {
+                    StrikeMode::Batched(scratch) => {
+                        src.instance.array().strike_into(rng, cluster, scratch);
+                        let when = start + SimDuration::from_secs(rng.uniform() * env.dt);
+                        for i in 0..scratch.outcomes().len() {
+                            apply_word_outcome(
+                                scratch.outcomes()[i],
+                                when,
+                                kind,
+                                consume_probability,
+                                escalation,
+                                rng,
+                                &mut tally,
+                            );
+                        }
+                    }
+                    StrikeMode::Reference => {
+                        let effect = src.instance.array().strike(rng, cluster);
+                        let when = start + SimDuration::from_secs(rng.uniform() * env.dt);
+                        for word in &effect.words {
+                            apply_word_outcome(
+                                word.outcome,
+                                when,
+                                kind,
+                                consume_probability,
+                                escalation,
+                                rng,
+                                &mut tally,
+                            );
+                        }
+                    }
+                }
+            }
+            EventSource::Control => {
+                if let Some(class) = escalation.escalate_control(rng) {
+                    tally.crash = Some(worst(tally.crash, class));
+                }
+            }
+            EventSource::Data => {
+                if rng.chance(consume_probability) {
+                    tally.silent_corruptions += 1;
+                }
+            }
+        }
+    }
+    tally
+}
+
 /// Executes benchmark runs against a [`DeviceUnderTest`] in a beam.
 pub struct BenchmarkRunner {
     dut: DeviceUnderTest,
     flux: Flux,
     escalation: EscalationModel,
     control_pc: ControlPc,
-    kernels: BTreeMap<Benchmark, Box<dyn Kernel>>,
-    goldens: BTreeMap<Benchmark, KernelOutput>,
+    /// Per-benchmark arrival-rate envelopes, rebuilt when the operating
+    /// point moves. Worker-local, like everything else in the runner.
+    envelopes: BTreeMap<Benchmark, RateEnvelope>,
+    /// The per-worker strike arena the batched path classifies into.
+    scratch: StrikeScratch,
 }
 
 impl BenchmarkRunner {
@@ -57,8 +316,8 @@ impl BenchmarkRunner {
             flux,
             escalation: EscalationModel::calibrated(),
             control_pc: ControlPc::typical(),
-            kernels: BTreeMap::new(),
-            goldens: BTreeMap::new(),
+            envelopes: BTreeMap::new(),
+            scratch: StrikeScratch::new(),
         }
     }
 
@@ -68,7 +327,8 @@ impl BenchmarkRunner {
     }
 
     /// Mutable access to the DUT (e.g. to change operating point between
-    /// sessions).
+    /// sessions). Cached rate envelopes revalidate against the DUT's
+    /// point on the next run, so moving it is always safe.
     pub fn dut_mut(&mut self) -> &mut DeviceUnderTest {
         &mut self.dut
     }
@@ -92,104 +352,85 @@ impl BenchmarkRunner {
         profile.runtime() * stretch
     }
 
-    fn golden(&mut self, benchmark: Benchmark) -> &KernelOutput {
-        self.kernels
-            .entry(benchmark)
-            .or_insert_with(|| benchmark.kernel());
-        self.goldens
-            .entry(benchmark)
-            .or_insert_with(|| self.kernels[&benchmark].golden())
+    /// Rebuilds the cached envelope for `benchmark` if the DUT has moved
+    /// since it was built (or none exists yet).
+    fn ensure_envelope(&mut self, benchmark: Benchmark) {
+        let point = self.dut.operating_point();
+        let vmin = self.dut.vmin();
+        let fresh = self
+            .envelopes
+            .get(&benchmark)
+            .is_some_and(|e| e.point == point && e.vmin == vmin);
+        if !fresh {
+            let duration = self.run_duration(benchmark);
+            let env = RateEnvelope::build(&self.dut, self.flux, benchmark, duration);
+            self.envelopes.insert(benchmark, env);
+        }
     }
 
-    /// Runs one benchmark execution starting at `start` simulated time.
+    /// Runs one benchmark execution starting at `start` simulated time —
+    /// the batched hot path (cached envelope, scratch-arena strikes,
+    /// mask-based classification).
     pub fn run_once(
         &mut self,
         rng: &mut SimRng,
         benchmark: Benchmark,
         start: SimInstant,
     ) -> RunOutcome {
-        let profile = benchmark.profile();
+        self.ensure_envelope(benchmark);
+        let env = self.envelopes.get(&benchmark).expect("envelope just built");
+        let duration = env.duration;
+        let tally = execute_trial(
+            env,
+            &self.escalation,
+            StrikeMode::Batched(&mut self.scratch),
+            rng,
+            benchmark,
+            start,
+        );
+        self.finish_trial(rng, benchmark, duration, tally)
+    }
+
+    /// [`Self::run_once`] through the naive per-event path: the envelope
+    /// is rebuilt from the physics on every call and every strike goes
+    /// through the real encode/decode codecs. Draw-for-draw identical
+    /// RNG consumption and bit-identical outcomes to the batched path —
+    /// the invariant the differential oracles check.
+    pub fn run_once_reference(
+        &mut self,
+        rng: &mut SimRng,
+        benchmark: Benchmark,
+        start: SimInstant,
+    ) -> RunOutcome {
         let duration = self.run_duration(benchmark);
-        let dt = duration.as_secs();
-        let flux = self.flux.as_per_cm2_s();
+        let env = RateEnvelope::build(&self.dut, self.flux, benchmark, duration);
+        let tally = execute_trial(
+            &env,
+            &self.escalation,
+            StrikeMode::Reference,
+            rng,
+            benchmark,
+            start,
+        );
+        self.finish_trial(rng, benchmark, duration, tally)
+    }
 
-        let mut edac = Vec::new();
-        let mut sram_strikes = 0u64;
-        let mut crash: Option<FailureClass> = None;
-        let mut silent_corruptions = 0u64;
-        let mut corruption_with_notification = false;
-
-        // --- SRAM strikes, array by array -------------------------------
-        // Collected owned descriptors first: strike application needs &mut
-        // rng while iterating.
-        let arrays: Vec<_> = self.dut.soc().arrays().copied().collect();
-        for instance in &arrays {
-            let sigma = self
-                .dut
-                .observable_sigma(instance, profile.detection_factor())
-                .as_cm2();
-            let strikes = sample_poisson(rng, sigma * flux * dt);
-            sram_strikes += strikes;
-            for _ in 0..strikes {
-                let v = self.dut.array_voltage(instance);
-                let domain = instance.array().voltage_domain();
-                let cluster = self.dut.mbu_model(domain).sample_cluster_len(rng, v);
-                let effect = instance.array().strike(rng, cluster);
-                let when = start + SimDuration::from_secs(rng.uniform() * dt);
-                for word in &effect.words {
-                    match word.outcome {
-                        UpsetOutcome::Corrected => edac.push(EdacRecord {
-                            time: when,
-                            array: instance.kind(),
-                            severity: EdacSeverity::Corrected,
-                        }),
-                        UpsetOutcome::DetectedUncorrectable => {
-                            edac.push(EdacRecord {
-                                time: when,
-                                array: instance.kind(),
-                                severity: EdacSeverity::Uncorrected,
-                            });
-                            if let Some(class) = self.escalation.escalate_ue(rng) {
-                                crash = Some(worst(crash, class));
-                            }
-                        }
-                        UpsetOutcome::MiscorrectedReported => {
-                            // Logged as corrected — but the data is wrong.
-                            edac.push(EdacRecord {
-                                time: when,
-                                array: instance.kind(),
-                                severity: EdacSeverity::Corrected,
-                            });
-                            if rng.chance(profile.consume_probability()) {
-                                silent_corruptions += 1;
-                                corruption_with_notification = true;
-                            }
-                        }
-                        UpsetOutcome::SilentCorruption => {
-                            if rng.chance(profile.consume_probability()) {
-                                silent_corruptions += 1;
-                            }
-                        }
-                    }
-                }
-            }
-        }
-
-        // --- Unprotected core logic -------------------------------------
-        let ctrl_faults = sample_poisson(rng, self.dut.control_sigma().as_cm2() * flux * dt);
-        for _ in 0..ctrl_faults {
-            if let Some(class) = self.escalation.escalate_control(rng) {
-                crash = Some(worst(crash, class));
-            }
-        }
-        let data_faults = sample_poisson(rng, self.dut.datapath_sigma().as_cm2() * flux * dt);
-        for _ in 0..data_faults {
-            if rng.chance(profile.consume_probability()) {
-                silent_corruptions += 1;
-            }
-        }
-
-        // --- Verdict -----------------------------------------------------
+    /// The verdict phase shared by both paths: kernel-level SDC
+    /// adjudication, recovery overhead, and the canonical EDAC sort.
+    fn finish_trial(
+        &mut self,
+        rng: &mut SimRng,
+        benchmark: Benchmark,
+        duration: SimDuration,
+        tally: TrialEvents,
+    ) -> RunOutcome {
+        let TrialEvents {
+            mut edac,
+            sram_strikes,
+            crash,
+            silent_corruptions,
+            corruption_with_notification,
+        } = tally;
         let verdict = if let Some(class) = crash {
             match class {
                 FailureClass::SysCrash => RunVerdict::SysCrash,
@@ -207,9 +448,8 @@ impl BenchmarkRunner {
                 rng.below(1 << 20) as usize,
                 rng.below(64) as u8,
             );
-            let golden = self.golden(benchmark).clone();
-            let output = self.kernels[&benchmark].run_corrupted(corruption);
-            if output.matches(&golden) {
+            let output = benchmark.shared_kernel().run_corrupted(corruption);
+            if output.matches(benchmark.shared_golden()) {
                 RunVerdict::Correct
             } else {
                 // §6.2's two notification cases: (1) a SECDED
@@ -227,7 +467,7 @@ impl BenchmarkRunner {
         };
 
         let wall_time = duration + self.control_pc.recovery_overhead(verdict);
-        // Report times are sampled array by array, not chronologically;
+        // Report times are sampled event by event, not chronologically;
         // sort (stably — words of one strike share a timestamp) so
         // observers see each trial's records in nondecreasing time order.
         edac.sort_by(|a, b| {
@@ -252,7 +492,7 @@ impl std::fmt::Debug for BenchmarkRunner {
             .field("flux", &self.flux)
             .field("escalation", &self.escalation)
             .field("control_pc", &self.control_pc)
-            .field("cached_kernels", &self.kernels.len())
+            .field("cached_envelopes", &self.envelopes.len())
             .finish()
     }
 }
@@ -384,5 +624,61 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn reference_path_matches_batched_path_and_rng_stream() {
+        for point in [
+            OperatingPoint::nominal(),
+            OperatingPoint::vmin_2400(),
+            OperatingPoint::vmin_900(),
+        ] {
+            let mut fast = runner(point);
+            let mut slow = runner(point);
+            let mut fast_rng = SimRng::seed_from(31);
+            let mut slow_rng = SimRng::seed_from(31);
+            for i in 0..2000 {
+                let b = Benchmark::ALL[i % 6];
+                let a = fast.run_once(&mut fast_rng, b, SimInstant::EPOCH);
+                let r = slow.run_once_reference(&mut slow_rng, b, SimInstant::EPOCH);
+                assert_eq!(a, r, "trial {i} at {point:?}");
+            }
+            // Identical draw consumption, not just identical outcomes.
+            assert_eq!(fast_rng.uniform(), slow_rng.uniform(), "{point:?}");
+        }
+    }
+
+    #[test]
+    fn envelope_cache_revalidates_when_the_point_moves() {
+        let mut r = runner(OperatingPoint::nominal());
+        let mut rng = SimRng::seed_from(5);
+        let before = r.run_once(&mut rng, Benchmark::Cg, SimInstant::EPOCH);
+        // Move the DUT to Vmin and back: the envelope must follow.
+        let vmin_point = OperatingPoint::vmin_2400();
+        r.dut_mut().set_operating_point(
+            vmin_point,
+            DeviceUnderTest::paper_vmin(vmin_point.frequency),
+        );
+        let _ = r.run_once(&mut rng, Benchmark::Cg, SimInstant::EPOCH);
+        let nominal = OperatingPoint::nominal();
+        r.dut_mut()
+            .set_operating_point(nominal, DeviceUnderTest::paper_vmin(nominal.frequency));
+        // Same point as `before`, replayed on a fresh stream: a stale
+        // envelope (wrong rates) would shift outcomes detectably across
+        // many trials; compare against a fresh runner as ground truth.
+        let mut check_rng = SimRng::seed_from(5);
+        let mut fresh = runner(OperatingPoint::nominal());
+        let expected = fresh.run_once(&mut check_rng, Benchmark::Cg, SimInstant::EPOCH);
+        assert_eq!(before, expected);
+        let mut replay_rng = SimRng::seed_from(77);
+        let mut fresh_rng = SimRng::seed_from(77);
+        for i in 0..500 {
+            let b = Benchmark::ALL[i % 6];
+            assert_eq!(
+                r.run_once(&mut replay_rng, b, SimInstant::EPOCH),
+                fresh.run_once(&mut fresh_rng, b, SimInstant::EPOCH),
+                "trial {i} after point round-trip"
+            );
+        }
     }
 }

@@ -470,7 +470,13 @@ impl TestSession {
                 let wave = self.wave_size(&acc, plan.jobs, next_trial);
                 let trials: Vec<u64> = (next_trial..next_trial + wave as u64).collect();
                 let retry = plan.retry;
-                let (executions, pool): (Vec<TrialExecution>, _) = if plan.jobs == 1 {
+                // One effective worker means no pool: run on the calling
+                // thread with the session's persistent runner, whose scratch
+                // and envelope caches then survive across waves. The pool
+                // branch would reach the same trials (determinism contract),
+                // just slower.
+                let inline = plan.jobs == 1 || crate::parallel::effective_workers(plan.jobs) == 1;
+                let (executions, pool): (Vec<TrialExecution>, _) = if inline {
                     let runner = &mut self.runner;
                     let shards = trials.len() as u64;
                     let executions: Vec<TrialExecution> = trials
@@ -563,9 +569,12 @@ impl TestSession {
     /// `serscale-verify` crate): the wave engine's speculation, sharding
     /// and canonical merge must be observationally equivalent to this
     /// loop, bit for bit, at any `jobs` count. It is deliberately kept
-    /// free of the throughput machinery ([`Self::run`] goes through
+    /// free of the throughput machinery at *both* layers: no speculative
+    /// waves or worker pool here ([`Self::run`] goes through
     /// [`Self::run_observed_with`], which speculates in waves even at
-    /// `jobs == 1`).
+    /// `jobs == 1`), and each trial's physics runs through
+    /// [`BenchmarkRunner::run_once_reference`] — the per-event,
+    /// envelope-rebuilt, codec-decoded twin of the batched hot path.
     pub fn run_reference(&mut self, rng: &mut SimRng) -> SessionReport {
         self.run_reference_observed(rng, &mut crate::trace::NoopObserver)
     }
@@ -587,12 +596,20 @@ impl TestSession {
         let mut acc = Accumulator::new(flux, self.limits);
         let mut trial = 0u64;
         let stop_reason = loop {
-            let execution = run_trial_robust(
-                &mut self.runner,
-                &session_rng,
+            // The canonical trial recipe, transcribed: benchmark t % 6 on
+            // the counter-derived stream for t — but through the naive
+            // per-event physics instead of the batched hot path.
+            let benchmark = Benchmark::ALL[(trial % Benchmark::ALL.len() as u64) as usize];
+            let mut trial_rng = session_rng.stream("trial", &[trial]);
+            let outcome =
+                self.runner
+                    .run_once_reference(&mut trial_rng, benchmark, SimInstant::EPOCH);
+            let execution = TrialExecution {
                 trial,
-                RetryPolicy::standard(),
-            );
+                outcome,
+                retries: 0,
+                quarantined: false,
+            };
             let run_only = self.runner.run_duration(execution.outcome.benchmark);
             if let Some(reason) = acc.absorb_execution(execution, run_only, observer) {
                 break reason;
@@ -1326,6 +1343,83 @@ mod tests {
         assert_eq!(report.quarantined_trials, (0..n).collect::<Vec<_>>());
         assert_eq!(report.trial_retries, n, "one retry per quarantined trial");
         assert_eq!(run(4), report, "quarantine path must stay deterministic");
+    }
+
+    /// The zero-upset short-circuit in the batched runner must be
+    /// invisible to everything downstream: a trial whose Poisson count
+    /// comes up zero still gets its `on_run` callback, its journal row
+    /// and its report bookkeeping, identical to the naive per-event
+    /// executor. A quiet-beam session (≈every trial short-circuits) is
+    /// run through the wave engine with a journal and a [`Logbook`] and
+    /// diffed against the reference executor.
+    ///
+    /// [`Logbook`]: crate::trace::Logbook
+    #[test]
+    fn zero_upset_fast_path_reports_and_journals_identically() {
+        use crate::journal::start_or_resume;
+        // Flux low enough that essentially every trial draws zero events
+        // (the short-circuit path) while the session still spans hundreds
+        // of trials.
+        let quiet_flux = Flux::per_cm2_s(WORKING_FLUX * 1e-3);
+        let limits = SessionLimits::time_boxed(SimDuration::from_minutes(10.0));
+        let make = || TestSession::new(dut(OperatingPoint::nominal()), quiet_flux, limits);
+
+        let mut reference_log = crate::trace::Logbook::new();
+        let reference =
+            make().run_reference_observed(&mut SimRng::seed_from(23), &mut reference_log);
+
+        let dir = std::env::temp_dir().join(format!(
+            "serscale-zero-upset-journal-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = crate::campaign::CampaignConfig::paper_scaled(0.01);
+        let (mut journal, recovered) = start_or_resume(&dir, &config).unwrap();
+        assert!(recovered.is_none());
+        let mut wave_log = crate::trace::Logbook::new();
+        let report = make().run_planned(
+            &mut SimRng::seed_from(23),
+            ExecutionPlan {
+                jobs: 8,
+                retry: RetryPolicy::standard(),
+                journal: Some(&mut journal),
+                recovered: None,
+                session_index: 0,
+            },
+            &mut wave_log,
+        );
+        drop(journal);
+
+        assert_eq!(report, reference);
+        assert_eq!(wave_log, reference_log);
+        // The short-circuit really was exercised: plenty of trials, almost
+        // none of them with an upset.
+        assert!(report.runs > 100, "runs = {}", report.runs);
+        assert!(
+            report.memory_upsets < report.runs / 10,
+            "{} upsets in {} runs — beam not quiet enough to exercise the fast path",
+            report.memory_upsets,
+            report.runs
+        );
+        // Every trial has its Run event in the trace…
+        let run_events = wave_log
+            .events()
+            .iter()
+            .filter(|e| matches!(e, crate::trace::LogEvent::Run { .. }))
+            .count() as u64;
+        assert_eq!(run_events, report.runs);
+        // …and its row in the journal, in trial order, none quarantined.
+        let (_, recovered) = start_or_resume(&dir, &config).unwrap();
+        let recovered = recovered.unwrap();
+        let journaled = recovered.session(0).expect("session 0 journaled");
+        assert_eq!(journaled.trials.len() as u64, report.runs);
+        for (i, t) in journaled.trials.iter().enumerate() {
+            assert_eq!(t.trial, i as u64, "journal rows out of order");
+            assert!(!t.quarantined);
+        }
+        assert_eq!(journaled.ended, Some(StopReason::BeamTime));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     /// The robust path at the default policy is bit-identical to the

@@ -89,9 +89,9 @@ mod tests {
     use crate::campaign::{Campaign, CampaignConfig};
 
     fn quick_report() -> &'static CampaignReport {
-        // Equal-length eight-hour sessions, computed once and shared by
+        // Equal-length sixteen-hour sessions, computed once and shared by
         // every test in this module: the rate gap between the two most
-        // susceptible sessions is only ~5%, so two-hour sessions leave the
+        // susceptible sessions is only ~5%, so short sessions leave the
         // "highest rate" ranking at the mercy of Poisson noise.
         static REPORT: std::sync::OnceLock<CampaignReport> = std::sync::OnceLock::new();
         REPORT.get_or_init(|| {
@@ -99,7 +99,7 @@ mod tests {
             c.seed = 99;
             for (_, limits) in &mut c.sessions {
                 *limits = crate::session::SessionLimits::time_boxed(
-                    serscale_types::SimDuration::from_minutes(480.0),
+                    serscale_types::SimDuration::from_minutes(960.0),
                 );
             }
             Campaign::new(c).run()

@@ -137,6 +137,26 @@ impl Interleaver {
         }
         per_word
     }
+
+    /// [`Self::spread_cluster`] in mask form, reusing the caller's buffer:
+    /// each affected word gets an XOR-accumulated error mask instead of a
+    /// bit list (a cell hit twice cancels, exactly as flipping a codeword
+    /// bit twice does). This is the allocation-free primitive the hot path
+    /// feeds to the word-batched classifiers.
+    ///
+    /// Word order matches `spread_cluster` (first-touch order), so the two
+    /// forms describe identical strikes word for word.
+    pub fn spread_cluster_masks(&self, start: PhysicalBit, len: u32, out: &mut Vec<(u32, u128)>) {
+        out.clear();
+        for offset in 0..len {
+            let p = PhysicalBit((start.0 + offset) % self.row_bits());
+            let l = self.to_logical(p);
+            match out.iter_mut().find(|(w, _)| *w == l.word) {
+                Some((_, mask)) => *mask ^= 1u128 << l.bit,
+                None => out.push((l.word, 1u128 << l.bit)),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -214,5 +234,36 @@ mod tests {
     #[should_panic(expected = "outside row")]
     fn out_of_row_physical_panics() {
         Interleaver::new(2, 8).to_logical(PhysicalBit(16));
+    }
+
+    #[test]
+    fn mask_spread_agrees_with_list_spread() {
+        for il in [Interleaver::new(4, 72), Interleaver::none(72)] {
+            let mut masks = Vec::new();
+            for start in 0..il.row_bits() {
+                for len in 1..=9 {
+                    let lists = il.spread_cluster(PhysicalBit(start), len);
+                    il.spread_cluster_masks(PhysicalBit(start), len, &mut masks);
+                    assert_eq!(lists.len(), masks.len(), "start {start} len {len}");
+                    for ((lw, bits), &(mw, mask)) in lists.iter().zip(&masks) {
+                        assert_eq!(*lw, mw, "word order start {start} len {len}");
+                        let xored = bits.iter().fold(0u128, |m, &b| m ^ (1u128 << b));
+                        assert_eq!(xored, mask, "start {start} len {len} word {mw}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mask_spread_cancels_wraparound_double_hits() {
+        let il = Interleaver::new(2, 8); // 16-cell row
+        let mut masks = Vec::new();
+        // A full wrap hits every cell twice: all masks cancel to zero.
+        il.spread_cluster_masks(PhysicalBit(3), 32, &mut masks);
+        assert_eq!(masks.len(), 2);
+        for &(_, mask) in &masks {
+            assert_eq!(mask, 0);
+        }
     }
 }

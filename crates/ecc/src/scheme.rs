@@ -11,7 +11,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::parity::{ParityCheck, ParityWord};
-use crate::secded::{Codeword, DecodeOutcome};
+use crate::secded::{mask_syndrome, Codeword, DecodeOutcome, DATA_MASK};
 
 /// The protection scheme guarding an SRAM array (Table 1 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -154,6 +154,85 @@ impl ProtectionScheme {
             }
         }
     }
+
+    /// [`Self::classify`] on an XOR-accumulated error mask instead of a
+    /// position list — the word-batched form the hot path uses.
+    ///
+    /// Because all three codes are linear, the classification of
+    /// `codeword ⊕ mask` depends only on `mask`, so this needs no encode,
+    /// no decode, and no canary: a handful of popcounts and mask tests
+    /// replaces the full codec walk. Duplicate flips must already be
+    /// cancelled (XOR accumulation does that for free — see
+    /// [`crate::interleave::Interleaver::spread_cluster_masks`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if bits at or above `entry_bits()` are set.
+    pub fn classify_mask(self, mask: u128) -> UpsetOutcome {
+        assert!(
+            mask >> self.entry_bits() == 0,
+            "mask wider than a protected entry"
+        );
+        match self {
+            ProtectionScheme::None => {
+                if mask == 0 {
+                    UpsetOutcome::Corrected
+                } else {
+                    UpsetOutcome::SilentCorruption
+                }
+            }
+            ProtectionScheme::Parity => {
+                if mask.count_ones() % 2 == 1 {
+                    // Odd weight breaks the parity check: detected,
+                    // invalidate-and-refill recovers the line.
+                    UpsetOutcome::Corrected
+                } else if mask == 0 {
+                    UpsetOutcome::Corrected
+                } else {
+                    // Even nonzero weight passes the check. At least one
+                    // of the ≥2 set bits is a data bit (only one parity
+                    // bit exists), so the data is silently corrupt.
+                    UpsetOutcome::SilentCorruption
+                }
+            }
+            ProtectionScheme::Secded => {
+                if mask == 0 {
+                    return UpsetOutcome::Corrected;
+                }
+                let syndrome = mask_syndrome(mask);
+                let parity_odd = mask.count_ones() % 2 == 1;
+                if parity_odd && syndrome <= 71 {
+                    // The decoder flips `syndrome` back (position 0 when
+                    // the syndrome is zero); the data survives iff the
+                    // residual error avoids every data position.
+                    let residual = mask ^ (1u128 << syndrome);
+                    if residual & DATA_MASK == 0 {
+                        UpsetOutcome::Corrected
+                    } else {
+                        UpsetOutcome::MiscorrectedReported
+                    }
+                } else if !parity_odd && syndrome == 0 {
+                    // Nonzero even-weight mask with zero syndrome is a
+                    // codeword of the Hamming code: it cannot be confined
+                    // to check bits (distinct powers of two never XOR to
+                    // zero), so the data is corrupt and nothing is logged.
+                    UpsetOutcome::SilentCorruption
+                } else {
+                    UpsetOutcome::DetectedUncorrectable
+                }
+            }
+        }
+    }
+
+    /// Classifies a batch of error masks into `out` (cleared first) — one
+    /// [`Self::classify_mask`] per mask, in order.
+    pub fn classify_masks<I>(self, masks: I, out: &mut Vec<UpsetOutcome>)
+    where
+        I: IntoIterator<Item = u128>,
+    {
+        out.clear();
+        out.extend(masks.into_iter().map(|mask| self.classify_mask(mask)));
+    }
 }
 
 /// Cancels duplicate flips (the same cell hit twice is restored).
@@ -281,5 +360,86 @@ mod tests {
         assert_eq!(ProtectionScheme::None.entry_bits(), 64);
         assert_eq!(ProtectionScheme::Parity.entry_bits(), 65);
         assert_eq!(ProtectionScheme::Secded.entry_bits(), 72);
+    }
+
+    const ALL_SCHEMES: [ProtectionScheme; 3] = [
+        ProtectionScheme::None,
+        ProtectionScheme::Parity,
+        ProtectionScheme::Secded,
+    ];
+
+    fn mask_of(positions: &[u32]) -> u128 {
+        positions.iter().fold(0u128, |m, &p| m ^ (1u128 << p))
+    }
+
+    #[test]
+    fn mask_classifier_matches_codec_on_singles_and_pairs() {
+        for scheme in ALL_SCHEMES {
+            let bits = scheme.entry_bits();
+            for a in 0..bits {
+                assert_eq!(
+                    scheme.classify_mask(mask_of(&[a])),
+                    scheme.classify(&[a]),
+                    "{scheme:?} single {a}"
+                );
+                for b in (a + 1)..bits {
+                    assert_eq!(
+                        scheme.classify_mask(mask_of(&[a, b])),
+                        scheme.classify(&[a, b]),
+                        "{scheme:?} pair {a},{b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classify_masks_batches_in_order() {
+        let masks = [0u128, 1, 0b11, mask_of(&[5, 9, 33])];
+        let mut out = vec![UpsetOutcome::Corrected]; // stale content
+        ProtectionScheme::Secded.classify_masks(masks.iter().copied(), &mut out);
+        let singles: Vec<UpsetOutcome> = masks
+            .iter()
+            .map(|&m| ProtectionScheme::Secded.classify_mask(m))
+            .collect();
+        assert_eq!(out, singles);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than a protected entry")]
+    fn mask_out_of_range_panics() {
+        ProtectionScheme::Parity.classify_mask(1u128 << 65);
+    }
+
+    mod mask_equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn cluster(scheme: ProtectionScheme) -> impl Strategy<Value = Vec<u32>> {
+            let bits = scheme.entry_bits();
+            // Up to 8 flips, duplicates allowed — duplicates must cancel
+            // identically in both forms.
+            proptest::collection::vec(0..bits, 1..=8)
+        }
+
+        proptest! {
+            #[test]
+            fn mask_form_equals_codec_form_none(positions in cluster(ProtectionScheme::None)) {
+                let scheme = ProtectionScheme::None;
+                prop_assert_eq!(scheme.classify_mask(mask_of(&positions)), scheme.classify(&positions));
+            }
+
+            #[test]
+            fn mask_form_equals_codec_form_parity(positions in cluster(ProtectionScheme::Parity)) {
+                let scheme = ProtectionScheme::Parity;
+                prop_assert_eq!(scheme.classify_mask(mask_of(&positions)), scheme.classify(&positions));
+            }
+
+            #[test]
+            fn mask_form_equals_codec_form_secded(positions in cluster(ProtectionScheme::Secded)) {
+                let scheme = ProtectionScheme::Secded;
+                prop_assert_eq!(scheme.classify_mask(mask_of(&positions)), scheme.classify(&positions));
+            }
+        }
     }
 }

@@ -43,6 +43,71 @@ fn data_positions() -> impl Iterator<Item = u32> {
     (1u32..=71).filter(|p| !p.is_power_of_two())
 }
 
+/// The positions covered by check bit `2^k`: every position in `1..=71`
+/// whose `k`-th bit is set (including the check-bit position itself, which
+/// participates in its own parity group).
+const fn cover_mask(k: u32) -> u128 {
+    let mut mask = 0u128;
+    let mut pos = 1u32;
+    while pos <= 71 {
+        if pos & (1 << k) != 0 {
+            mask |= 1u128 << pos;
+        }
+        pos += 1;
+    }
+    mask
+}
+
+/// The seven Hamming parity groups as bit masks over codeword positions —
+/// the word-parallel form of the decoder: syndrome bit `k` is the popcount
+/// parity of `mask & COVER_MASKS[k]`, seven AND+popcount pairs instead of
+/// a 71-iteration position loop.
+const COVER_MASKS: [u128; 7] = [
+    cover_mask(0),
+    cover_mask(1),
+    cover_mask(2),
+    cover_mask(3),
+    cover_mask(4),
+    cover_mask(5),
+    cover_mask(6),
+];
+
+/// The codeword positions that carry data bits, as a mask: an error mask
+/// confined to `!DATA_MASK` leaves the decoded data word intact.
+pub const DATA_MASK: u128 = {
+    let mut mask = 0u128;
+    let mut pos = 1u32;
+    while pos <= 71 {
+        // Power-of-two positions are check bits; everything else is data.
+        if pos & (pos - 1) != 0 {
+            mask |= 1u128 << pos;
+        }
+        pos += 1;
+    }
+    mask
+};
+
+/// The Hamming syndrome of an error mask over codeword bits `0..=71`,
+/// computed with bitwise cover-mask popcounts (no per-position loop).
+///
+/// Because the code is linear, the syndrome of `codeword ⊕ mask` equals
+/// the syndrome of `mask` alone for any valid codeword — this is the
+/// word-batched decode primitive the hot path classifies strikes with.
+///
+/// # Panics
+///
+/// Panics (debug only) if bits above position 71 are set.
+pub fn mask_syndrome(mask: u128) -> u32 {
+    debug_assert!(mask >> CODEWORD_BITS == 0, "mask wider than the codeword");
+    let mut s = 0u32;
+    let mut k = 0;
+    while k < 7 {
+        s |= ((mask & COVER_MASKS[k]).count_ones() & 1) << k;
+        k += 1;
+    }
+    s
+}
+
 /// A 72-bit SECDED codeword.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Codeword(u128);
@@ -144,13 +209,9 @@ impl Codeword {
     /// The Hamming syndrome: XOR of the positions of all set bits in
     /// `1..=71`, including check bits. Zero for a clean codeword.
     fn syndrome(&self) -> u32 {
-        let mut s = 0u32;
-        for pos in 1..=71u32 {
-            if (self.0 >> pos) & 1 == 1 {
-                s ^= pos;
-            }
-        }
-        s
+        // Position 0 (overall parity) is in no cover mask, so the full
+        // image can go straight through the word-parallel form.
+        mask_syndrome(self.0)
     }
 
     /// Whether the overall parity (positions 0..=71 together) is odd.
@@ -327,5 +388,60 @@ mod tests {
     #[should_panic(expected = "codeword has bits")]
     fn flip_out_of_range_panics() {
         Codeword::encode(0).flip(72);
+    }
+
+    /// The position-loop syndrome the cover masks replaced.
+    fn syndrome_by_loop(mask: u128) -> u32 {
+        let mut s = 0u32;
+        for pos in 1..=71u32 {
+            if (mask >> pos) & 1 == 1 {
+                s ^= pos;
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn mask_syndrome_matches_position_loop() {
+        for pos in 0..CODEWORD_BITS {
+            assert_eq!(mask_syndrome(1u128 << pos), if pos == 0 { 0 } else { pos });
+        }
+        // Pseudo-random dense masks via a splitmix-ish walk.
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(0xd129_2647_26ae_3800).rotate_left(21) ^ 0x5D;
+            let mask = (u128::from(x) ^ (u128::from(x) << 57)) & ((1u128 << 72) - 1);
+            assert_eq!(
+                mask_syndrome(mask),
+                syndrome_by_loop(mask),
+                "mask {mask:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn data_mask_is_exactly_the_data_positions() {
+        let mut expected = 0u128;
+        for pos in data_positions() {
+            expected |= 1u128 << pos;
+        }
+        assert_eq!(DATA_MASK, expected);
+        assert_eq!(DATA_MASK.count_ones(), DATA_BITS);
+        // Check-bit and overall-parity positions are excluded.
+        for k in 0..7 {
+            assert_eq!(DATA_MASK >> (1u32 << k) & 1, 0);
+        }
+        assert_eq!(DATA_MASK & 1, 0);
+    }
+
+    #[test]
+    fn cover_masks_are_disjoint_from_position_zero_and_tile_the_code() {
+        let mut union = 0u128;
+        for mask in COVER_MASKS {
+            assert_eq!(mask & 1, 0, "position 0 is outside the Hamming code");
+            union |= mask;
+        }
+        // Every position 1..=71 is in at least one parity group.
+        assert_eq!(union, ((1u128 << 72) - 1) & !1);
     }
 }

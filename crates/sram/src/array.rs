@@ -102,6 +102,59 @@ impl SramArray {
             words,
         }
     }
+
+    /// [`Self::strike`] into a reusable scratch arena: the same position
+    /// draw, the same per-word outcomes in the same first-touch word
+    /// order, but through the mask-batched classifiers and with zero
+    /// allocation after the scratch warms up. This is the hot-path form;
+    /// `strike` remains the per-event reference implementation the
+    /// differential oracles compare against.
+    ///
+    /// Draw-for-draw identical RNG consumption to `strike` (one position
+    /// draw; classification consumes none).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster_len` is zero.
+    pub fn strike_into(&self, rng: &mut SimRng, cluster_len: u32, scratch: &mut StrikeScratch) {
+        assert!(cluster_len >= 1, "a strike flips at least one cell");
+        let row_bits = self.interleaver.row_bits();
+        let start = PhysicalBit(rng.below(u64::from(row_bits)) as u32);
+        self.interleaver
+            .spread_cluster_masks(start, cluster_len.min(row_bits), &mut scratch.masks);
+        self.protection.classify_masks(
+            scratch.masks.iter().map(|&(_, mask)| mask),
+            &mut scratch.outcomes,
+        );
+    }
+}
+
+/// Reusable per-worker buffers for [`SramArray::strike_into`]: the word
+/// masks a cluster spread into and their classification, overwritten on
+/// every strike. A worker keeps one of these for its whole lifetime, so
+/// the steady-state hot path performs no strike-local allocation.
+#[derive(Debug, Clone, Default)]
+pub struct StrikeScratch {
+    masks: Vec<(u32, u128)>,
+    outcomes: Vec<UpsetOutcome>,
+}
+
+impl StrikeScratch {
+    /// An empty scratch arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The per-word outcomes of the last strike, in first-touch word
+    /// order (the order `StrikeEffect::words` uses).
+    pub fn outcomes(&self) -> &[UpsetOutcome] {
+        &self.outcomes
+    }
+
+    /// The `(word, error_mask)` pairs of the last strike.
+    pub fn word_masks(&self) -> &[(u32, u128)] {
+        &self.masks
+    }
 }
 
 /// The ECC outcome for one logical word touched by a strike.
@@ -276,5 +329,36 @@ mod tests {
     fn zero_cluster_panics() {
         let mut rng = SimRng::seed_from(6);
         let _ = l1().strike(&mut rng, 0);
+    }
+
+    #[test]
+    fn scratch_strike_matches_reference_strike_and_rng_stream() {
+        for array in [l1(), l3()] {
+            let mut ref_rng = SimRng::seed_from(91);
+            let mut fast_rng = SimRng::seed_from(91);
+            let mut scratch = StrikeScratch::new();
+            for len in [1u32, 2, 3, 4, 8, 200] {
+                let effect = array.strike(&mut ref_rng, len);
+                array.strike_into(&mut fast_rng, len, &mut scratch);
+                let ref_outcomes: Vec<UpsetOutcome> =
+                    effect.words.iter().map(|w| w.outcome).collect();
+                assert_eq!(scratch.outcomes(), ref_outcomes.as_slice(), "len {len}");
+                assert_eq!(scratch.word_masks().len(), effect.words.len());
+                for (&(_, mask), word) in scratch.word_masks().iter().zip(&effect.words) {
+                    // Duplicate hits cancel in the mask but are listed in
+                    // the word hit count, so ≤ rather than ==.
+                    assert!(mask.count_ones() <= word.flipped_bits);
+                }
+                // Both forms must have consumed the identical draws.
+                assert_eq!(ref_rng.uniform(), fast_rng.uniform(), "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_cluster_panics_in_scratch_form() {
+        let mut rng = SimRng::seed_from(7);
+        l1().strike_into(&mut rng, 0, &mut StrikeScratch::new());
     }
 }

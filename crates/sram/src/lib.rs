@@ -20,7 +20,7 @@
 //!   distributed, so the count of *persistently* failing cells explodes as
 //!   the supply approaches the distribution's tail (§2.2, §4.3). This is
 //!   what pins the safe Vmin.
-//! * [`array`] — ties the three together: an [`array::SramArray`] has a
+//! * [`mod@array`] — ties the three together: an [`array::SramArray`] has a
 //!   geometry, a protection scheme and an interleaver, and
 //!   [`array::SramArray::strike`] turns one neutron hit into the per-word
 //!   ECC outcomes the EDAC log will see.
@@ -50,7 +50,7 @@ pub mod mbu;
 pub mod qcrit;
 pub mod technology;
 
-pub use array::{SramArray, StrikeEffect, WordHit};
+pub use array::{SramArray, StrikeEffect, StrikeScratch, WordHit};
 pub use cell::WeakCellPopulation;
 pub use mbu::MbuModel;
 pub use qcrit::SoftErrorModel;

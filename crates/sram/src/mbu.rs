@@ -123,9 +123,16 @@ impl MbuModel {
 
     /// Samples a cluster length (≥ 1) for a strike at the given voltage.
     pub fn sample_cluster_len(&self, rng: &mut SimRng, voltage: Millivolts) -> u32 {
-        let p = self.p_extra(voltage);
+        self.sample_cluster_len_with(rng, self.p_extra(voltage))
+    }
+
+    /// [`Self::sample_cluster_len`] with the extension probability
+    /// precomputed — the hot path caches `p_extra(V)` per (array, voltage)
+    /// envelope instead of re-deriving the exponential on every strike.
+    /// Draw-for-draw identical to the voltage form for the same `p_extra`.
+    pub fn sample_cluster_len_with(&self, rng: &mut SimRng, p_extra: f64) -> u32 {
         let mut len = 1;
-        while len < self.max_cluster && rng.chance(p) {
+        while len < self.max_cluster && rng.chance(p_extra) {
             len += 1;
         }
         len

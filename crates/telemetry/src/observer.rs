@@ -646,9 +646,12 @@ mod tests {
         let snap = sink.registry().snapshot();
         let waves = snap.counter_total("waves_total", &[]);
         assert!(waves > 0, "a 60-minute session merges waves");
-        // Both worker slots surface cumulative busy/idle gauges and a
-        // shard counter; idle + busy per worker covers the pool wall.
-        for worker in ["0", "1"] {
+        // Every worker slot the pool actually ran (jobs clamp to the
+        // host's cores, so this may be fewer than the requested 2)
+        // surfaces cumulative busy/idle gauges and a shard counter.
+        let workers = serscale_core::parallel::effective_workers(2);
+        for worker in (0..workers).map(|w| w.to_string()) {
+            let worker = worker.as_str();
             let busy = snap
                 .gauge_value("worker_busy_seconds", &[("worker", worker)])
                 .unwrap_or_else(|| panic!("worker {worker} busy gauge missing"));

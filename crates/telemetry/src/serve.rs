@@ -29,7 +29,7 @@
 //! ## Anatomy
 //!
 //! One accept thread pushes connections into an `mpsc` channel drained
-//! by [`WORKERS`] handler threads (the receiver is shared behind a
+//! by `WORKERS` handler threads (the receiver is shared behind a
 //! mutex — `std::net` only, no external crates). Sockets carry short
 //! read/write timeouts so one stalled client cannot wedge a worker.
 //! [`MonitorServer::shutdown`] flips an atomic flag, nudges the accept
@@ -324,7 +324,7 @@ pub struct MonitorServer {
 
 impl MonitorServer {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
-    /// the accept thread plus [`WORKERS`] handler threads.
+    /// the accept thread plus `WORKERS` handler threads.
     pub fn bind(addr: &str, state: MonitorState) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;

@@ -14,12 +14,14 @@
 //!   commutes with session splitting. Statistical acceptance goes through
 //!   the Poisson/Wilson interval helpers of `serscale-stats`, so the
 //!   oracles hold across seeds.
-//! * **Differential** ([`differential`]) — the same campaign through the
-//!   naive reference executor, the sequential wave engine, and the
-//!   parallel engine at several worker counts must agree bit for bit,
-//!   reports and event traces alike; and an interrupted-then-resumed
+//! * **Differential** ([`differential`], [`sampler`]) — the same campaign
+//!   through the naive reference executor, the sequential wave engine, and
+//!   the parallel engine at several worker counts must agree bit for bit,
+//!   reports and event traces alike; an interrupted-then-resumed
 //!   journaled campaign must reproduce the uninterrupted run exactly,
-//!   including across a torn journal tail.
+//!   including across a torn journal tail; and the batched arrival
+//!   sampler must consume RNG streams draw-for-draw identically to the
+//!   per-event reference physics across random operating points.
 //! * **ECC** ([`ecc`]) — exhaustive SECDED single-correction /
 //!   double-detection over all 72 codeword positions and interleaving
 //!   distance over every physical cluster.
@@ -54,6 +56,7 @@ pub mod differential;
 pub mod ecc;
 pub mod metamorphic;
 pub mod oracle;
+pub mod sampler;
 pub mod verdict;
 
 pub use oracle::{CheckResult, OracleContext, OracleFamily, OracleReport, StatOracle, TrialBudget};
@@ -69,6 +72,7 @@ pub fn default_suite() -> Vec<Box<dyn StatOracle>> {
         Box::new(differential::EngineEquivalence),
         Box::new(differential::TraceEquivalence),
         Box::new(differential::ResumeEquivalence),
+        Box::new(sampler::SamplerEquivalence),
         Box::new(ecc::SecdedExhaustive),
         Box::new(ecc::InterleaveDistance),
     ]

@@ -96,13 +96,20 @@ fn checksum(re: &[f64], im: &[f64], n: usize) -> (f64, f64) {
 }
 
 fn evolve(re: &mut [f64], im: &mut [f64], n: usize, t: f64) {
+    // k² = kx²+ky²+kz² only takes 3·(n/2)²+1 small-integer values (exact
+    // in f64), so the damping exponential is tabulated per value instead
+    // of recomputed per grid point — identical factors, n³ fewer `exp`s.
+    let half = n / 2;
+    let table: Vec<f64> = (0..=3 * half * half)
+        .map(|k2| (-t * k2 as f64).exp())
+        .collect();
     for z in 0..n {
+        let kz = if z <= half { z } else { n - z };
         for y in 0..n {
+            let ky = if y <= half { y } else { n - y };
             for x in 0..n {
-                let kx = if x <= n / 2 { x } else { n - x } as f64;
-                let ky = if y <= n / 2 { y } else { n - y } as f64;
-                let kz = if z <= n / 2 { z } else { n - z } as f64;
-                let factor = (-t * (kx * kx + ky * ky + kz * kz)).exp();
+                let kx = if x <= half { x } else { n - x };
+                let factor = table[kx * kx + ky * ky + kz * kz];
                 let idx = (z * n + y) * n + x;
                 re[idx] *= factor;
                 im[idx] *= factor;

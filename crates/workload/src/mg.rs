@@ -82,8 +82,11 @@ fn idx(n: usize, x: usize, y: usize, z: usize) -> usize {
 /// interior only, zero boundary).
 fn smooth(u: &mut [f64], f: &[f64], n: usize, passes: usize) {
     let omega = 0.8;
+    // One scratch snapshot reused across passes; each pass refreshes it
+    // with a memcpy instead of a fresh allocation.
+    let mut prev = vec![0.0; u.len()];
     for _ in 0..passes {
-        let prev = u.to_vec();
+        prev.copy_from_slice(u);
         for z in 1..n - 1 {
             for y in 1..n - 1 {
                 for x in 1..n - 1 {

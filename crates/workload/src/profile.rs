@@ -17,6 +17,8 @@
 //! * **power factor** — relative power draw (Fig. 9 plots the
 //!   across-benchmark average; individual kernels differ by a few percent).
 
+use std::sync::OnceLock;
+
 use serde::{Deserialize, Serialize};
 
 use serscale_types::SimDuration;
@@ -25,7 +27,7 @@ use crate::cg::Cg;
 use crate::ep::Ep;
 use crate::ft::Ft;
 use crate::is::Is;
-use crate::kernel::Kernel;
+use crate::kernel::{Kernel, KernelOutput};
 use crate::lu::Lu;
 use crate::mg::Mg;
 
@@ -79,6 +81,40 @@ impl Benchmark {
             Benchmark::Lu => Box::new(Lu::class_a()),
             Benchmark::Mg => Box::new(Mg::class_a()),
         }
+    }
+
+    /// The process-wide shared instance of this benchmark's class-A
+    /// kernel.
+    ///
+    /// Kernels are pure (construction and execution are deterministic
+    /// functions of the fixed class-A configuration), so every runner and
+    /// pool worker can share one instance instead of reconstructing input
+    /// arrays per worker per wave. Built lazily on first use.
+    pub fn shared_kernel(self) -> &'static (dyn Kernel + Send + Sync) {
+        static KERNELS: [OnceLock<Box<dyn Kernel + Send + Sync>>; 6] =
+            [const { OnceLock::new() }; 6];
+        KERNELS[self as usize]
+            .get_or_init(|| match self {
+                Benchmark::Cg => Box::new(Cg::class_a()),
+                Benchmark::Ep => Box::new(Ep::class_a()),
+                Benchmark::Ft => Box::new(Ft::class_a()),
+                Benchmark::Is => Box::new(Is::class_a()),
+                Benchmark::Lu => Box::new(Lu::class_a()),
+                Benchmark::Mg => Box::new(Mg::class_a()),
+            })
+            .as_ref()
+    }
+
+    /// The process-wide shared golden (fault-free) output of this
+    /// benchmark's class-A kernel.
+    ///
+    /// A golden run costs as much as the kernel itself (milliseconds), so
+    /// recomputing it per runner — and per pool worker — dwarfs the trials
+    /// it adjudicates. The output is a pure value; one copy serves every
+    /// SDC comparison in the process.
+    pub fn shared_golden(self) -> &'static KernelOutput {
+        static GOLDENS: [OnceLock<KernelOutput>; 6] = [const { OnceLock::new() }; 6];
+        GOLDENS[self as usize].get_or_init(|| self.shared_kernel().golden())
     }
 
     /// The benchmark's calibrated sensitivity profile.

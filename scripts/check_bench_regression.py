@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Throughput regression gate over BENCH_campaign_throughput.json.
+
+Compares a freshly measured bench artifact against the committed baseline
+and exits non-zero when any row lost more than the tolerance (default
+20%) of its trials/sec. Both artifacts must carry the same campaign
+config fingerprint — a fingerprint change means the bench is measuring a
+different workload and the baseline must be regenerated, not compared.
+
+Usage:
+    scripts/check_bench_regression.py BASELINE CANDIDATE [--tolerance 0.20]
+
+Re-baselining (intentional perf changes, toolchain bumps, CI runner
+changes): regenerate with `repro bench --out BENCH_campaign_throughput.json`,
+commit the new file, and apply the `rebaseline-bench` label to the PR so
+the CI gate skips the stale comparison for that run. TESTING.md has the
+full procedure.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            artifact = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench-gate: cannot read {path}: {e}")
+    for field in ("bench", "config_fingerprint", "rows"):
+        if field not in artifact:
+            sys.exit(f"bench-gate: {path} has no '{field}' field")
+    return artifact
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="maximum tolerated fractional regression per row (default 0.20)",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    candidate = load(args.candidate)
+
+    if baseline["bench"] != candidate["bench"]:
+        sys.exit(
+            f"bench-gate: bench mismatch: baseline is {baseline['bench']!r}, "
+            f"candidate is {candidate['bench']!r}"
+        )
+    if baseline["config_fingerprint"] != candidate["config_fingerprint"]:
+        sys.exit(
+            "bench-gate: campaign config fingerprint changed "
+            f"({baseline['config_fingerprint']} -> {candidate['config_fingerprint']}); "
+            "the bench measures a different workload now. Regenerate the "
+            "baseline (see TESTING.md) instead of comparing."
+        )
+
+    base_rows = {row["id"]: row for row in baseline["rows"]}
+    cand_rows = {row["id"]: row for row in candidate["rows"]}
+    missing = sorted(set(base_rows) - set(cand_rows))
+    if missing:
+        sys.exit(f"bench-gate: candidate is missing rows {missing}")
+
+    failed = []
+    print(f"bench-gate: tolerance {args.tolerance:.0%} per row")
+    for row_id, base in sorted(base_rows.items()):
+        cand = cand_rows[row_id]
+        old = base["trials_per_sec"]
+        new = cand["trials_per_sec"]
+        change = new / old - 1.0
+        status = "ok"
+        if new < old * (1.0 - args.tolerance):
+            status = "REGRESSION"
+            failed.append(row_id)
+        print(
+            f"  {row_id:<10} {old:>12.1f} -> {new:>12.1f} trials/sec "
+            f"({change:+.1%})  {status}"
+        )
+
+    if failed:
+        sys.exit(
+            f"bench-gate: rows {failed} regressed more than "
+            f"{args.tolerance:.0%}. If intentional, regenerate the baseline "
+            "and apply the 'rebaseline-bench' label (TESTING.md)."
+        )
+    print("bench-gate: within tolerance")
+
+
+if __name__ == "__main__":
+    main()
