@@ -16,6 +16,7 @@
 //! repro --all --listen 127.0.0.1:8080   # live /metrics /healthz /progress …
 //! repro verify --budget small # statistical verification suite → verdict JSON
 //! repro bench --out BENCH_campaign_throughput.json   # throughput artifact
+//! repro serve --listen 127.0.0.1:8080   # campaign-as-a-service control plane
 //! ```
 
 use std::io::IsTerminal as _;
@@ -30,7 +31,9 @@ use serscale_core::campaign::{Campaign, CampaignConfig, CampaignReport, Campaign
 use serscale_core::journal::SyncProbe;
 use serscale_core::session::RetryPolicy;
 use serscale_core::trace::{tee, Logbook, SessionObserver};
-use serscale_telemetry::{ProgressMode, TelemetryOptions, TelemetrySink};
+use serscale_telemetry::{
+    ControlPlane, ControlPlaneOptions, ProgressMode, TelemetryOptions, TelemetrySink,
+};
 use serscale_verify::{OracleContext, TrialBudget};
 
 /// Simulated seconds of a full-scale campaign (64.8 beam hours), for the
@@ -55,6 +58,7 @@ struct Args {
     listen: Option<String>,
     linger: f64,
     no_progress: bool,
+    summary_out: Option<String>,
 }
 
 fn default_jobs() -> usize {
@@ -80,6 +84,7 @@ fn parse_args() -> Result<Args, String> {
         listen: None,
         linger: 0.0,
         no_progress: false,
+        summary_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -154,16 +159,22 @@ fn parse_args() -> Result<Args, String> {
                 args.linger = secs;
             }
             "--no-progress" => args.no_progress = true,
+            "--summary-out" => {
+                args.summary_out = Some(it.next().ok_or("--summary-out needs a path")?);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--all] [--table N]* [--figure N]* [--headlines] \
                      [--ablations] [--sweep] [--selfcheck] [--golden] [--scale F] \
                      [--seed N] [--jobs N] [--telemetry-out DIR] \
                      [--journal DIR | --resume DIR] [--trial-timeout SECS] \
-                     [--listen HOST:PORT] [--linger SECS] [--no-progress]\n       \
+                     [--listen HOST:PORT] [--linger SECS] [--no-progress] \
+                     [--summary-out PATH]\n       \
                      repro verify [--budget small|medium|large] \
                      [--seed N] [--out verdict.json] [--telemetry-out DIR]\n       \
-                     repro bench [--out bench.json] [--min-secs SECS] [--rows 1,2,4,8]"
+                     repro bench [--out bench.json] [--min-secs SECS] [--rows 1,2,4,8]\n       \
+                     repro serve [--listen HOST:PORT] [--max-concurrent N] \
+                     [--jobs N] [--state DIR] [--for-secs SECS]"
                 );
                 std::process::exit(0);
             }
@@ -177,6 +188,7 @@ fn parse_args() -> Result<Args, String> {
         && !args.sweep
         && !args.selfcheck
         && !args.golden
+        && args.summary_out.is_none()
     {
         return Err("nothing to do; try --all (or --help)".into());
     }
@@ -229,6 +241,7 @@ fn run_campaign_robust(
                     retry,
                     journal: None,
                     recovered: None,
+                    cancel: None,
                 },
                 observer,
             );
@@ -308,6 +321,105 @@ fn run_bench(args: &BenchArgs) -> ExitCode {
         }
         None => print!("{json}"),
     }
+    ExitCode::SUCCESS
+}
+
+struct ServeArgs {
+    listen: String,
+    max_concurrent: usize,
+    default_jobs: usize,
+    state: Option<String>,
+    for_secs: Option<f64>,
+}
+
+fn parse_serve_args(mut it: impl Iterator<Item = String>) -> Result<ServeArgs, String> {
+    let mut args = ServeArgs {
+        listen: "127.0.0.1:0".to_string(),
+        max_concurrent: 2,
+        default_jobs: 1,
+        state: None,
+        for_secs: None,
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--listen" => {
+                args.listen = it.next().ok_or("--listen needs an address (host:port)")?;
+            }
+            "--max-concurrent" => {
+                let s = it.next().ok_or("--max-concurrent needs a count")?;
+                args.max_concurrent = s.parse().map_err(|_| format!("bad max-concurrent {s}"))?;
+                if args.max_concurrent == 0 {
+                    return Err("--max-concurrent must be at least 1".into());
+                }
+            }
+            "--jobs" => {
+                let s = it.next().ok_or("--jobs needs a value")?;
+                args.default_jobs = s.parse().map_err(|_| format!("bad jobs count {s}"))?;
+                if args.default_jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--state" => {
+                args.state = Some(it.next().ok_or("--state needs a directory")?);
+            }
+            "--for-secs" => {
+                let s = it.next().ok_or("--for-secs needs seconds")?;
+                let secs: f64 = s.parse().map_err(|_| format!("bad for-secs {s}"))?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err("--for-secs must be positive".into());
+                }
+                args.for_secs = Some(secs);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro serve [--listen HOST:PORT] [--max-concurrent N] \
+                     [--jobs N] [--state DIR] [--for-secs SECS]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown serve argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Runs the campaign service: the monitoring plane plus the read-write
+/// `/campaigns` routes, until `POST /shutdown` arrives (or `--for-secs`
+/// elapses — a safety net for CI). The shutdown drains: in-flight
+/// campaigns finish, queued jobs stay queued with resumable journals.
+/// There is no signal handler — the workspace forbids `unsafe`, and an
+/// abrupt kill is already covered by the journals' torn-tail recovery.
+fn run_serve(args: &ServeArgs) -> ExitCode {
+    if let Some(dir) = &args.state {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("repro serve: cannot create state dir {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let sink = std::sync::Arc::new(TelemetrySink::in_memory(TelemetryOptions::default()));
+    let control = ControlPlane::start(ControlPlaneOptions {
+        max_concurrent: args.max_concurrent,
+        default_jobs: args.default_jobs,
+        state_dir: args.state.as_ref().map(PathBuf::from),
+        start_paused: false,
+    });
+    let mut server = match sink.serve_control(&args.listen, std::sync::Arc::clone(&control)) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("repro serve: cannot listen on {}: {e}", args.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    // The address goes to stderr, like the monitoring plane's: CI scrapes
+    // it from the log, and stdout stays hermetic.
+    eprintln!("campaign service on http://{}", server.addr());
+    let requested = control.wait_shutdown(args.for_secs.map(std::time::Duration::from_secs_f64));
+    if !requested {
+        eprintln!("repro serve: --for-secs window elapsed; draining in-flight campaigns");
+    }
+    control.drain();
+    server.shutdown();
+    eprintln!("campaign service stopped");
     ExitCode::SUCCESS
 }
 
@@ -427,6 +539,16 @@ fn main() -> ExitCode {
             }
         };
     }
+    if raw.peek().map(String::as_str) == Some("serve") {
+        raw.next();
+        return match parse_serve_args(raw) {
+            Ok(a) => run_serve(&a),
+            Err(e) => {
+                eprintln!("repro serve: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -437,6 +559,7 @@ fn main() -> ExitCode {
 
     let needs_campaign = args.headlines
         || args.selfcheck
+        || args.summary_out.is_some()
         || args.tables.iter().any(|t| *t >= 2)
         || args.figures.iter().any(|f| *f != 4);
 
@@ -661,6 +784,17 @@ fn main() -> ExitCode {
         None
     };
     let report = report.as_ref();
+
+    // The CI control-plane job diffs service-produced reports against
+    // this file: same renderer, same spec → byte-identical text.
+    if let Some(path) = &args.summary_out {
+        let text = serscale_bench::golden_summary(report.expect("campaign"));
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("repro: cannot write summary to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("bit-stable summary written to {path}");
+    }
 
     for t in &args.tables {
         match t {

@@ -145,74 +145,17 @@ pub fn run_campaign_recovering_monitored(
             retry,
             journal: Some(&mut writer),
             recovered: recovered.as_ref(),
+            cancel: None,
         },
         observer,
     );
     Ok((report, resumed))
 }
 
-/// Renders a campaign report as a line-oriented, bit-stable summary — the
-/// format of the checked-in golden file that CI diffs a fresh scaled run
-/// against. Every number here is exact (counts) or a full-precision
-/// deterministic float, so any physics or determinism regression shows up
-/// as a diff.
-pub fn golden_summary(report: &CampaignReport) -> String {
-    use std::fmt::Write as _;
-
-    let mut out = String::new();
-    let _ = writeln!(out, "flux_per_cm2_s {:.6e}", report.flux.as_per_cm2_s());
-    for (freq, vmin) in &report.vmins {
-        let _ = writeln!(out, "vmin {}MHz {}mV", freq.get(), vmin.get());
-    }
-    for session in &report.sessions {
-        let point = session.operating_point;
-        let _ = writeln!(
-            out,
-            "session {} stop={:?} runs={} upsets={} sdc_notified={} \
-             duration_s={:.6} fluence_per_cm2={:.6e}",
-            point.label(),
-            session.stop_reason,
-            session.runs,
-            session.memory_upsets,
-            session.sdc_with_notification,
-            session.duration.as_secs(),
-            session.fluence.as_per_cm2(),
-        );
-        for class in serscale_core::classify::FailureClass::ALL {
-            let _ = writeln!(
-                out,
-                "  failures {:?} {}",
-                class,
-                session.failure_count(class)
-            );
-        }
-        for ((level, severity), count) in session.edac_per_level.iter() {
-            let _ = writeln!(out, "  edac {level:?} {severity:?} {count}");
-        }
-        for (benchmark, stats) in &session.per_benchmark {
-            let _ = writeln!(
-                out,
-                "  benchmark {benchmark} runs={} upsets={} sdcs={}",
-                stats.runs, stats.memory_upsets, stats.sdcs
-            );
-        }
-        // Robustness accounting appears only when something actually went
-        // wrong, so healthy runs keep producing the historical golden
-        // byte-for-byte.
-        if session.trial_retries > 0 {
-            let _ = writeln!(out, "  trial_retries {}", session.trial_retries);
-        }
-        if !session.quarantined_trials.is_empty() {
-            let trials: Vec<String> = session
-                .quarantined_trials
-                .iter()
-                .map(u64::to_string)
-                .collect();
-            let _ = writeln!(out, "  quarantined {}", trials.join(","));
-        }
-    }
-    out
-}
+// The bit-stable golden renderer moved to `serscale_core::report` so the
+// control plane can serve byte-comparable reports; the re-export keeps
+// the historical `serscale_bench::golden_summary` path working.
+pub use serscale_core::report::golden_summary;
 
 /// Formats a percentage with one decimal.
 pub fn pct(x: f64) -> String {

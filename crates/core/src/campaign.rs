@@ -11,6 +11,7 @@ use serscale_undervolt::{characterize::Characterizer, timing::TimingFailureModel
 
 use crate::dut::DeviceUnderTest;
 use crate::journal::{JournalWriter, RecoveredCampaign};
+use crate::scheduler::{CancelToken, Cancelled};
 use crate::session::{ExecutionPlan, RetryPolicy, SessionLimits, SessionReport, TestSession};
 
 /// Where the per-frequency safe Vmin anchoring the logic amplification
@@ -166,6 +167,18 @@ impl Campaign {
         &self,
         mut run_session: impl FnMut(u64, &mut TestSession, &mut SimRng) -> SessionReport,
     ) -> CampaignReport {
+        self.try_run_with(|index, session, rng| Ok(run_session(index, session, rng)))
+            .expect("infallible session runner")
+    }
+
+    fn try_run_with(
+        &self,
+        mut run_session: impl FnMut(
+            u64,
+            &mut TestSession,
+            &mut SimRng,
+        ) -> Result<SessionReport, Cancelled>,
+    ) -> Result<CampaignReport, Cancelled> {
         let root = SimRng::seed_from(self.config.seed);
         let flux = self.config.facility.flux_at(self.config.position);
 
@@ -184,13 +197,13 @@ impl Campaign {
             let dut = DeviceUnderTest::xgene2(*point, vmin);
             let mut session = TestSession::new(dut, flux, *limits);
             let mut rng = root.fork_indexed("session", index as u64);
-            sessions.push(run_session(index as u64, &mut session, &mut rng));
+            sessions.push(run_session(index as u64, &mut session, &mut rng)?);
         }
-        CampaignReport {
+        Ok(CampaignReport {
             flux,
             vmins,
             sessions,
-        }
+        })
     }
 
     /// Runs the campaign on `jobs` workers with every session reporting
@@ -229,16 +242,53 @@ impl Campaign {
     /// # Panics
     ///
     /// Panics if `options.jobs == 0`, if the recovered prefix is
-    /// inconsistent with this configuration, or if a journal write cannot
+    /// inconsistent with this configuration, if a journal write cannot
     /// be made durable (a crash-safety layer that silently drops records
-    /// would be worse than none).
+    /// would be worse than none), or if `options.cancel` fires — callers
+    /// that cancel must use
+    /// [`try_run_recoverable`](Self::try_run_recoverable).
     pub fn run_recoverable(
+        &self,
+        options: CampaignRunOptions<'_>,
+        observer: &mut dyn crate::trace::SessionObserver,
+    ) -> CampaignReport {
+        self.try_run_recoverable(options, observer)
+            .expect("campaign cancelled; use try_run_recoverable to observe cancellation")
+    }
+
+    /// [`run_recoverable`](Self::run_recoverable), but cancellable: when
+    /// `options.cancel` fires, execution stops cleanly at the next wave
+    /// boundary (or between sessions) and returns
+    /// [`Err(Cancelled)`](Cancelled).
+    ///
+    /// The journal, if any, is left exactly as a crash at a record
+    /// boundary would leave it: completed sessions closed by their
+    /// `SessionEnd` records, the in-flight session holding every absorbed
+    /// trial and no end record. Re-opening it through
+    /// [`crate::journal::start_or_resume`] and re-running the same
+    /// configuration reproduces the uninterrupted report and trace bit
+    /// for bit at any `jobs` — cancellation rides the PR-tested crash
+    /// recovery path rather than inventing a second lifecycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] if the token fired before the campaign
+    /// completed.
+    ///
+    /// # Panics
+    ///
+    /// As [`run_recoverable`](Self::run_recoverable), minus cancellation.
+    pub fn try_run_recoverable(
         &self,
         mut options: CampaignRunOptions<'_>,
         observer: &mut dyn crate::trace::SessionObserver,
-    ) -> CampaignReport {
-        self.run_with(|index, session, rng| {
-            session.run_planned(
+    ) -> Result<CampaignReport, Cancelled> {
+        let cancel = options.cancel.clone();
+        self.try_run_with(|index, session, rng| {
+            if cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                return Err(Cancelled);
+            }
+            session.try_run_planned(
                 rng,
                 ExecutionPlan {
                     jobs: options.jobs,
@@ -246,6 +296,7 @@ impl Campaign {
                     journal: options.journal.as_deref_mut(),
                     recovered: options.recovered.and_then(|r| r.session(index)),
                     session_index: index,
+                    cancel: cancel.clone(),
                 },
                 &mut *observer,
             )
@@ -281,6 +332,9 @@ pub struct CampaignRunOptions<'a> {
     pub journal: Option<&'a mut JournalWriter>,
     /// Recovered journal prefix to replay before running live, if any.
     pub recovered: Option<&'a RecoveredCampaign>,
+    /// Cooperative cancellation flag, polled at wave boundaries (see
+    /// [`Campaign::try_run_recoverable`]).
+    pub cancel: Option<CancelToken>,
 }
 
 impl CampaignRunOptions<'_> {
@@ -292,6 +346,7 @@ impl CampaignRunOptions<'_> {
             retry: RetryPolicy::standard(),
             journal: None,
             recovered: None,
+            cancel: None,
         }
     }
 }

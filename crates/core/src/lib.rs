@@ -93,7 +93,9 @@ pub mod parallel;
 pub mod policy;
 pub mod report;
 pub mod runner;
+pub mod scheduler;
 pub mod session;
+pub mod spec;
 pub mod trace;
 pub mod tradeoff;
 

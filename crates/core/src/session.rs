@@ -30,6 +30,7 @@ use crate::classify::{FailureClass, RunVerdict};
 use crate::dut::DeviceUnderTest;
 use crate::journal::{JournalWriter, Record, RecoveredSession};
 use crate::runner::{BenchmarkRunner, RunOutcome};
+use crate::scheduler::{CancelToken, Cancelled};
 
 /// When a session ends.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -152,6 +153,9 @@ pub struct ExecutionPlan<'a> {
     pub recovered: Option<&'a RecoveredSession>,
     /// This session's index in its campaign (tags journal records).
     pub session_index: u64,
+    /// Cooperative cancellation flag, polled at wave boundaries (see
+    /// [`TestSession::try_run_planned`]).
+    pub cancel: Option<CancelToken>,
 }
 
 impl ExecutionPlan<'static> {
@@ -163,6 +167,7 @@ impl ExecutionPlan<'static> {
             journal: None,
             recovered: None,
             session_index: 0,
+            cancel: None,
         }
     }
 }
@@ -397,16 +402,45 @@ impl TestSession {
     /// # Panics
     ///
     /// Panics if `plan.jobs == 0`, if the journal cannot be synced to
-    /// stable storage (crash safety would silently be lost), or if the
+    /// stable storage (crash safety would silently be lost), if the
     /// recovered history is inconsistent with this session's
     /// configuration (wrong trial order, or a journaled stop reason the
-    /// replay cannot reproduce).
+    /// replay cannot reproduce), or if `plan.cancel` fires — callers that
+    /// cancel must use [`try_run_planned`](Self::try_run_planned).
     pub fn run_planned(
+        &mut self,
+        rng: &mut SimRng,
+        plan: ExecutionPlan<'_>,
+        observer: &mut dyn crate::trace::SessionObserver,
+    ) -> SessionReport {
+        self.try_run_planned(rng, plan, observer)
+            .expect("session cancelled; use try_run_planned to observe cancellation")
+    }
+
+    /// [`run_planned`](Self::run_planned), but cancellable: when
+    /// `plan.cancel` fires, the run stops cleanly at the next wave
+    /// boundary and returns [`Err(Cancelled)`](Cancelled).
+    ///
+    /// The boundary guarantee is what keeps cancellation safe: every
+    /// trial absorbed before the boundary has been journaled and fsync'd
+    /// (the per-wave sync), no `SessionEnd` record is written, and no
+    /// `on_session_end` observer callback fires — so the journal reads
+    /// exactly like a crash at a record boundary and resumes
+    /// bit-identically through [`crate::journal::start_or_resume`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] if the token fired before a stopping rule.
+    ///
+    /// # Panics
+    ///
+    /// As [`run_planned`](Self::run_planned), minus cancellation.
+    pub fn try_run_planned(
         &mut self,
         rng: &mut SimRng,
         mut plan: ExecutionPlan<'_>,
         observer: &mut dyn crate::trace::SessionObserver,
-    ) -> SessionReport {
+    ) -> Result<SessionReport, Cancelled> {
         assert!(plan.jobs > 0, "a session needs at least one worker");
         let flux = self.runner.flux();
         let point = self.runner.dut().operating_point();
@@ -466,6 +500,12 @@ impl TestSession {
         let stop_reason = match replayed_stop {
             Some(reason) => reason,
             None => loop {
+                // Wave boundary: the only place a cancel can land. The
+                // previous wave's trials are journaled and synced, so
+                // bailing here leaves the journal resumable.
+                if plan.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                    return Err(Cancelled);
+                }
                 let wave_clock = std::time::Instant::now();
                 let wave = self.wave_size(&acc, plan.jobs, next_trial);
                 let trials: Vec<u64> = (next_trial..next_trial + wave as u64).collect();
@@ -557,7 +597,7 @@ impl TestSession {
         }
 
         observer.on_session_end(acc.clock, stop_reason);
-        acc.into_report(point, stop_reason)
+        Ok(acc.into_report(point, stop_reason))
     }
 
     /// Runs the session through the *naive reference executor*: one trial
@@ -1330,6 +1370,7 @@ mod tests {
                 journal: None,
                 recovered: None,
                 session_index: 0,
+                cancel: None,
             };
             session.run_planned(&mut rng, plan, &mut crate::trace::NoopObserver)
         };
@@ -1386,6 +1427,7 @@ mod tests {
                 journal: Some(&mut journal),
                 recovered: None,
                 session_index: 0,
+                cancel: None,
             },
             &mut wave_log,
         );

@@ -1,0 +1,522 @@
+//! Validated campaign specifications for the control plane.
+//!
+//! A campaign submitted over HTTP arrives as an untrusted JSON document.
+//! This module is the schema layer between the wire and the engine,
+//! generalizing the validated-construction pattern of
+//! [`crate::checkpoint`]'s `TryFrom<RawCheckpointScheme>`: the permissive
+//! carrier [`RawCampaignSpec`] holds whatever the document said (numbers
+//! as raw `f64`, everything optional), and `TryFrom` narrows it into a
+//! [`CampaignSpec`] whose every field is finite, in range, and exactly
+//! representable — or fails with a [`SpecError`] naming the offending
+//! field and how to fix it.
+//!
+//! A validated spec converts to a [`CampaignConfig`] via
+//! [`CampaignSpec::config`]; the default spec maps to the exact
+//! configuration the `repro` CLI builds, so a campaign run through the
+//! control plane is bit-identical to the same spec run solo.
+
+use serscale_soc::platform::{OperatingPoint, XGene2};
+use serscale_types::{Megahertz, Millivolts, SimDuration};
+
+use crate::campaign::{CampaignConfig, VminSource};
+use crate::session::SessionLimits;
+
+/// Largest f64 that still represents every integer exactly (2^53).
+const EXACT_INT_MAX: f64 = 9_007_199_254_740_992.0;
+
+/// The permissive wire-side carrier for a campaign spec.
+///
+/// Every field is optional and every number is a raw `f64` (JSON has only
+/// doubles), so deserialization never fails on *values* — all judgment
+/// lives in the [`TryFrom`] conversion to [`CampaignSpec`], which is
+/// where actionable errors come from.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RawCampaignSpec {
+    /// Display name for the job (sanitized identifier).
+    pub name: Option<String>,
+    /// Tenant the job is queued under (fair-share round-robin key).
+    pub tenant: Option<String>,
+    /// Master RNG seed. Must be integer-valued and ≤ 2^53 to survive the
+    /// JSON double round-trip exactly.
+    pub seed: Option<f64>,
+    /// Fraction of the paper campaign's session durations, in (0, 1].
+    /// Mutually exclusive with `sessions`.
+    pub scale: Option<f64>,
+    /// Worker-thread override for this job (integer ≥ 1).
+    pub jobs: Option<f64>,
+    /// Run the offline Vmin characterization with this many trials per
+    /// step instead of the paper's anchors (integer ≥ 1).
+    pub vmin_trials: Option<f64>,
+    /// Explicit session list replacing the paper's Table 2 schedule.
+    pub sessions: Option<Vec<RawSessionSpec>>,
+    /// Id of a cancelled control-plane job whose journal this submission
+    /// resumes (integer ≥ 0).
+    pub resume: Option<f64>,
+}
+
+/// One session of an explicit schedule, as raw wire-side numbers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RawSessionSpec {
+    /// PMD (core) domain voltage, millivolts.
+    pub pmd_mv: f64,
+    /// SoC domain voltage, millivolts.
+    pub soc_mv: f64,
+    /// Core clock frequency, megahertz.
+    pub freq_mhz: f64,
+    /// Beam-time box for the session, minutes.
+    pub minutes: f64,
+}
+
+/// A spec field that failed validation, with an actionable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// The offending field (dotted path, e.g. `sessions[2].pmd_mv`).
+    pub field: String,
+    /// What was wrong and what would be accepted.
+    pub reason: String,
+}
+
+impl SpecError {
+    fn new(field: impl Into<String>, reason: impl Into<String>) -> Self {
+        SpecError {
+            field: field.into(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "spec field `{}`: {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A fully validated campaign spec: every field finite, in range, and
+/// ready to become a [`CampaignConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Sanitized job name.
+    pub name: String,
+    /// Tenant for fair-share scheduling.
+    pub tenant: String,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Session-duration fraction of the paper campaign, in (0, 1].
+    pub scale: f64,
+    /// Worker-thread override, if the submitter set one.
+    pub jobs: Option<u32>,
+    /// Vmin characterization trials (`None` = paper anchors).
+    pub vmin_trials: Option<u32>,
+    /// Explicit session schedule (`None` = paper Table 2 × `scale`).
+    pub sessions: Option<Vec<(OperatingPoint, SessionLimits)>>,
+    /// Cancelled job id to resume, if any.
+    pub resume: Option<u64>,
+}
+
+impl CampaignSpec {
+    /// The scale a spec that names none gets: the CI-sized fraction the
+    /// repro golden artifacts are pinned at.
+    pub const DEFAULT_SCALE: f64 = 0.005;
+
+    /// Builds the engine configuration this spec describes.
+    ///
+    /// A spec without an explicit `sessions` list maps to
+    /// [`CampaignConfig::paper_scaled`]`(scale)` with the spec's seed —
+    /// exactly what the one-shot CLI builds, which is what makes control
+    /// plane reports byte-comparable to solo runs.
+    pub fn config(&self) -> CampaignConfig {
+        let mut config = match &self.sessions {
+            None => CampaignConfig::paper_scaled(self.scale),
+            Some(sessions) => {
+                let mut config = CampaignConfig::paper();
+                config.sessions = sessions.clone();
+                config
+            }
+        };
+        config.seed = self.seed;
+        if let Some(trials) = self.vmin_trials {
+            config.vmin_source = VminSource::Characterized { trials };
+        }
+        config
+    }
+}
+
+/// Checks that `value` is finite and integer-valued in `[min, max]`.
+fn integer_in(field: &str, value: f64, min: f64, max: f64, hint: &str) -> Result<u64, SpecError> {
+    if !value.is_finite() {
+        return Err(SpecError::new(
+            field,
+            format!("{value} is not a finite number; {hint}"),
+        ));
+    }
+    if value.fract() != 0.0 || !(min..=max).contains(&value) {
+        return Err(SpecError::new(
+            field,
+            format!("{value} is not an integer in [{min}, {max}]; {hint}"),
+        ));
+    }
+    Ok(value as u64)
+}
+
+/// Checks a name-like identifier: 1–64 chars of `[A-Za-z0-9._-]`.
+fn identifier(field: &str, value: &str) -> Result<String, SpecError> {
+    let ok = !value.is_empty()
+        && value.len() <= 64
+        && value
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'));
+    if ok {
+        Ok(value.to_string())
+    } else {
+        Err(SpecError::new(
+            field,
+            format!("{value:?} is not a valid identifier; use 1-64 characters of [A-Za-z0-9._-]"),
+        ))
+    }
+}
+
+impl TryFrom<RawCampaignSpec> for CampaignSpec {
+    type Error = SpecError;
+
+    fn try_from(raw: RawCampaignSpec) -> Result<Self, SpecError> {
+        let name = match &raw.name {
+            Some(name) => identifier("name", name)?,
+            None => "campaign".to_string(),
+        };
+        let tenant = match &raw.tenant {
+            Some(tenant) => identifier("tenant", tenant)?,
+            None => "anonymous".to_string(),
+        };
+        let seed = match raw.seed {
+            Some(seed) => integer_in(
+                "seed",
+                seed,
+                0.0,
+                EXACT_INT_MAX,
+                "seeds must survive the JSON double round-trip exactly",
+            )?,
+            None => CampaignConfig::paper().seed,
+        };
+        if raw.scale.is_some() && raw.sessions.is_some() {
+            return Err(SpecError::new(
+                "scale",
+                "mutually exclusive with `sessions`; scale the explicit session minutes instead",
+            ));
+        }
+        let scale = match raw.scale {
+            Some(scale) => {
+                if !scale.is_finite() || scale <= 0.0 || scale > 1.0 {
+                    return Err(SpecError::new(
+                        "scale",
+                        format!("{scale} is outside (0, 1]; 1.0 replays the full 64.8-beam-hour campaign"),
+                    ));
+                }
+                scale
+            }
+            None => Self::DEFAULT_SCALE,
+        };
+        let jobs = match raw.jobs {
+            Some(jobs) => Some(integer_in(
+                "jobs",
+                jobs,
+                1.0,
+                64.0,
+                "worker counts beyond the host's cores are clamped, not rejected",
+            )? as u32),
+            None => None,
+        };
+        let vmin_trials = match raw.vmin_trials {
+            Some(trials) => Some(integer_in(
+                "vmin_trials",
+                trials,
+                1.0,
+                100_000.0,
+                "zero trials cannot characterize Vmin; omit the field to use the paper's anchors",
+            )? as u32),
+            None => None,
+        };
+        let sessions = match &raw.sessions {
+            Some(list) => Some(validated_sessions(list)?),
+            None => None,
+        };
+        let resume = match raw.resume {
+            Some(id) => Some(integer_in(
+                "resume",
+                id,
+                0.0,
+                EXACT_INT_MAX,
+                "pass the numeric id of the cancelled job to resume",
+            )?),
+            None => None,
+        };
+        Ok(CampaignSpec {
+            name,
+            tenant,
+            seed,
+            scale,
+            jobs,
+            vmin_trials,
+            sessions,
+            resume,
+        })
+    }
+}
+
+fn validated_sessions(
+    list: &[RawSessionSpec],
+) -> Result<Vec<(OperatingPoint, SessionLimits)>, SpecError> {
+    if list.is_empty() {
+        return Err(SpecError::new(
+            "sessions",
+            "an explicit session list must hold at least one session; omit the field for the paper schedule",
+        ));
+    }
+    if list.len() > 16 {
+        return Err(SpecError::new(
+            "sessions",
+            format!("{} sessions exceed the 16-session cap", list.len()),
+        ));
+    }
+    let die = XGene2::new();
+    let mut sessions = Vec::with_capacity(list.len());
+    for (at, raw) in list.iter().enumerate() {
+        let point = OperatingPoint {
+            pmd: Millivolts::new(integer_in(
+                &format!("sessions[{at}].pmd_mv"),
+                raw.pmd_mv,
+                500.0,
+                980.0,
+                "PMD voltages are whole millivolts between 500 mV and the 980 mV nominal",
+            )? as u32),
+            soc: Millivolts::new(integer_in(
+                &format!("sessions[{at}].soc_mv"),
+                raw.soc_mv,
+                500.0,
+                950.0,
+                "SoC voltages are whole millivolts between 500 mV and the 950 mV nominal",
+            )? as u32),
+            frequency: Megahertz::new(integer_in(
+                &format!("sessions[{at}].freq_mhz"),
+                raw.freq_mhz,
+                300.0,
+                2400.0,
+                "frequencies sit on the 300 MHz PLL grid up to 2.4 GHz",
+            )? as u32),
+        };
+        // The regulator/PLL constraints of §3.1 (5 mV step, 300 MHz
+        // grid) are the platform's own validation.
+        if let Err(e) = die.validate(point) {
+            return Err(SpecError::new(format!("sessions[{at}]"), e.to_string()));
+        }
+        if !raw.minutes.is_finite() || raw.minutes <= 0.0 || raw.minutes > 10_000.0 {
+            return Err(SpecError::new(
+                format!("sessions[{at}].minutes"),
+                format!(
+                    "{} is outside (0, 10000]; the paper's longest session is 1651 minutes",
+                    raw.minutes
+                ),
+            ));
+        }
+        if let Some(earlier) = sessions
+            .iter()
+            .position(|(p, _): &(OperatingPoint, SessionLimits)| *p == point)
+        {
+            return Err(SpecError::new(
+                format!("sessions[{at}]"),
+                format!(
+                    "overlaps session {earlier}: both run {}; campaign reports index sessions by operating point",
+                    point.label()
+                ),
+            ));
+        }
+        sessions.push((
+            point,
+            SessionLimits::time_boxed(SimDuration::from_minutes(raw.minutes)),
+        ));
+    }
+    Ok(sessions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_raw_spec_maps_to_the_cli_default_campaign() {
+        let spec = CampaignSpec::try_from(RawCampaignSpec::default()).expect("valid");
+        assert_eq!(spec.name, "campaign");
+        assert_eq!(spec.tenant, "anonymous");
+        assert_eq!(spec.seed, CampaignConfig::paper().seed);
+        assert_eq!(spec.scale, CampaignSpec::DEFAULT_SCALE);
+        let mut expected = CampaignConfig::paper_scaled(CampaignSpec::DEFAULT_SCALE);
+        expected.seed = spec.seed;
+        assert_eq!(spec.config(), expected);
+    }
+
+    #[test]
+    fn scaled_spec_matches_the_cli_config_exactly() {
+        let raw = RawCampaignSpec {
+            seed: Some(20231028.0),
+            scale: Some(0.01),
+            ..Default::default()
+        };
+        let spec = CampaignSpec::try_from(raw).expect("valid");
+        let mut expected = CampaignConfig::paper_scaled(0.01);
+        expected.seed = 20231028;
+        assert_eq!(spec.config(), expected);
+    }
+
+    #[test]
+    fn explicit_sessions_build_custom_schedules() {
+        let raw = RawCampaignSpec {
+            sessions: Some(vec![
+                RawSessionSpec {
+                    pmd_mv: 980.0,
+                    soc_mv: 950.0,
+                    freq_mhz: 2400.0,
+                    minutes: 10.0,
+                },
+                RawSessionSpec {
+                    pmd_mv: 790.0,
+                    soc_mv: 950.0,
+                    freq_mhz: 900.0,
+                    minutes: 5.0,
+                },
+            ]),
+            ..Default::default()
+        };
+        let spec = CampaignSpec::try_from(raw).expect("valid");
+        let config = spec.config();
+        assert_eq!(config.sessions.len(), 2);
+        assert_eq!(config.sessions[0].0, OperatingPoint::nominal());
+        assert_eq!(
+            config.sessions[1].1.max_duration,
+            Some(SimDuration::from_minutes(5.0))
+        );
+    }
+
+    #[test]
+    fn rejections_name_the_field_and_how_to_fix_it() {
+        let cases: Vec<(RawCampaignSpec, &str)> = vec![
+            (
+                RawCampaignSpec {
+                    scale: Some(0.0),
+                    ..Default::default()
+                },
+                "scale",
+            ),
+            (
+                RawCampaignSpec {
+                    scale: Some(f64::NAN),
+                    ..Default::default()
+                },
+                "scale",
+            ),
+            (
+                RawCampaignSpec {
+                    seed: Some(1.5),
+                    ..Default::default()
+                },
+                "seed",
+            ),
+            (
+                RawCampaignSpec {
+                    jobs: Some(0.0),
+                    ..Default::default()
+                },
+                "jobs",
+            ),
+            (
+                RawCampaignSpec {
+                    vmin_trials: Some(0.0),
+                    ..Default::default()
+                },
+                "vmin_trials",
+            ),
+            (
+                RawCampaignSpec {
+                    name: Some("no spaces allowed".into()),
+                    ..Default::default()
+                },
+                "name",
+            ),
+            (
+                RawCampaignSpec {
+                    scale: Some(0.5),
+                    sessions: Some(vec![RawSessionSpec {
+                        pmd_mv: 980.0,
+                        soc_mv: 950.0,
+                        freq_mhz: 2400.0,
+                        minutes: 1.0,
+                    }]),
+                    ..Default::default()
+                },
+                "scale",
+            ),
+            (
+                RawCampaignSpec {
+                    sessions: Some(vec![]),
+                    ..Default::default()
+                },
+                "sessions",
+            ),
+        ];
+        for (raw, field) in cases {
+            let err = CampaignSpec::try_from(raw.clone())
+                .expect_err(&format!("{raw:?} must be rejected"));
+            assert_eq!(err.field, field, "{raw:?} → {err}");
+            assert!(!err.reason.is_empty());
+        }
+    }
+
+    #[test]
+    fn non_finite_voltage_is_rejected_with_the_session_path() {
+        let raw = RawCampaignSpec {
+            sessions: Some(vec![RawSessionSpec {
+                pmd_mv: f64::NAN,
+                soc_mv: 950.0,
+                freq_mhz: 2400.0,
+                minutes: 1.0,
+            }]),
+            ..Default::default()
+        };
+        let err = CampaignSpec::try_from(raw).expect_err("NaN voltage rejected");
+        assert_eq!(err.field, "sessions[0].pmd_mv");
+        assert!(err.reason.contains("finite"), "{err}");
+    }
+
+    #[test]
+    fn off_grid_points_are_rejected_by_platform_validation() {
+        let raw = RawCampaignSpec {
+            sessions: Some(vec![RawSessionSpec {
+                pmd_mv: 913.0, // not on the 5 mV regulator step
+                soc_mv: 950.0,
+                freq_mhz: 2400.0,
+                minutes: 1.0,
+            }]),
+            ..Default::default()
+        };
+        let err = CampaignSpec::try_from(raw).expect_err("off-step voltage rejected");
+        assert_eq!(err.field, "sessions[0]");
+        assert!(err.reason.contains("5 mV"), "{err}");
+    }
+
+    #[test]
+    fn overlapping_sessions_are_rejected() {
+        let point = RawSessionSpec {
+            pmd_mv: 920.0,
+            soc_mv: 920.0,
+            freq_mhz: 2400.0,
+            minutes: 2.0,
+        };
+        let raw = RawCampaignSpec {
+            sessions: Some(vec![point.clone(), point]),
+            ..Default::default()
+        };
+        let err = CampaignSpec::try_from(raw).expect_err("duplicate point rejected");
+        assert_eq!(err.field, "sessions[1]");
+        assert!(err.reason.contains("overlaps session 0"), "{err}");
+    }
+}

@@ -108,15 +108,35 @@ impl TelemetrySink {
     /// [`MonitorServer::addr`]). The server only gets read handles into
     /// the sink, so attaching it cannot perturb a run.
     pub fn serve(&self, addr: &str) -> std::io::Result<MonitorServer> {
-        MonitorServer::bind(
-            addr,
-            MonitorState::new(
-                self.registry.clone(),
-                Arc::clone(&self.tracer),
-                Arc::clone(&self.progress),
-                Arc::clone(&self.status),
-                Arc::clone(&self.probe),
-            ),
+        MonitorServer::bind(addr, self.monitor_state())
+    }
+
+    /// [`serve`](Self::serve) with a campaign control plane attached:
+    /// the same monitoring endpoints plus the read-write `/campaigns`
+    /// routes (submit, list, status, report, event stream, cancel) and
+    /// `POST /shutdown`. This sink carries the *service-level* telemetry
+    /// (submission counters, scrape metrics); each job gets its own
+    /// private sink inside the control plane.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn serve_control(
+        self: &Arc<Self>,
+        addr: &str,
+        control: Arc<crate::control::ControlPlane>,
+    ) -> std::io::Result<MonitorServer> {
+        control.attach_metrics(Arc::clone(self));
+        MonitorServer::bind(addr, self.monitor_state().with_control(control))
+    }
+
+    fn monitor_state(&self) -> MonitorState {
+        MonitorState::new(
+            self.registry.clone(),
+            Arc::clone(&self.tracer),
+            Arc::clone(&self.progress),
+            Arc::clone(&self.status),
+            Arc::clone(&self.probe),
         )
     }
 

@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod control;
 pub mod export;
 pub mod json;
 pub mod metrics;
@@ -51,6 +52,7 @@ pub mod progress;
 pub mod serve;
 pub mod span;
 
+pub use control::{ControlPlane, ControlPlaneOptions};
 pub use export::{TelemetryOptions, TelemetrySink};
 pub use metrics::{MetricsSnapshot, Registry};
 pub use observer::TelemetryObserver;

@@ -16,6 +16,26 @@
 //! | `/campaign` | journal-backed status: fingerprint, resume, waves      |
 //! | `/`         | a plain-text index of the above                        |
 //!
+//! With a [`ControlPlane`] attached
+//! ([`MonitorState::with_control`], usually via
+//! [`TelemetrySink::serve_control`](crate::export::TelemetrySink::serve_control))
+//! the plane becomes read-write — campaign-as-a-service:
+//!
+//! | endpoint                 | method   | behaviour                         |
+//! |--------------------------|----------|-----------------------------------|
+//! | `/campaigns`             | `POST`   | submit a JSON spec → `202` + id   |
+//! | `/campaigns`             | `GET`    | list every job's status           |
+//! | `/campaigns/{id}`        | `GET`    | one job's status document         |
+//! | `/campaigns/{id}`        | `DELETE` | cancel (wave-boundary, resumable) |
+//! | `/campaigns/{id}/report` | `GET`    | the bit-stable golden report      |
+//! | `/campaigns/{id}/events` | `GET`    | live JSONL event stream (chunked) |
+//! | `/shutdown`              | `POST`   | graceful drain (no signals)       |
+//!
+//! `/campaign` (the PR 5 singular endpoint) becomes an alias for the
+//! current job's `/campaigns/{id}` document when a control plane is
+//! attached, and keeps serving the legacy status cell otherwise — the
+//! scrape-storm suite runs against both shapes unchanged.
+//!
 //! ## Observe-only, enforced structurally
 //!
 //! The server holds *read* handles: a registry clone (snapshots merge
@@ -48,6 +68,7 @@ use std::time::{Duration, Instant};
 
 use serscale_core::journal::SyncProbe;
 
+use crate::control::ControlPlane;
 use crate::json;
 use crate::metrics::Registry;
 use crate::progress::Progress;
@@ -59,8 +80,15 @@ const WORKERS: usize = 4;
 const SOCKET_TIMEOUT: Duration = Duration::from_secs(2);
 /// Upper bound on an accepted request head (request line + headers).
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
+/// Upper bound on a request body (`POST /campaigns` specs are small).
+const MAX_BODY_BYTES: usize = 64 * 1024;
 /// `/spans` returns at most this many of the newest closed spans.
 const SPAN_WINDOW: usize = 64;
+/// How often an event stream polls its job for fresh lines.
+const EVENT_POLL: Duration = Duration::from_millis(25);
+/// Hard cap on one event-stream connection, so an abandoned client
+/// cannot pin a handler thread forever.
+const EVENT_STREAM_CAP: Duration = Duration::from_secs(600);
 
 /// Slow-changing campaign facts the driver publishes at run boundaries
 /// (the fast-changing numbers live in the registry and progress state).
@@ -86,6 +114,7 @@ pub struct MonitorState {
     progress: Arc<Mutex<Progress>>,
     status: Arc<Mutex<CampaignStatus>>,
     probe: Arc<Mutex<Option<SyncProbe>>>,
+    control: Option<Arc<ControlPlane>>,
     started: Instant,
 }
 
@@ -106,8 +135,17 @@ impl MonitorState {
             progress,
             status,
             probe,
+            control: None,
             started: Instant::now(),
         }
+    }
+
+    /// Attaches a [`ControlPlane`], turning the read-only monitoring
+    /// plane into the campaign service (the `/campaigns` routes above).
+    #[must_use]
+    pub fn with_control(mut self, control: Arc<ControlPlane>) -> Self {
+        self.control = Some(control);
+        self
     }
 
     fn healthz(&self) -> String {
@@ -183,22 +221,41 @@ impl MonitorState {
         out
     }
 
-    fn respond(&self, method: &str, path: &str) -> Response {
-        if method != "GET" {
-            return Response::text(405, "405 method not allowed\nonly GET is supported\n");
-        }
+    fn respond(&self, method: &str, path: &str, body: &str) -> Reply {
         // Ignore any query string: `/progress?x=1` reads as `/progress`.
         let path = path.split('?').next().unwrap_or(path);
-        match path {
-            "/" => Response::text(
-                200,
-                "serscale monitor\n\
-                 /metrics   Prometheus text exposition\n\
-                 /healthz   liveness + journal fsync lag (JSON)\n\
-                 /progress  trials, sigma estimate, ETA (JSON)\n\
-                 /spans     recent closed spans (JSONL)\n\
-                 /campaign  journal-backed campaign status (JSON)\n",
-            ),
+        // The read-write routes carry their own per-method handling; the
+        // legacy monitoring surface below stays GET-only.
+        if path == "/campaigns" || path.starts_with("/campaigns/") || path == "/shutdown" {
+            return self.control_routes(method, path, body);
+        }
+        if method != "GET" {
+            return Reply::Full(Response::text(
+                405,
+                "405 method not allowed\nonly GET is supported\n",
+            ));
+        }
+        Reply::Full(match path {
+            "/" => {
+                let mut index = String::from(
+                    "serscale monitor\n\
+                     /metrics   Prometheus text exposition\n\
+                     /healthz   liveness + journal fsync lag (JSON)\n\
+                     /progress  trials, sigma estimate, ETA (JSON)\n\
+                     /spans     recent closed spans (JSONL)\n\
+                     /campaign  journal-backed campaign status (JSON)\n",
+                );
+                if self.control.is_some() {
+                    index.push_str(
+                        "/campaigns            POST a spec / GET the job list (JSON)\n\
+                         /campaigns/N          GET status / DELETE to cancel (JSON)\n\
+                         /campaigns/N/report   GET the bit-stable report (text)\n\
+                         /campaigns/N/events   GET the live event stream (JSONL)\n\
+                         /shutdown             POST to drain the service\n",
+                    );
+                }
+                Response::text(200, &index)
+            }
             "/metrics" => Response {
                 status: 200,
                 content_type: "text/plain; version=0.0.4; charset=utf-8",
@@ -217,9 +274,108 @@ impl MonitorState {
                 content_type: "application/jsonl; charset=utf-8",
                 body: self.spans(),
             },
-            "/campaign" => Response::json(self.campaign()),
+            // With a control plane attached, the singular endpoint
+            // aliases the current job's document; without one (or before
+            // any submission) it keeps serving the legacy status cell.
+            "/campaign" => match &self.control {
+                Some(control) => match control.current().and_then(|id| control.status_json(id)) {
+                    Some(doc) => Response::json(doc),
+                    None => Response::json(self.campaign()),
+                },
+                None => Response::json(self.campaign()),
+            },
             _ => Response::text(404, "404 not found\ntry / for the endpoint index\n"),
+        })
+    }
+
+    fn control_routes(&self, method: &str, path: &str, body: &str) -> Reply {
+        let Some(control) = &self.control else {
+            return Reply::Full(Response::text(
+                404,
+                "404 not found\n\
+                 no campaign control plane is attached; start one with `repro serve`\n",
+            ));
+        };
+        if path == "/shutdown" {
+            return Reply::Full(if method == "POST" {
+                control.request_shutdown();
+                Response::json("{\"status\":\"draining\"}".to_string())
+            } else {
+                method_not_allowed("POST")
+            });
         }
+        if path == "/campaigns" {
+            return Reply::Full(match method {
+                "POST" => match control.submit(body) {
+                    Ok(doc) => Response {
+                        status: 202,
+                        content_type: "application/json; charset=utf-8",
+                        body: doc,
+                    },
+                    Err(err) => Response::control_error(&err),
+                },
+                "GET" => Response::json(control.list_json()),
+                _ => method_not_allowed("GET or POST"),
+            });
+        }
+        let rest = &path["/campaigns/".len()..];
+        let (id_str, tail) = match rest.split_once('/') {
+            Some((id, tail)) => (id, Some(tail)),
+            None => (rest, None),
+        };
+        let Ok(id) = id_str.parse::<u64>() else {
+            return Reply::Full(Response::text(
+                404,
+                "404 not found\ncampaign ids are integers\n",
+            ));
+        };
+        Reply::Full(match (method, tail) {
+            ("GET", None) => match control.status_json(id) {
+                Some(doc) => Response::json(doc),
+                None => no_such_job(id),
+            },
+            ("DELETE", None) => match control.cancel(id) {
+                Ok(doc) => Response::json(doc),
+                Err(err) => Response::control_error(&err),
+            },
+            ("GET", Some("report")) => match control.report_text(id) {
+                Ok(text) => Response::text(200, &text),
+                Err(err) => Response::control_error(&err),
+            },
+            ("GET", Some("events")) => {
+                if control.events_snapshot(id).is_some() {
+                    // The stream outlives this routing decision; the
+                    // connection handler takes over the socket.
+                    return Reply::EventStream(id);
+                }
+                no_such_job(id)
+            }
+            (_, None) => method_not_allowed("GET or DELETE"),
+            (_, Some("report" | "events")) => method_not_allowed("GET"),
+            _ => Response::text(404, "404 not found\ntry / for the endpoint index\n"),
+        })
+    }
+}
+
+/// What a routed request resolves to: a buffered response, or a live
+/// event stream that takes over the connection.
+enum Reply {
+    Full(Response),
+    EventStream(u64),
+}
+
+fn method_not_allowed(allowed: &str) -> Response {
+    Response::text(
+        405,
+        &format!("405 method not allowed\nthis endpoint takes {allowed}\n"),
+    )
+}
+
+fn no_such_job(id: u64) -> Response {
+    Response {
+        status: 404,
+        content_type: "application/json; charset=utf-8",
+        body: format!("{{\"error\":{{\"reason\":\"no job {id}\"}}}}"),
     }
 }
 
@@ -246,12 +402,23 @@ impl Response {
         }
     }
 
+    fn control_error(err: &crate::control::ControlError) -> Self {
+        Response {
+            status: err.status,
+            content_type: "application/json; charset=utf-8",
+            body: format!("{}\n", err.body),
+        }
+    }
+
     fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
         let reason = match self.status {
             200 => "OK",
+            202 => "Accepted",
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            409 => "Conflict",
+            503 => "Service Unavailable",
             _ => "Internal Server Error",
         };
         let head = format!(
@@ -267,48 +434,125 @@ impl Response {
     }
 }
 
-/// Reads the request head (up to the blank line or [`MAX_REQUEST_BYTES`])
-/// and returns `(method, path)` from the request line.
-fn parse_request(stream: &mut TcpStream) -> Result<(String, String), String> {
+/// A parsed inbound request: the request line plus any body announced
+/// via `Content-Length` (the only body framing the plane speaks).
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+}
+
+/// Byte offset just past the head terminator, if the head is complete.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + 4)
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|p| p + 2))
+}
+
+/// Reads the request head (up to [`MAX_REQUEST_BYTES`]) and, when the
+/// headers announce one, a body of up to [`MAX_BODY_BYTES`].
+fn parse_request(stream: &mut TcpStream) -> Result<Request, String> {
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
-    loop {
+    let body_start = loop {
+        if let Some(end) = head_end(&buf) {
+            break end;
+        }
+        if buf.len() > MAX_REQUEST_BYTES {
+            return Err("request head too large".to_string());
+        }
         match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
-                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
-                {
-                    break;
-                }
-                if buf.len() > MAX_REQUEST_BYTES {
-                    return Err("request head too large".to_string());
-                }
-            }
+            Ok(0) => break head_end(&buf).unwrap_or(buf.len()),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(e) => return Err(format!("read failed: {e}")),
         }
-    }
-    let head = String::from_utf8_lossy(&buf);
+    };
+    let head = String::from_utf8_lossy(&buf[..body_start]).into_owned();
     let line = head.lines().next().unwrap_or("");
     let mut parts = line.split_whitespace();
-    match (parts.next(), parts.next(), parts.next()) {
+    let (method, path) = match (parts.next(), parts.next(), parts.next()) {
         (Some(method), Some(path), Some(version)) if version.starts_with("HTTP/1") => {
-            Ok((method.to_string(), path.to_string()))
+            (method.to_string(), path.to_string())
         }
-        _ => Err(format!("malformed request line {line:?}")),
+        _ => return Err(format!("malformed request line {line:?}")),
+    };
+    let mut content_length = 0usize;
+    for header in head.lines().skip(1) {
+        if let Some((name, value)) = header.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad Content-Length {:?}", value.trim()))?;
+            }
+        }
     }
+    if content_length > MAX_BODY_BYTES {
+        return Err("request body too large".to_string());
+    }
+    while buf.len() < body_start + content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err("connection closed mid-body".to_string()),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(format!("body read failed: {e}")),
+        }
+    }
+    let body = String::from_utf8_lossy(&buf[body_start..body_start + content_length]).into_owned();
+    Ok(Request { method, path, body })
+}
+
+/// Serves `/campaigns/{id}/events`: a chunked JSONL stream that follows
+/// the job's private event buffer and terminates when the job reaches a
+/// terminal state (or at [`EVENT_STREAM_CAP`]). Offsets are previous
+/// buffer lengths and appends are whole lines, so every chunk is valid
+/// UTF-8 ending on a line boundary.
+fn stream_events(stream: &mut TcpStream, state: &MonitorState, id: u64) -> std::io::Result<()> {
+    let control = state
+        .control
+        .as_ref()
+        .expect("event stream routed without a control plane");
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: application/jsonl; charset=utf-8\r\n\
+          Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+    )?;
+    let deadline = Instant::now() + EVENT_STREAM_CAP;
+    let mut sent = 0usize;
+    while let Some((events, done)) = control.events_snapshot(id) {
+        if events.len() > sent {
+            let fresh = &events.as_bytes()[sent..];
+            stream.write_all(format!("{:x}\r\n", fresh.len()).as_bytes())?;
+            stream.write_all(fresh)?;
+            stream.write_all(b"\r\n")?;
+            stream.flush()?;
+            sent = events.len();
+        }
+        if done || Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(EVENT_POLL);
+    }
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
 }
 
 fn handle_connection(mut stream: TcpStream, state: &MonitorState) {
     let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
     let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
-    let response = match parse_request(&mut stream) {
-        Ok((method, path)) => state.respond(&method, &path),
-        Err(reason) => Response::text(400, &format!("400 bad request\n{reason}\n")),
+    let reply = match parse_request(&mut stream) {
+        Ok(request) => state.respond(&request.method, &request.path, &request.body),
+        Err(reason) => Reply::Full(Response::text(400, &format!("400 bad request\n{reason}\n"))),
     };
     // A client that hung up mid-response is its own problem; the server
     // must not die (or log on stdout, which is golden-diffed) over it.
-    let _ = response.write_to(&mut stream);
+    match reply {
+        Reply::Full(response) => {
+            let _ = response.write_to(&mut stream);
+        }
+        Reply::EventStream(id) => {
+            let _ = stream_events(&mut stream, state, id);
+        }
+    }
 }
 
 /// The running monitoring server. Bind with [`MonitorServer::bind`]
@@ -422,23 +666,75 @@ impl Drop for MonitorServer {
 /// consistency tests, the CI monitoring job's reconciler and the
 /// scrape-storm benchmark all poll through it.
 pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    http_request(addr, "GET", path, "")
+}
+
+/// One blocking request with an arbitrary method and body — the client
+/// side of the control plane (`POST /campaigns`, `DELETE`, event
+/// streams). Chunked responses are decoded; the read timeout is generous
+/// because `/campaigns/{id}/events` legitimately stays open while a
+/// campaign runs.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
     let mut stream = TcpStream::connect_timeout(&addr, SOCKET_TIMEOUT)?;
-    stream.set_read_timeout(Some(SOCKET_TIMEOUT))?;
+    stream.set_read_timeout(Some(EVENT_STREAM_CAP))?;
     stream.set_write_timeout(Some(SOCKET_TIMEOUT))?;
     stream.write_all(
-        format!("GET {path} HTTP/1.1\r\nHost: serscale\r\nConnection: close\r\n\r\n").as_bytes(),
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: serscale\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
     )?;
-    let mut raw = String::new();
-    stream.read_to_string(&mut raw)?;
-    let (head, body) = raw
-        .split_once("\r\n\r\n")
+    stream.write_all(body.as_bytes())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let split = head_end(&raw)
         .ok_or_else(|| std::io::Error::other("response missing header/body separator"))?;
+    let head = String::from_utf8_lossy(&raw[..split]).into_owned();
     let status = head
         .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| std::io::Error::other(format!("bad status line in {head:?}")))?;
-    Ok((status, body.to_string()))
+    let chunked = head.lines().any(|line| {
+        line.split_once(':').is_some_and(|(name, value)| {
+            name.trim().eq_ignore_ascii_case("transfer-encoding")
+                && value.trim().eq_ignore_ascii_case("chunked")
+        })
+    });
+    let payload = &raw[split..];
+    let body = if chunked {
+        decode_chunked(payload)
+    } else {
+        String::from_utf8_lossy(payload).into_owned()
+    };
+    Ok((status, body))
+}
+
+/// Reassembles a `Transfer-Encoding: chunked` body. Tolerates a
+/// truncated tail (the caller sees whatever arrived before the cut).
+fn decode_chunked(mut rest: &[u8]) -> String {
+    let mut out = Vec::new();
+    while let Some(line_end) = rest.windows(2).position(|w| w == b"\r\n") {
+        let size_line = String::from_utf8_lossy(&rest[..line_end]);
+        let Ok(size) = usize::from_str_radix(size_line.trim(), 16) else {
+            break;
+        };
+        rest = &rest[line_end + 2..];
+        if size == 0 || rest.len() < size {
+            out.extend_from_slice(&rest[..size.min(rest.len())]);
+            break;
+        }
+        out.extend_from_slice(&rest[..size]);
+        rest = rest.get(size + 2..).unwrap_or(&[]); // skip the chunk's CRLF
+    }
+    String::from_utf8_lossy(&out).into_owned()
 }
 
 #[cfg(test)]
@@ -596,6 +892,86 @@ mod tests {
             http_get(addr, "/healthz").is_err(),
             "server must be down after shutdown"
         );
+    }
+
+    #[test]
+    fn campaigns_routes_require_an_attached_control_plane() {
+        let (_sink, server) = sink_with_server();
+        let (status, body) = http_get(server.addr(), "/campaigns").expect("GET /campaigns");
+        assert_eq!(status, 404, "{body}");
+        assert!(body.contains("repro serve"), "{body}");
+        let (status, _) =
+            http_request(server.addr(), "POST", "/campaigns", "{}").expect("POST /campaigns");
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn control_plane_round_trip_over_http() {
+        use crate::control::{ControlPlane, ControlPlaneOptions};
+
+        let sink = Arc::new(TelemetrySink::in_memory(TelemetryOptions::default()));
+        let control = ControlPlane::start(ControlPlaneOptions::default());
+        let server = sink
+            .serve_control("127.0.0.1:0", Arc::clone(&control))
+            .expect("bind");
+        let addr = server.addr();
+
+        // Index now advertises the service routes.
+        let (_, index) = http_get(addr, "/").expect("GET /");
+        assert!(index.contains("/campaigns"), "{index}");
+
+        // A bad spec is a structured 400 naming the field.
+        let (status, body) =
+            http_request(addr, "POST", "/campaigns", "{\"scale\":0}").expect("bad spec");
+        assert_eq!(status, 400, "{body}");
+        let doc = json::parse(body.trim()).expect("error document parses");
+        assert_eq!(
+            doc.get("error")
+                .and_then(|e| e.get("field"))
+                .and_then(JsonValue::as_str),
+            Some("scale"),
+            "{body}"
+        );
+
+        // A good spec is accepted and runs to a fetchable report.
+        let spec = "{\"tenant\":\"http\",\"seed\":3,\"scale\":0.001}";
+        let (status, body) = http_request(addr, "POST", "/campaigns", spec).expect("submit");
+        assert_eq!(status, 202, "{body}");
+        let id = json::parse(&body)
+            .expect("acceptance parses")
+            .get("id")
+            .and_then(JsonValue::as_f64)
+            .expect("id") as u64;
+        assert!(
+            control.wait_idle(Duration::from_secs(60)),
+            "campaign finished"
+        );
+        let (status, listing) = http_get(addr, "/campaigns").expect("list");
+        assert_eq!(status, 200);
+        assert!(listing.contains("\"status\":\"done\""), "{listing}");
+        let (status, report) = http_get(addr, &format!("/campaigns/{id}/report")).expect("report");
+        assert_eq!(status, 200);
+        assert!(report.contains("flux_per_cm2_s"), "{report}");
+        // The alias serves the same document as /campaigns/{id}.
+        let (_, alias) = http_get(addr, "/campaign").expect("alias");
+        let (_, direct) = http_get(addr, &format!("/campaigns/{id}")).expect("status");
+        assert_eq!(alias, direct);
+        // The event stream terminates (job is done) and carries JSONL.
+        let (status, events) = http_get(addr, &format!("/campaigns/{id}/events")).expect("events");
+        assert_eq!(status, 200);
+        assert!(events.contains("session_start"), "{events}");
+        json::parse_lines(&events).expect("event stream is valid JSONL");
+        // Wrong methods 405, unknown jobs 404, report-before-done 409.
+        let (status, _) = http_request(addr, "PUT", &format!("/campaigns/{id}"), "").expect("PUT");
+        assert_eq!(status, 405);
+        let (status, _) = http_get(addr, "/campaigns/999").expect("unknown");
+        assert_eq!(status, 404);
+        // Shutdown over HTTP: drains and refuses new specs.
+        let (status, _) = http_request(addr, "POST", "/shutdown", "").expect("shutdown");
+        assert_eq!(status, 200);
+        let (status, body) = http_request(addr, "POST", "/campaigns", spec).expect("late");
+        assert_eq!(status, 503, "{body}");
+        control.drain();
     }
 
     #[test]

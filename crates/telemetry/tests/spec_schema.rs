@@ -1,0 +1,260 @@
+//! Fuzz and corpus tests for the `POST /campaigns` spec schema.
+//!
+//! The schema's contract: **an arbitrary JSON document never panics the
+//! server** — it either validates into a [`CampaignSpec`] that
+//! round-trips through the normalized JSON rendering unchanged, or it
+//! yields a structured [`SpecError`] naming the offending field. The
+//! property half fuzzes that contract with adversarial values (NaN,
+//! infinities, 2^53 boundaries, off-grid voltages, hostile bytes); the
+//! table half pins the known-bad corpus from the issue — NaN voltage,
+//! zero trials, overlapping voltage/frequency domains — plus every other
+//! rejection class the schema documents.
+
+use proptest::prelude::*;
+
+use serscale_core::spec::{CampaignSpec, RawCampaignSpec, RawSessionSpec};
+use serscale_telemetry::control::{parse_spec, spec_to_json};
+
+/// Adversarial f64s mixed into every fuzzed numeric field.
+const SPECIALS: [f64; 10] = [
+    f64::NAN,
+    f64::INFINITY,
+    f64::NEG_INFINITY,
+    -0.0,
+    f64::MIN_POSITIVE,
+    f64::EPSILON,
+    9_007_199_254_740_992.0, // 2^53: the exactness boundary
+    9_007_199_254_740_994.0, // 2^53 + 2: first even integer past it
+    1e300,
+    -1.0,
+];
+
+/// A fuzzed numeric field: sometimes a special, sometimes a small
+/// integer-ish value near the valid ranges, sometimes a raw unit float.
+fn fuzz_number(rng_pick: usize, unit: f64, scaled: f64) -> f64 {
+    match rng_pick % 3 {
+        0 => SPECIALS[(rng_pick / 3) % SPECIALS.len()],
+        1 => scaled.floor(),
+        _ => unit * scaled,
+    }
+}
+
+proptest! {
+    /// Any carrier full of arbitrary doubles either validates (and then
+    /// the normalized JSON round-trips to the identical spec) or fails
+    /// with a structured error naming a field — and never panics.
+    #[test]
+    fn arbitrary_raw_specs_validate_or_reject_without_panicking(
+        pick in prop::collection::vec(any::<usize>(), 8),
+        units in prop::collection::vec(0.0f64..1.0, 8),
+        n_sessions in 0usize..4,
+        with_sessions in any::<bool>(),
+        with_scale in any::<bool>(),
+    ) {
+        let raw = RawCampaignSpec {
+            name: None,
+            tenant: None,
+            seed: Some(fuzz_number(pick[0], units[0], 1e16)),
+            scale: with_scale.then(|| fuzz_number(pick[1], units[1], 2.0)),
+            jobs: Some(fuzz_number(pick[2], units[2], 100.0)),
+            vmin_trials: Some(fuzz_number(pick[3], units[3], 200_000.0)),
+            resume: Some(fuzz_number(pick[4], units[4], 10.0)),
+            sessions: with_sessions.then(|| {
+                (0..n_sessions)
+                    .map(|i| RawSessionSpec {
+                        pmd_mv: fuzz_number(pick[5].wrapping_add(i), units[5], 1100.0),
+                        soc_mv: fuzz_number(pick[6].wrapping_add(i), units[6], 1100.0),
+                        freq_mhz: fuzz_number(pick[7].wrapping_add(i), units[7], 2700.0),
+                        minutes: units[(i + 1) % 8] * 12_000.0,
+                    })
+                    .collect()
+            }),
+        };
+        match CampaignSpec::try_from(raw) {
+            Ok(spec) => {
+                let rendered = spec_to_json(&spec);
+                let reparsed = parse_spec(&rendered);
+                prop_assert_eq!(
+                    reparsed.as_ref(),
+                    Ok(&spec),
+                    "normalized rendering failed to round-trip: {}",
+                    rendered
+                );
+            }
+            Err(err) => {
+                prop_assert!(!err.field.is_empty(), "error without a field");
+                prop_assert!(!err.reason.is_empty(), "error without a reason");
+            }
+        }
+    }
+
+    /// Any JSON document assembled from fuzzed fields — known and unknown
+    /// keys, wrong types, hostile numbers — parses to Ok-or-structured-400
+    /// without panicking.
+    #[test]
+    fn arbitrary_json_documents_never_panic_the_parser(
+        keys in prop::collection::vec(
+            prop::sample::select(vec![
+                "name", "tenant", "seed", "scale", "jobs", "vmin_trials",
+                "resume", "sessions", "sclae", "bogus", "",
+            ]),
+            0..6,
+        ),
+        numbers in prop::collection::vec(any::<usize>(), 6),
+        units in prop::collection::vec(0.0f64..1.0, 6),
+        as_string in any::<bool>(),
+    ) {
+        let mut body = String::from("{");
+        for (i, key) in keys.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            let n = fuzz_number(numbers[i], units[i], 1e10);
+            // Half the time hand the field a wrong-typed value.
+            if as_string && i % 2 == 0 {
+                body.push_str(&format!("\"{key}\":\"{n}\""));
+            } else if n.is_finite() {
+                body.push_str(&format!("\"{key}\":{n}"));
+            } else {
+                body.push_str(&format!("\"{key}\":null"));
+            }
+        }
+        body.push('}');
+        match parse_spec(&body) {
+            Ok(spec) => {
+                let rendered = spec_to_json(&spec);
+                let reparsed = parse_spec(&rendered);
+                prop_assert_eq!(reparsed.as_ref(), Ok(&spec));
+            }
+            Err(err) => prop_assert!(!err.field.is_empty(), "{}", body),
+        }
+    }
+
+    /// Raw bytes — not even JSON — never panic the parser either.
+    #[test]
+    fn hostile_bytes_never_panic_the_parser(
+        bytes in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let body = String::from_utf8_lossy(&bytes);
+        if let Err(err) = parse_spec(&body) {
+            prop_assert!(!err.reason.is_empty());
+        }
+    }
+}
+
+/// The known-bad corpus: every rejection class the schema documents, as
+/// (body, expected offending field). The table is the service's 400
+/// contract — a client can trust the `field` to point at what to fix.
+#[test]
+fn known_bad_specs_are_rejected_with_the_right_field() {
+    let session =
+        |pmd: &str| format!("{{\"pmd_mv\":{pmd},\"soc_mv\":950,\"freq_mhz\":2400,\"minutes\":10}}");
+    let corpus: Vec<(String, &str)> = vec![
+        // NaN / non-finite voltage (JSON has no NaN literal; a null or
+        // string where a number belongs is the wire-side equivalent).
+        (
+            format!("{{\"sessions\":[{}]}}", session("null")),
+            "sessions[0].pmd_mv",
+        ),
+        (
+            format!("{{\"sessions\":[{}]}}", session("\"NaN\"")),
+            "sessions[0].pmd_mv",
+        ),
+        // Zero trials.
+        ("{\"vmin_trials\":0}".to_string(), "vmin_trials"),
+        // Overlapping domains: two sessions at the same operating point.
+        (
+            format!("{{\"sessions\":[{0},{0}]}}", session("940")),
+            "sessions[1]",
+        ),
+        // Out-of-range and off-grid values.
+        ("{\"scale\":0}".to_string(), "scale"),
+        ("{\"scale\":1.5}".to_string(), "scale"),
+        ("{\"scale\":-0.5}".to_string(), "scale"),
+        ("{\"seed\":1.5}".to_string(), "seed"),
+        ("{\"seed\":-1}".to_string(), "seed"),
+        ("{\"seed\":9007199254740994}".to_string(), "seed"),
+        ("{\"jobs\":0}".to_string(), "jobs"),
+        ("{\"jobs\":65}".to_string(), "jobs"),
+        ("{\"resume\":-2}".to_string(), "resume"),
+        // Voltage above nominal, below floor, off the 5 mV step.
+        (
+            format!("{{\"sessions\":[{}]}}", session("985")),
+            "sessions[0]",
+        ),
+        (
+            format!("{{\"sessions\":[{}]}}", session("490")),
+            "sessions[0]",
+        ),
+        (
+            format!("{{\"sessions\":[{}]}}", session("913")),
+            "sessions[0]",
+        ),
+        // Frequency off the PLL grid.
+        (
+            "{\"sessions\":[{\"pmd_mv\":940,\"soc_mv\":950,\"freq_mhz\":1000,\
+             \"minutes\":10}]}"
+                .to_string(),
+            "sessions[0]",
+        ),
+        // Zero-length session, empty schedule, missing field.
+        (
+            "{\"sessions\":[{\"pmd_mv\":940,\"soc_mv\":950,\"freq_mhz\":2400,\
+             \"minutes\":0}]}"
+                .to_string(),
+            "sessions[0].minutes",
+        ),
+        ("{\"sessions\":[]}".to_string(), "sessions"),
+        (
+            "{\"sessions\":[{\"pmd_mv\":940}]}".to_string(),
+            "sessions[0].soc_mv",
+        ),
+        // Mutual exclusion and unknown fields.
+        (
+            format!("{{\"scale\":0.5,\"sessions\":[{}]}}", session("940")),
+            "scale",
+        ),
+        ("{\"sclae\":0.5}".to_string(), "sclae"),
+        // Bad identifiers.
+        ("{\"name\":\"no spaces allowed\"}".to_string(), "name"),
+        ("{\"tenant\":\"\"}".to_string(), "tenant"),
+        // Type confusion at the top level.
+        ("{\"seed\":\"twelve\"}".to_string(), "seed"),
+        ("{\"sessions\":7}".to_string(), "sessions"),
+        ("[1,2,3]".to_string(), "body"),
+        ("not json at all".to_string(), "body"),
+    ];
+    for (body, expected_field) in corpus {
+        let err = parse_spec(&body).expect_err(&format!("must reject: {body}"));
+        assert!(
+            err.field.starts_with(expected_field),
+            "{body}\n  rejected via field `{}` (expected `{expected_field}`): {}",
+            err.field,
+            err.reason
+        );
+    }
+}
+
+/// Good specs from every accepted shape validate and round-trip.
+#[test]
+fn known_good_specs_round_trip() {
+    let corpus = [
+        "{}",
+        "{\"seed\":7}",
+        "{\"name\":\"nightly.sweep-2\",\"tenant\":\"lab_a\",\"scale\":0.25}",
+        "{\"jobs\":8,\"vmin_trials\":500}",
+        "{\"sessions\":[{\"pmd_mv\":940,\"soc_mv\":950,\"freq_mhz\":2400,\
+         \"minutes\":30},{\"pmd_mv\":920,\"soc_mv\":920,\"freq_mhz\":2400,\
+         \"minutes\":30.5}]}",
+        "{\"resume\":3}",
+    ];
+    for body in corpus {
+        let spec = parse_spec(body).unwrap_or_else(|e| panic!("{body}: {e}"));
+        let rendered = spec_to_json(&spec);
+        assert_eq!(
+            parse_spec(&rendered).as_ref(),
+            Ok(&spec),
+            "round-trip changed the spec: {body} -> {rendered}"
+        );
+    }
+}
