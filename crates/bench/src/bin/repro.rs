@@ -17,6 +17,9 @@
 //! repro verify --budget small # statistical verification suite → verdict JSON
 //! repro bench --out BENCH_campaign_throughput.json   # throughput artifact
 //! repro serve --listen 127.0.0.1:8080   # campaign-as-a-service control plane
+//! repro inspect DIR           # offline forensics on a finished run
+//! repro inspect --folded DIR  # collapsed stacks for flamegraph tooling
+//! repro inspect --diff A B    # headline deltas between two runs
 //! ```
 
 use std::io::IsTerminal as _;
@@ -174,7 +177,8 @@ fn parse_args() -> Result<Args, String> {
                      [--seed N] [--out verdict.json] [--telemetry-out DIR]\n       \
                      repro bench [--out bench.json] [--min-secs SECS] [--rows 1,2,4,8]\n       \
                      repro serve [--listen HOST:PORT] [--max-concurrent N] \
-                     [--jobs N] [--state DIR] [--for-secs SECS]"
+                     [--jobs N] [--state DIR] [--for-secs SECS]\n       \
+                     repro inspect [--folded | --diff] [--out PATH] DIR [DIR_B]"
                 );
                 std::process::exit(0);
             }
@@ -419,7 +423,150 @@ fn run_serve(args: &ServeArgs) -> ExitCode {
     }
     control.drain();
     server.shutdown();
+    // With every handler thread joined, the access log and the service
+    // metrics are final and mutually consistent; persisting both lets CI
+    // reconcile the per-request log against the counter totals offline.
+    if let Some(dir) = &args.state {
+        if let Some(log) = server.access_log_jsonl() {
+            let path = Path::new(dir).join("access.jsonl");
+            if let Err(e) = std::fs::write(&path, log) {
+                eprintln!("repro serve: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        let path = Path::new(dir).join("service.prom");
+        let prom = server.metrics_snapshot().render_prometheus();
+        if let Err(e) = std::fs::write(&path, prom) {
+            eprintln!("repro serve: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
     eprintln!("campaign service stopped");
+    ExitCode::SUCCESS
+}
+
+struct InspectArgs {
+    dirs: Vec<String>,
+    folded: bool,
+    diff: bool,
+    out: Option<String>,
+}
+
+fn parse_inspect_args(it: impl Iterator<Item = String>) -> Result<InspectArgs, String> {
+    let mut args = InspectArgs {
+        dirs: Vec::new(),
+        folded: false,
+        diff: false,
+        out: None,
+    };
+    let mut it = it;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--folded" => args.folded = true,
+            "--diff" => args.diff = true,
+            "--out" => {
+                args.out = Some(it.next().ok_or("--out needs a path")?);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro inspect [--folded] [--out PATH] DIR\n       \
+                     repro inspect --diff [--out PATH] DIR_A DIR_B\n\n\
+                     DIR is a --telemetry-out export, a --journal directory, a \
+                     `repro serve` job directory, or a serve --state directory \
+                     (every job-N inside it is inspected)."
+                );
+                std::process::exit(0);
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown inspect argument {other}"));
+            }
+            dir => args.dirs.push(dir.to_string()),
+        }
+    }
+    match (args.diff, args.dirs.len()) {
+        (true, 2) | (false, 1) => Ok(args),
+        (true, n) => Err(format!("--diff needs exactly two directories, got {n}")),
+        (false, n) => Err(format!("inspect needs exactly one directory, got {n}")),
+    }
+}
+
+/// Expands an inspect target: the directory itself when it holds run
+/// artifacts, otherwise its `job-*` children that do (a `repro serve`
+/// state directory).
+fn inspect_targets(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    if serscale_telemetry::inspect::has_artifacts(dir) {
+        return Ok(vec![dir.to_path_buf()]);
+    }
+    let mut jobs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|path| {
+            path.is_dir()
+                && path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("job-"))
+                && serscale_telemetry::inspect::has_artifacts(path)
+        })
+        .collect();
+    jobs.sort();
+    if jobs.is_empty() {
+        return Err(format!(
+            "{}: no run artifacts and no job-* directories with any",
+            dir.display()
+        ));
+    }
+    Ok(jobs)
+}
+
+/// Runs offline forensics: the report (or collapsed stacks, or a diff of
+/// two runs) goes to stdout or `--out`.
+fn run_inspect(args: &InspectArgs) -> ExitCode {
+    let render = || -> Result<String, String> {
+        if args.diff {
+            let single = |dir: &str| {
+                let targets = inspect_targets(Path::new(dir))?;
+                match targets.as_slice() {
+                    [one] => serscale_telemetry::inspect_dir(one),
+                    many => Err(format!(
+                        "{dir}: --diff needs a single run, found {} job directories",
+                        many.len()
+                    )),
+                }
+            };
+            let a = single(&args.dirs[0])?;
+            let b = single(&args.dirs[1])?;
+            return Ok(serscale_telemetry::inspect::render_diff(&a, &b));
+        }
+        let mut out = String::new();
+        for target in inspect_targets(Path::new(&args.dirs[0]))? {
+            let report = serscale_telemetry::inspect_dir(&target)?;
+            out.push_str(&if args.folded {
+                report.folded()
+            } else {
+                report.render()
+            });
+        }
+        Ok(out)
+    };
+    let text = match render() {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("repro inspect: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("repro inspect: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("forensic report written to {path}");
+        }
+        None => print!("{text}"),
+    }
     ExitCode::SUCCESS
 }
 
@@ -545,6 +692,16 @@ fn main() -> ExitCode {
             Ok(a) => run_serve(&a),
             Err(e) => {
                 eprintln!("repro serve: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if raw.peek().map(String::as_str) == Some("inspect") {
+        raw.next();
+        return match parse_inspect_args(raw) {
+            Ok(a) => run_inspect(&a),
+            Err(e) => {
+                eprintln!("repro inspect: {e}");
                 ExitCode::FAILURE
             }
         };

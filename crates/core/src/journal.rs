@@ -648,6 +648,21 @@ fn parse_journal(bytes: &[u8]) -> Result<(Vec<Record>, usize), String> {
     Ok((records, valid))
 }
 
+/// Reads a journal file into its verified records without opening it for
+/// writing — the offline-forensics path (`repro inspect`). Applies the
+/// same torn-tail tolerance as recovery: an unterminated or
+/// digest-failing *final* line is silently dropped, an invalid line
+/// anywhere earlier is corruption.
+///
+/// # Errors
+///
+/// I/O errors reading the file, or a mid-file digest/parse failure.
+pub fn read_journal(path: &Path) -> std::io::Result<Vec<Record>> {
+    let bytes = std::fs::read(path)?;
+    let (records, _valid) = parse_journal(&bytes).map_err(invalid_data)?;
+    Ok(records)
+}
+
 /// Folds the post-header records into per-session histories, validating
 /// ordering against the configuration.
 fn build_recovered(

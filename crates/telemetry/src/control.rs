@@ -42,7 +42,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use serscale_core::campaign::{Campaign, CampaignRunOptions};
 use serscale_core::journal::{config_fingerprint, journal_path, start_or_resume};
@@ -125,6 +125,13 @@ struct JobEntry {
     poison: bool,
     /// Completion sequence number (order across all jobs), once terminal.
     completed_seq: Option<u64>,
+    /// When the job entered the fair queue (host clock; attribution only,
+    /// never part of the deterministic artifacts).
+    queued_at: Instant,
+    /// When a runner dequeued the job, once it has.
+    started_at: Option<Instant>,
+    /// When the job reached a terminal state, once it has.
+    finished_at: Option<Instant>,
 }
 
 struct Shared {
@@ -343,11 +350,20 @@ impl ControlPlane {
                 error: None,
                 poison,
                 completed_seq: None,
+                queued_at: Instant::now(),
+                started_at: None,
+                finished_at: None,
             },
         );
         state.queue.push(&tenant, id);
+        let depth = state.queue.len();
         drop(state);
         self.count("campaigns_submitted_total", &[]);
+        self.count(
+            "tenant_jobs_total",
+            &[("tenant", &tenant), ("phase", "queued")],
+        );
+        fleet_gauge(&self.inner, "queue_depth", &[], depth as f64);
         self.inner.wake.notify_all();
         Ok(id)
     }
@@ -369,13 +385,22 @@ impl ControlPlane {
         match entry.state {
             JobState::Queued => {
                 state.queue.remove(|&queued| queued == id);
+                let depth = state.queue.len();
                 let seq = state.next_completed;
                 state.next_completed += 1;
                 let entry = state.jobs.get_mut(&id).expect("entry present");
                 entry.state = JobState::Cancelled;
                 entry.completed_seq = Some(seq);
+                entry.finished_at = Some(Instant::now());
+                let tenant = entry.spec.tenant.clone();
                 drop(state);
                 self.count("campaigns_completed_total", &[("outcome", "cancelled")]);
+                self.count(
+                    "tenant_jobs_total",
+                    &[("tenant", &tenant), ("phase", "completed")],
+                );
+                fleet_gauge(&self.inner, "queue_depth", &[], depth as f64);
+                refresh_completed_share(&self.inner);
                 self.inner.wake.notify_all();
             }
             JobState::Running => {
@@ -403,7 +428,7 @@ impl ControlPlane {
     /// shape is a superset of the legacy `/campaign` cell, so the alias
     /// can serve it unchanged.
     pub fn status_json(&self, id: u64) -> Option<String> {
-        let (spec, job_state, cancel_requested, sink, journal_dir, resumed, error, seq) = {
+        let (spec, job_state, cancel_requested, sink, journal_dir, resumed, error, seq, stamps) = {
             let state = self.lock();
             let entry = state.jobs.get(&id)?;
             (
@@ -415,6 +440,7 @@ impl ControlPlane {
                 entry.resumed_trials,
                 entry.error.clone(),
                 entry.completed_seq,
+                (entry.queued_at, entry.started_at, entry.finished_at),
             )
         };
         let snapshot = sink.registry().snapshot();
@@ -458,6 +484,43 @@ impl ControlPlane {
             ",\"quarantined_trials\":{}",
             snapshot.counter_total("quarantined_trials", &[])
         ));
+        // Resource attribution: what this campaign cost the service.
+        // Worker busy-seconds come from the pool profile the observer
+        // mirrors into per-worker gauges; wall/queue-wait clocks are host
+        // time (attribution only, never part of the deterministic report).
+        let busy: f64 = snapshot
+            .gauges
+            .iter()
+            .filter(|(key, _)| key.name == "worker_busy_seconds")
+            .map(|(_, v)| *v)
+            .sum();
+        out.push_str(&format!(",\"worker_busy_seconds\":{}", json::number(busy)));
+        let (queued_at, started_at, finished_at) = stamps;
+        let queue_wait = started_at
+            .unwrap_or_else(Instant::now)
+            .saturating_duration_since(queued_at);
+        out.push_str(&format!(
+            ",\"queue_wait_seconds\":{}",
+            json::number(queue_wait.as_secs_f64())
+        ));
+        match started_at {
+            Some(started) => {
+                let end = finished_at.unwrap_or_else(Instant::now);
+                out.push_str(&format!(
+                    ",\"wall_seconds\":{}",
+                    json::number(end.saturating_duration_since(started).as_secs_f64())
+                ));
+            }
+            None => out.push_str(",\"wall_seconds\":null"),
+        }
+        let journal_bytes = journal_dir
+            .as_ref()
+            .and_then(|dir| std::fs::metadata(journal_path(dir)).ok())
+            .map(|meta| meta.len());
+        match journal_bytes {
+            Some(bytes) => out.push_str(&format!(",\"journal_bytes\":{bytes}")),
+            None => out.push_str(",\"journal_bytes\":null"),
+        }
         match seq {
             Some(seq) => out.push_str(&format!(",\"completed_seq\":{seq}")),
             None => out.push_str(",\"completed_seq\":null"),
@@ -525,6 +588,115 @@ impl ControlPlane {
             .jobs
             .get(&id)
             .is_some_and(|entry| entry.state.terminal())
+    }
+
+    /// The job's lifecycle label (`queued`, `running`, `done`, ...), if
+    /// the job exists.
+    pub fn state_label(&self, id: u64) -> Option<&'static str> {
+        self.lock().jobs.get(&id).map(|entry| entry.state.label())
+    }
+
+    /// The tenant that submitted the job, if the job exists. The access
+    /// log uses this to attribute requests touching `/campaigns/{id}`.
+    pub fn tenant_of(&self, id: u64) -> Option<String> {
+        self.lock()
+            .jobs
+            .get(&id)
+            .map(|entry| entry.spec.tenant.clone())
+    }
+
+    /// Jobs currently waiting in the fair queue.
+    pub fn queue_depth(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    /// Tenants with running (or cancelling) jobs and how many each has,
+    /// sorted by tenant — the `/healthz` load-balancer view.
+    pub fn running_by_tenant(&self) -> Vec<(String, u64)> {
+        let state = self.lock();
+        let mut per: BTreeMap<String, u64> = BTreeMap::new();
+        for entry in state.jobs.values() {
+            if matches!(entry.state, JobState::Running | JobState::Cancelling) {
+                *per.entry(entry.spec.tenant.clone()).or_insert(0) += 1;
+            }
+        }
+        per.into_iter().collect()
+    }
+
+    /// The `GET /tenants` document: per-tenant usage totals aggregated
+    /// over every job the service has seen, sorted by tenant. Worker
+    /// busy-seconds and trial counts come from each job's private sink;
+    /// journal bytes from the job directories on disk.
+    pub fn tenants_json(&self) -> String {
+        let jobs: Vec<(String, JobState, Arc<TelemetrySink>, Option<PathBuf>)> = {
+            let state = self.lock();
+            state
+                .jobs
+                .values()
+                .map(|entry| {
+                    (
+                        entry.spec.tenant.clone(),
+                        entry.state,
+                        Arc::clone(&entry.sink),
+                        entry.journal_dir.clone(),
+                    )
+                })
+                .collect()
+        };
+        #[derive(Default)]
+        struct TenantTotals {
+            queued: u64,
+            running: u64,
+            done: u64,
+            cancelled: u64,
+            failed: u64,
+            trials: u64,
+            busy_seconds: f64,
+            journal_bytes: u64,
+        }
+        let mut per: BTreeMap<String, TenantTotals> = BTreeMap::new();
+        for (tenant, job_state, sink, journal_dir) in jobs {
+            let totals = per.entry(tenant).or_default();
+            match job_state {
+                JobState::Queued => totals.queued += 1,
+                JobState::Running | JobState::Cancelling => totals.running += 1,
+                JobState::Done => totals.done += 1,
+                JobState::Cancelled => totals.cancelled += 1,
+                JobState::Failed => totals.failed += 1,
+            }
+            let snapshot = sink.registry().snapshot();
+            totals.trials += snapshot.counter_total("runs_total", &[]);
+            totals.busy_seconds += snapshot
+                .gauges
+                .iter()
+                .filter(|(key, _)| key.name == "worker_busy_seconds")
+                .map(|(_, v)| *v)
+                .sum::<f64>();
+            totals.journal_bytes += journal_dir
+                .as_ref()
+                .and_then(|dir| std::fs::metadata(journal_path(dir)).ok())
+                .map_or(0, |meta| meta.len());
+        }
+        let docs: Vec<String> = per
+            .into_iter()
+            .map(|(tenant, t)| {
+                format!(
+                    "{{\"tenant\":{},\"queued\":{},\"running\":{},\"done\":{},\
+                     \"cancelled\":{},\"failed\":{},\"trials\":{},\
+                     \"worker_busy_seconds\":{},\"journal_bytes\":{}}}",
+                    json::escape(&tenant),
+                    t.queued,
+                    t.running,
+                    t.done,
+                    t.cancelled,
+                    t.failed,
+                    t.trials,
+                    json::number(t.busy_seconds),
+                    t.journal_bytes,
+                )
+            })
+            .collect();
+        format!("[{}]", docs.join(","))
     }
 
     /// Begins a graceful drain: no new submissions are accepted, queued
@@ -609,15 +781,72 @@ impl ControlPlane {
     }
 
     fn count(&self, name: &str, labels: &[(&str, &str)]) {
-        if let Some(sink) = self
-            .inner
-            .metrics
-            .lock()
-            .expect("metrics cell poisoned")
-            .as_ref()
-        {
-            sink.add_counter(name, labels, 1);
+        fleet_count(&self.inner, name, labels, 1);
+    }
+}
+
+/// Bumps a counter on the server-level sink, when one is attached.
+fn fleet_count(inner: &ControlInner, name: &str, labels: &[(&str, &str)], by: u64) {
+    if let Some(sink) = inner
+        .metrics
+        .lock()
+        .expect("metrics cell poisoned")
+        .as_ref()
+    {
+        sink.add_counter(name, labels, by);
+    }
+}
+
+/// Sets a gauge on the server-level sink, when one is attached.
+fn fleet_gauge(inner: &ControlInner, name: &str, labels: &[(&str, &str)], value: f64) {
+    if let Some(sink) = inner
+        .metrics
+        .lock()
+        .expect("metrics cell poisoned")
+        .as_ref()
+    {
+        sink.set_gauge(name, labels, value);
+    }
+}
+
+/// Records a histogram observation on the server-level sink, when one is
+/// attached.
+fn fleet_observe(inner: &ControlInner, name: &str, labels: &[(&str, &str)], value: f64) {
+    if let Some(sink) = inner
+        .metrics
+        .lock()
+        .expect("metrics cell poisoned")
+        .as_ref()
+    {
+        sink.observe_histogram(name, labels, value);
+    }
+}
+
+/// Refreshes the `tenant_completed_share{tenant}` fairness series: each
+/// tenant's fraction of all jobs that have reached a terminal state. A
+/// fair scheduler keeps concurrently-active tenants' shares converging
+/// instead of letting one tenant starve the rest.
+fn refresh_completed_share(inner: &ControlInner) {
+    let shares: Vec<(String, f64)> = {
+        let state = inner.state.lock().expect("control state poisoned");
+        let mut per: BTreeMap<String, u64> = BTreeMap::new();
+        for entry in state.jobs.values() {
+            if entry.state.terminal() {
+                *per.entry(entry.spec.tenant.clone()).or_insert(0) += 1;
+            }
         }
+        let total: u64 = per.values().sum();
+        per.into_iter()
+            .map(|(tenant, n)| (tenant, n as f64 / total.max(1) as f64))
+            .collect()
+    };
+    for (tenant, share) in shares {
+        fleet_gauge(
+            inner,
+            "tenant_completed_share",
+            &[("tenant", &tenant)],
+            share,
+        );
     }
 }
 
@@ -629,23 +858,40 @@ impl Drop for ControlPlane {
 
 fn runner_loop(inner: &Arc<ControlInner>) {
     loop {
-        let job = {
+        let (job, tenant, queue_wait, depth) = {
             let mut state = inner.state.lock().expect("control state poisoned");
             loop {
                 if state.shutdown {
                     return;
                 }
                 if !state.paused {
-                    if let Some((_tenant, id)) = state.queue.pop() {
+                    if let Some((tenant, id)) = state.queue.pop() {
+                        let depth = state.queue.len();
+                        let now = Instant::now();
                         let entry = state.jobs.get_mut(&id).expect("queued job exists");
                         entry.state = JobState::Running;
+                        entry.started_at = Some(now);
+                        let wait = now.saturating_duration_since(entry.queued_at);
                         state.last_started = Some(id);
-                        break id;
+                        break (id, tenant, wait, depth);
                     }
                 }
                 state = inner.wake.wait(state).expect("control state poisoned");
             }
         };
+        fleet_gauge(inner, "queue_depth", &[], depth as f64);
+        fleet_count(
+            inner,
+            "tenant_jobs_total",
+            &[("tenant", &tenant), ("phase", "started")],
+            1,
+        );
+        fleet_observe(
+            inner,
+            "queue_wait_seconds",
+            &[("tenant", &tenant)],
+            queue_wait.as_secs_f64(),
+        );
         run_job(inner, job);
     }
 }
@@ -729,13 +975,33 @@ fn run_job(inner: &Arc<ControlInner>, id: u64) {
             JobOutcome::Failed(format!("campaign panicked: {reason}"))
         }
     };
-    let outcome_label = {
+    // Drop the run's host-side telemetry next to its journal so `repro
+    // inspect` can do offline forensics on service-submitted campaigns
+    // too. Best-effort and observe-only: these files feed no engine path,
+    // and a full disk must not flip a finished campaign to failed.
+    if let Some(dir) = &journal_dir {
+        let _ = std::fs::create_dir_all(dir);
+        let spans = sink.tracer().to_jsonl();
+        if !spans.is_empty() {
+            let _ = std::fs::write(dir.join("spans.jsonl"), spans);
+        }
+        let events = sink.events_jsonl();
+        if !events.is_empty() {
+            let _ = std::fs::write(dir.join("events.jsonl"), events);
+        }
+    }
+    let (outcome_label, tenant, run_seconds, quarantined) = {
         let mut state = inner.state.lock().expect("control state poisoned");
         let seq = state.next_completed;
         state.next_completed += 1;
         let entry = state.jobs.get_mut(&id).expect("running job exists");
         entry.resumed_trials = resumed_trials;
         entry.completed_seq = Some(seq);
+        let now = Instant::now();
+        entry.finished_at = Some(now);
+        let run_seconds = entry.started_at.map_or(0.0, |started| {
+            now.saturating_duration_since(started).as_secs_f64()
+        });
         let label = match outcome {
             JobOutcome::Done(report) => {
                 entry.report = Some(report);
@@ -753,20 +1019,40 @@ fn run_job(inner: &Arc<ControlInner>, id: u64) {
             }
         };
         entry.sink.set_campaign_status(|status| status.done = true);
-        label
+        let quarantined = entry
+            .sink
+            .registry()
+            .snapshot()
+            .counter_total("quarantined_trials", &[]);
+        (label, entry.spec.tenant.clone(), run_seconds, quarantined)
     };
-    if let Some(sink) = inner
-        .metrics
-        .lock()
-        .expect("metrics cell poisoned")
-        .as_ref()
-    {
-        sink.add_counter(
-            "campaigns_completed_total",
-            &[("outcome", outcome_label)],
-            1,
+    fleet_count(
+        inner,
+        "campaigns_completed_total",
+        &[("outcome", outcome_label)],
+        1,
+    );
+    fleet_count(
+        inner,
+        "tenant_jobs_total",
+        &[("tenant", &tenant), ("phase", "completed")],
+        1,
+    );
+    fleet_observe(
+        inner,
+        "job_run_seconds",
+        &[("tenant", &tenant)],
+        run_seconds,
+    );
+    if quarantined > 0 {
+        fleet_count(
+            inner,
+            "tenant_quarantined_trials_total",
+            &[("tenant", &tenant)],
+            quarantined,
         );
     }
+    refresh_completed_share(inner);
     inner.wake.notify_all();
 }
 

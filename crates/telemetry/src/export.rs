@@ -190,6 +190,11 @@ impl TelemetrySink {
         self.shard.counter(name, labels).add(by);
     }
 
+    /// Records one observation into a histogram on the sink's own shard.
+    pub fn observe_histogram(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.shard.histogram(name, labels).observe(value);
+    }
+
     /// Declares the run's total simulated duration for the progress ETA.
     pub fn set_progress_target_sim_secs(&self, secs: f64) {
         self.progress

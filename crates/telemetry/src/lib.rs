@@ -25,6 +25,10 @@
 //!   monitoring plane (`/metrics`, `/healthz`, `/progress`, `/spans`,
 //!   `/campaign`) over the same registry/tracer/progress state, for
 //!   `curl` and Prometheus scrapes of a live run.
+//! - [`inspect`] — offline run forensics: replays `journal.jsonl`,
+//!   `spans.jsonl` and `events.jsonl` into a critical-path / worker
+//!   utilization / exact-quantile report (`repro inspect`), including a
+//!   bit-exact reconstruction of the live busy-time metrics.
 //! - [`progress`] — a rate-limited stderr progress reporter for
 //!   interactive runs (TTY-aware: in-place rewrites on terminals, plain
 //!   periodic lines otherwise; off in CI and golden runs).
@@ -45,6 +49,7 @@
 
 pub mod control;
 pub mod export;
+pub mod inspect;
 pub mod json;
 pub mod metrics;
 pub mod observer;
@@ -54,6 +59,7 @@ pub mod span;
 
 pub use control::{ControlPlane, ControlPlaneOptions};
 pub use export::{TelemetryOptions, TelemetrySink};
+pub use inspect::{inspect_dir, InspectReport};
 pub use metrics::{MetricsSnapshot, Registry};
 pub use observer::TelemetryObserver;
 pub use progress::{Progress, ProgressMode, ProgressSnapshot};

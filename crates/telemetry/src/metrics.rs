@@ -116,6 +116,21 @@ fn help_text(name: &str) -> &'static str {
         "session_sim_seconds" => "Simulated duration of the most recent session at this point.",
         "session_upsets_per_minute" => "Upset-rate estimate of the most recent session.",
         "session_recovery_lost_seconds" => "Recovery time lost in the most recent session.",
+        "http_requests_total" => {
+            "Control-plane HTTP requests, by method, endpoint template and status class."
+        }
+        "http_request_duration_seconds" => "Wall seconds to serve one control-plane HTTP request.",
+        "http_response_bytes_total" => {
+            "Response bytes written by the control plane, by endpoint template."
+        }
+        "queue_depth" => "Jobs waiting in the fair queue right now.",
+        "tenant_jobs_total" => "Per-tenant job lifecycle transitions (queued, started, completed).",
+        "tenant_quarantined_trials_total" => "Trials quarantined across a tenant's completed jobs.",
+        "queue_wait_seconds" => "Seconds a job waited in the fair queue before it started.",
+        "job_run_seconds" => "Wall seconds a job spent running, from dequeue to terminal state.",
+        "tenant_completed_share" => "Fraction of all completed jobs attributed to this tenant.",
+        "campaigns_submitted_total" => "Campaign specs accepted by POST /campaigns.",
+        "campaigns_completed_total" => "Campaigns that reached a terminal state, by outcome.",
         _ => "serscale series (no curated help text).",
     }
 }
@@ -462,12 +477,19 @@ impl MetricsSnapshot {
         }
         for (key, hist) in &self.histograms {
             write_meta(&mut out, &mut seen, &key.name, "histogram");
+            // Standard cumulative exposition: a contiguous bucket prefix
+            // from the smallest bound through the highest occupied bucket
+            // (empty boundaries included, so scrapers can interpolate),
+            // closed by the mandatory `le="+Inf"` bucket equal to _count.
+            let occupied = hist.buckets.iter().rposition(|&n| n != 0);
             let mut cumulative = 0u64;
-            for (i, &n) in hist.buckets.iter().enumerate() {
+            for (i, &n) in hist
+                .buckets
+                .iter()
+                .enumerate()
+                .take(occupied.map_or(0, |last| last + 1))
+            {
                 cumulative += n;
-                if n == 0 {
-                    continue;
-                }
                 let mut labeled = key.clone();
                 labeled.name = format!("{}_bucket", key.name);
                 labeled
@@ -475,6 +497,10 @@ impl MetricsSnapshot {
                     .push(("le".to_string(), format!("{:e}", bucket_upper_bound(i))));
                 let _ = writeln!(out, "{} {cumulative}", labeled.render());
             }
+            let mut inf = key.clone();
+            inf.name = format!("{}_bucket", key.name);
+            inf.labels.push(("le".to_string(), "+Inf".to_string()));
+            let _ = writeln!(out, "{} {}", inf.render(), hist.count);
             let _ = writeln!(
                 out,
                 "{}_sum{} {}",
@@ -614,6 +640,53 @@ mod tests {
             .position(|l| l.starts_with("zz_total"))
             .unwrap();
         assert!(aa < zz);
+    }
+
+    #[test]
+    fn histogram_buckets_render_cumulative_with_inf_terminator() {
+        let registry = Registry::new();
+        let shard = registry.shard();
+        let h = shard.histogram("hh", &[("k", "v")]);
+        // Two occupied buckets with an empty gap between them.
+        h.observe(0.4); // le = 0.5
+        h.observe(0.5); // le = 0.5
+        h.observe(3.0); // le = 4
+        let text = registry.snapshot().render_prometheus();
+        let buckets: Vec<(f64, u64)> = text
+            .lines()
+            .filter(|l| l.starts_with("hh_bucket{"))
+            .map(|l| {
+                let (series, value) = l.rsplit_once(' ').unwrap();
+                let le = series
+                    .split("le=\"")
+                    .nth(1)
+                    .unwrap()
+                    .trim_end_matches("\"}");
+                (le.parse::<f64>().unwrap(), value.parse::<u64>().unwrap())
+            })
+            .collect();
+        // Contiguous prefix from the smallest bound through le=4, then +Inf.
+        assert_eq!(buckets.last(), Some(&(f64::INFINITY, 3)));
+        let finite = &buckets[..buckets.len() - 1];
+        assert_eq!(finite.first().unwrap().0, bucket_upper_bound(0));
+        assert_eq!(finite.last().unwrap(), &(4.0, 3));
+        // Cumulative counts never decrease and bounds strictly increase.
+        for pair in buckets.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "bounds not increasing: {buckets:?}");
+            assert!(pair[0].1 <= pair[1].1, "counts not cumulative: {buckets:?}");
+        }
+        // The empty boundary between 0.5 and 4 is present with the running
+        // cumulative value, so interpolating scrapers see every edge.
+        let at_one = finite.iter().find(|(le, _)| *le == 1.0).unwrap();
+        assert_eq!(at_one.1, 2);
+        assert!(text.contains("hh_count{k=\"v\"} 3"), "{text}");
+        // An empty histogram still renders the +Inf bucket.
+        let empty = Registry::new();
+        let shard = empty.shard();
+        let _ = shard.histogram("ee", &[]);
+        let text = empty.snapshot().render_prometheus();
+        assert!(text.contains("ee_bucket{le=\"+Inf\"} 0"), "{text}");
+        assert!(!text.contains("ee_bucket{le=\"1"), "{text}");
     }
 
     #[test]

@@ -488,6 +488,18 @@ impl SessionObserver for TelemetryObserver {
         state.trial_retries.add(stats.retries);
         state.quarantined_trials.add(stats.quarantined);
         let now = self.tracer.now_ns();
+        // The pool profile rides the span verbatim (exact integer nanos,
+        // one entry per worker) so `repro inspect` can replay the trace
+        // into the same `worker_busy_seconds` / `wave_critical_path`
+        // numbers the live registry shows — attribute data only, the
+        // engine never reads it back.
+        let workers_busy_ns = stats
+            .pool
+            .workers
+            .iter()
+            .map(|w| w.busy_nanos.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
         self.tracer.record_complete(
             SpanLevel::Wave,
             &format!("wave@{}", stats.first_trial),
@@ -500,6 +512,12 @@ impl SessionObserver for TelemetryObserver {
                 ("efficiency", &format!("{:.4}", stats.efficiency())),
                 ("retries", &stats.retries.to_string()),
                 ("quarantined", &stats.quarantined.to_string()),
+                (
+                    "critical_path_ns",
+                    &stats.pool.critical_path_nanos().to_string(),
+                ),
+                ("wall_ns", &stats.pool.wall_nanos.to_string()),
+                ("workers_busy_ns", &workers_busy_ns),
             ],
         );
     }

@@ -64,13 +64,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use serscale_core::journal::SyncProbe;
 
 use crate::control::ControlPlane;
 use crate::json;
-use crate::metrics::Registry;
+use crate::metrics::{Registry, Shard};
 use crate::progress::Progress;
 use crate::span::Tracer;
 
@@ -105,6 +105,115 @@ pub struct CampaignStatus {
     pub done: bool,
 }
 
+/// Service-side request telemetry: the structured JSONL access log, the
+/// per-endpoint registry series and the last-accept stamp `/healthz`
+/// reports. Created by [`MonitorState::with_control`] — the read-only
+/// monitoring plane records nothing, so its `/metrics` stays
+/// byte-identical to the exported `metrics.prom` artifact.
+struct ServiceTelemetry {
+    /// A shard of the *server-level* registry (never a campaign's), so
+    /// the request series ride the existing `/metrics` renderer.
+    shard: Arc<Shard>,
+    /// One wide JSONL event per request, newest last. Every line is
+    /// verified against the in-repo RFC-8259 parser before it lands.
+    log: Mutex<String>,
+    /// Wall-clock seconds of the most recently finished request.
+    last_accept: Mutex<Option<f64>>,
+}
+
+/// One finished request, as the access log and registry see it.
+struct AccessRecord<'a> {
+    tenant: Option<&'a str>,
+    method: &'a str,
+    template: &'static str,
+    status: u16,
+    bytes: usize,
+    micros: u64,
+    campaign: Option<u64>,
+}
+
+impl ServiceTelemetry {
+    fn record(&self, rec: &AccessRecord<'_>) {
+        let unix_s = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0);
+        let mut line = String::from("{");
+        line.push_str(&format!("\"t_unix_s\":{}", json::number(unix_s)));
+        match rec.tenant {
+            Some(tenant) => line.push_str(&format!(",\"tenant\":{}", json::escape(tenant))),
+            None => line.push_str(",\"tenant\":null"),
+        }
+        line.push_str(&format!(",\"method\":{}", json::escape(rec.method)));
+        line.push_str(&format!(",\"path\":{}", json::escape(rec.template)));
+        line.push_str(&format!(",\"status\":{}", rec.status));
+        line.push_str(&format!(",\"bytes\":{}", rec.bytes));
+        line.push_str(&format!(",\"micros\":{}", rec.micros));
+        match rec.campaign {
+            Some(id) => line.push_str(&format!(",\"campaign\":{id}")),
+            None => line.push_str(",\"campaign\":null"),
+        }
+        line.push('}');
+        json::parse(&line).expect("access-log line must be valid JSON");
+        let class = format!("{}xx", rec.status / 100);
+        self.shard
+            .counter(
+                "http_requests_total",
+                &[
+                    ("method", rec.method),
+                    ("path", rec.template),
+                    ("class", &class),
+                ],
+            )
+            .inc();
+        self.shard
+            .histogram(
+                "http_request_duration_seconds",
+                &[("method", rec.method), ("path", rec.template)],
+            )
+            .observe(rec.micros as f64 / 1e6);
+        self.shard
+            .counter("http_response_bytes_total", &[("path", rec.template)])
+            .add(rec.bytes as u64);
+        let mut log = self.log.lock().expect("access log poisoned");
+        log.push_str(&line);
+        log.push('\n');
+        *self.last_accept.lock().expect("last-accept poisoned") = Some(unix_s);
+    }
+}
+
+/// Maps a concrete request path onto its bounded-cardinality endpoint
+/// template, extracting the campaign id when the path names one.
+fn route_template(path: &str) -> (&'static str, Option<u64>) {
+    match path {
+        "/" => ("/", None),
+        "/metrics" => ("/metrics", None),
+        "/healthz" => ("/healthz", None),
+        "/progress" => ("/progress", None),
+        "/spans" => ("/spans", None),
+        "/campaign" => ("/campaign", None),
+        "/campaigns" => ("/campaigns", None),
+        "/tenants" => ("/tenants", None),
+        "/shutdown" => ("/shutdown", None),
+        _ => match path.strip_prefix("/campaigns/") {
+            Some(rest) => {
+                let (id_str, tail) = match rest.split_once('/') {
+                    Some((id, tail)) => (id, Some(tail)),
+                    None => (rest, None),
+                };
+                let id = id_str.parse::<u64>().ok();
+                match tail {
+                    None => ("/campaigns/{id}", id),
+                    Some("report") => ("/campaigns/{id}/report", id),
+                    Some("events") => ("/campaigns/{id}/events", id),
+                    Some(_) => ("(other)", None),
+                }
+            }
+            None => ("(other)", None),
+        },
+    }
+}
+
 /// Everything a request handler may read. Cloning is cheap — the fields
 /// are handles into state owned elsewhere.
 #[derive(Clone)]
@@ -115,6 +224,7 @@ pub struct MonitorState {
     status: Arc<Mutex<CampaignStatus>>,
     probe: Arc<Mutex<Option<SyncProbe>>>,
     control: Option<Arc<ControlPlane>>,
+    service: Option<Arc<ServiceTelemetry>>,
     started: Instant,
 }
 
@@ -136,16 +246,78 @@ impl MonitorState {
             status,
             probe,
             control: None,
+            service: None,
             started: Instant::now(),
         }
     }
 
     /// Attaches a [`ControlPlane`], turning the read-only monitoring
-    /// plane into the campaign service (the `/campaigns` routes above).
+    /// plane into the campaign service (the `/campaigns` routes above)
+    /// and switching on per-request service telemetry: the JSONL access
+    /// log plus `http_*` series in the server-level registry.
     #[must_use]
     pub fn with_control(mut self, control: Arc<ControlPlane>) -> Self {
         self.control = Some(control);
+        self.service = Some(Arc::new(ServiceTelemetry {
+            shard: self.registry.shard(),
+            log: Mutex::new(String::new()),
+            last_accept: Mutex::new(None),
+        }));
         self
+    }
+
+    /// The access log accumulated so far (JSONL, one wide event per
+    /// finished request), or `None` when no control plane is attached.
+    pub fn access_log_jsonl(&self) -> Option<String> {
+        self.service
+            .as_ref()
+            .map(|s| s.log.lock().expect("access log poisoned").clone())
+    }
+
+    /// Records one finished request into the access log and the
+    /// per-endpoint series. `body` is the buffered response body when
+    /// there was one (used to attribute `POST /campaigns` to the job id
+    /// it just created); event streams pass `None` and their streamed
+    /// byte count.
+    fn log_request(
+        &self,
+        method: &str,
+        raw_path: &str,
+        status: u16,
+        bytes: usize,
+        body: Option<&str>,
+        started: Instant,
+    ) {
+        let Some(service) = &self.service else {
+            return;
+        };
+        let method = if method.is_empty() { "-" } else { method };
+        let path = raw_path.split('?').next().unwrap_or(raw_path);
+        let (template, mut campaign) = if method == "-" {
+            ("(bad-request)", None)
+        } else {
+            route_template(path)
+        };
+        if campaign.is_none() && method == "POST" && template == "/campaigns" && status == 202 {
+            campaign = body
+                .and_then(|b| json::parse(b).ok())
+                .and_then(|doc| doc.get("id").and_then(json::JsonValue::as_f64))
+                .map(|id| id as u64);
+        }
+        let tenant = campaign.and_then(|id| {
+            self.control
+                .as_ref()
+                .and_then(|control| control.tenant_of(id))
+        });
+        service.record(&AccessRecord {
+            tenant: tenant.as_deref(),
+            method,
+            template,
+            status,
+            bytes,
+            micros: u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+            campaign,
+        });
     }
 
     fn healthz(&self) -> String {
@@ -172,7 +344,33 @@ impl MonitorState {
             )),
             None => out.push_str(",\"journal_fsync_lag_seconds\":null"),
         }
-        out.push_str(&format!(",\"quarantined_trials\":{quarantined}}}"));
+        out.push_str(&format!(",\"quarantined_trials\":{quarantined}"));
+        // Service-mode depth-of-field: how deep the fair queue is, who is
+        // running, and when the plane last finished a request — enough
+        // for a load balancer to tell idle from wedged.
+        match &self.control {
+            Some(control) => {
+                out.push_str(&format!(",\"queue_depth\":{}", control.queue_depth()));
+                out.push_str(",\"running\":{");
+                for (i, (tenant, n)) in control.running_by_tenant().iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{}:{n}", json::escape(tenant)));
+                }
+                out.push('}');
+            }
+            None => out.push_str(",\"queue_depth\":null,\"running\":null"),
+        }
+        let last_accept = self
+            .service
+            .as_ref()
+            .and_then(|s| *s.last_accept.lock().expect("last-accept poisoned"));
+        match last_accept {
+            Some(t) => out.push_str(&format!(",\"last_accept_unix_s\":{}", json::number(t))),
+            None => out.push_str(",\"last_accept_unix_s\":null"),
+        }
+        out.push('}');
         out
     }
 
@@ -226,7 +424,11 @@ impl MonitorState {
         let path = path.split('?').next().unwrap_or(path);
         // The read-write routes carry their own per-method handling; the
         // legacy monitoring surface below stays GET-only.
-        if path == "/campaigns" || path.starts_with("/campaigns/") || path == "/shutdown" {
+        if path == "/campaigns"
+            || path.starts_with("/campaigns/")
+            || path == "/tenants"
+            || path == "/shutdown"
+        {
             return self.control_routes(method, path, body);
         }
         if method != "GET" {
@@ -251,6 +453,7 @@ impl MonitorState {
                          /campaigns/N          GET status / DELETE to cancel (JSON)\n\
                          /campaigns/N/report   GET the bit-stable report (text)\n\
                          /campaigns/N/events   GET the live event stream (JSONL)\n\
+                         /tenants              GET per-tenant usage totals (JSON)\n\
                          /shutdown             POST to drain the service\n",
                     );
                 }
@@ -302,6 +505,13 @@ impl MonitorState {
                 Response::json("{\"status\":\"draining\"}".to_string())
             } else {
                 method_not_allowed("POST")
+            });
+        }
+        if path == "/tenants" {
+            return Reply::Full(if method == "GET" {
+                Response::json(control.tenants_json())
+            } else {
+                method_not_allowed("GET")
             });
         }
         if path == "/campaigns" {
@@ -506,8 +716,18 @@ fn parse_request(stream: &mut TcpStream) -> Result<Request, String> {
 /// the job's private event buffer and terminates when the job reaches a
 /// terminal state (or at [`EVENT_STREAM_CAP`]). Offsets are previous
 /// buffer lengths and appends are whole lines, so every chunk is valid
-/// UTF-8 ending on a line boundary.
-fn stream_events(stream: &mut TcpStream, state: &MonitorState, id: u64) -> std::io::Result<()> {
+/// UTF-8 ending on a line boundary. The final payload line is always a
+/// `{"event":"stream_end","reason":...}` record naming why the stream
+/// closed (`done`/`cancelled`/`failed` per the job's terminal state,
+/// `cap` at the connection cap, `gone` if the job vanished), so clients
+/// can tell a finished feed from a severed one. `payload_bytes`
+/// accumulates the JSONL bytes streamed, for the access log.
+fn stream_events(
+    stream: &mut TcpStream,
+    state: &MonitorState,
+    id: u64,
+    payload_bytes: &mut usize,
+) -> std::io::Result<()> {
     let control = state
         .control
         .as_ref()
@@ -518,7 +738,10 @@ fn stream_events(stream: &mut TcpStream, state: &MonitorState, id: u64) -> std::
     )?;
     let deadline = Instant::now() + EVENT_STREAM_CAP;
     let mut sent = 0usize;
-    while let Some((events, done)) = control.events_snapshot(id) {
+    let reason = loop {
+        let Some((events, done)) = control.events_snapshot(id) else {
+            break "gone";
+        };
         if events.len() > sent {
             let fresh = &events.as_bytes()[sent..];
             stream.write_all(format!("{:x}\r\n", fresh.len()).as_bytes())?;
@@ -526,12 +749,24 @@ fn stream_events(stream: &mut TcpStream, state: &MonitorState, id: u64) -> std::
             stream.write_all(b"\r\n")?;
             stream.flush()?;
             sent = events.len();
+            *payload_bytes += fresh.len();
         }
-        if done || Instant::now() >= deadline {
-            break;
+        if done {
+            break control.state_label(id).unwrap_or("done");
+        }
+        if Instant::now() >= deadline {
+            break "cap";
         }
         std::thread::sleep(EVENT_POLL);
-    }
+    };
+    let terminal = format!(
+        "{{\"event\":\"stream_end\",\"reason\":{}}}\n",
+        json::escape(reason)
+    );
+    stream.write_all(format!("{:x}\r\n", terminal.len()).as_bytes())?;
+    stream.write_all(terminal.as_bytes())?;
+    stream.write_all(b"\r\n")?;
+    *payload_bytes += terminal.len();
     stream.write_all(b"0\r\n\r\n")?;
     stream.flush()
 }
@@ -539,7 +774,13 @@ fn stream_events(stream: &mut TcpStream, state: &MonitorState, id: u64) -> std::
 fn handle_connection(mut stream: TcpStream, state: &MonitorState) {
     let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
     let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
-    let reply = match parse_request(&mut stream) {
+    let started = Instant::now();
+    let parsed = parse_request(&mut stream);
+    let (method, path) = match &parsed {
+        Ok(request) => (request.method.clone(), request.path.clone()),
+        Err(_) => (String::new(), String::new()),
+    };
+    let reply = match parsed {
         Ok(request) => state.respond(&request.method, &request.path, &request.body),
         Err(reason) => Reply::Full(Response::text(400, &format!("400 bad request\n{reason}\n"))),
     };
@@ -548,9 +789,19 @@ fn handle_connection(mut stream: TcpStream, state: &MonitorState) {
     match reply {
         Reply::Full(response) => {
             let _ = response.write_to(&mut stream);
+            state.log_request(
+                &method,
+                &path,
+                response.status,
+                response.body.len(),
+                Some(&response.body),
+                started,
+            );
         }
         Reply::EventStream(id) => {
-            let _ = stream_events(&mut stream, state, id);
+            let mut payload_bytes = 0usize;
+            let _ = stream_events(&mut stream, state, id, &mut payload_bytes);
+            state.log_request(&method, &path, 200, payload_bytes, None, started);
         }
     }
 }
@@ -564,6 +815,7 @@ pub struct MonitorServer {
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    state: MonitorState,
 }
 
 impl MonitorServer {
@@ -628,12 +880,29 @@ impl MonitorServer {
             stop,
             accept: Some(accept),
             workers,
+            state,
         })
     }
 
     /// The bound address — the real port when bound to `:0`.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The JSONL access log accumulated so far, or `None` when the
+    /// server runs without a control plane (plain monitoring mode keeps
+    /// no request telemetry). Call after [`shutdown`](Self::shutdown) for
+    /// the complete log.
+    pub fn access_log_jsonl(&self) -> Option<String> {
+        self.state.access_log_jsonl()
+    }
+
+    /// A merged snapshot of the registry this server renders on
+    /// `/metrics` — the server-level registry when a control plane is
+    /// attached. Lets the driver export the final service series next to
+    /// the access log without re-scraping itself.
+    pub fn metrics_snapshot(&self) -> crate::metrics::MetricsSnapshot {
+        self.state.registry.snapshot()
     }
 
     /// Stops accepting, drains in-flight requests and joins every thread.

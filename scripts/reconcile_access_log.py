@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Independent reconciliation of the service access log against metrics.
+
+The control-plane CI job drives `repro serve` over HTTP; on shutdown the
+service flushes its structured access log (`access.jsonl`) and a
+Prometheus snapshot of the server-level registry (`service.prom`). This
+script re-derives the request accounting from the raw log with a second
+implementation (Python, not the Rust registry) and demands exact
+agreement:
+
+  * per-(method, path, status-class) log counts == `http_requests_total`
+  * per-path summed response bytes          == `http_response_bytes_total`
+  * per-(method, path) log counts           == latency histogram
+                                               `_bucket{le="+Inf"}` counts
+
+Any disagreement — a dropped log line, a double-counted request, a
+missed byte — exits non-zero and prints both sides.
+
+Usage: reconcile_access_log.py STATE_DIR
+"""
+
+import json
+import re
+import sys
+from collections import Counter
+from pathlib import Path
+
+# Label values may themselves contain braces (path templates like
+# "/campaigns/{id}"), so the label block is matched greedily to the
+# last "}" before the sample value rather than to the first "}".
+SERIES_RE = re.compile(r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(?P<labels>.*)\})? (?P<value>\S+)$')
+LABEL_RE = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"')
+
+REQUIRED_FIELDS = ("t_unix_s", "tenant", "method", "path", "status", "bytes", "micros", "campaign")
+
+
+def parse_prom(text):
+    """Yields (name, {label: value}, float_value) for every sample line."""
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        m = SERIES_RE.match(line)
+        if not m:
+            sys.exit(f"unparseable metrics line: {line!r}")
+        labels = dict(
+            (lm.group("key"), lm.group("value"))
+            for lm in LABEL_RE.finditer(m.group("labels") or "")
+        )
+        yield m.group("name"), labels, float(m.group("value"))
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    state = Path(sys.argv[1])
+    log_path = state / "access.jsonl"
+    prom_path = state / "service.prom"
+
+    requests = Counter()   # (method, path, class) -> n
+    latencies = Counter()  # (method, path) -> n
+    bytes_out = Counter()  # path -> bytes
+    lines = 0
+    for raw in log_path.read_text().splitlines():
+        event = json.loads(raw)
+        missing = [f for f in REQUIRED_FIELDS if f not in event]
+        if missing:
+            sys.exit(f"access event missing {missing}: {raw}")
+        lines += 1
+        cls = f"{event['status'] // 100}xx"
+        requests[(event["method"], event["path"], cls)] += 1
+        latencies[(event["method"], event["path"])] += 1
+        bytes_out[event["path"]] += event["bytes"]
+    if lines == 0:
+        sys.exit("access log is empty — the service served nothing?")
+
+    counters = Counter()   # (method, path, class) -> n
+    hist_inf = Counter()   # (method, path) -> n
+    prom_bytes = Counter() # path -> bytes
+    for name, labels, value in parse_prom(prom_path.read_text()):
+        if name == "http_requests_total":
+            counters[(labels["method"], labels["path"], labels["class"])] += int(value)
+        elif name == "http_response_bytes_total":
+            prom_bytes[labels["path"]] += int(value)
+        elif name == "http_request_duration_seconds_bucket" and labels.get("le") == "+Inf":
+            hist_inf[(labels["method"], labels["path"])] += int(value)
+
+    failures = []
+    for what, log_side, prom_side in (
+        ("http_requests_total", requests, counters),
+        ("http_request_duration_seconds count", latencies, hist_inf),
+        ("http_response_bytes_total", bytes_out, prom_bytes),
+    ):
+        if log_side != prom_side:
+            failures.append(what)
+            only_log = {k: v for k, v in log_side.items() if prom_side.get(k) != v}
+            only_prom = {k: v for k, v in prom_side.items() if log_side.get(k) != v}
+            print(f"MISMATCH {what}:")
+            print(f"  from access.jsonl : {dict(sorted(only_log.items()))}")
+            print(f"  from service.prom : {dict(sorted(only_prom.items()))}")
+
+    if failures:
+        sys.exit(f"reconciliation failed: {', '.join(failures)}")
+    print(
+        f"reconciled {lines} requests across {len(latencies)} endpoints: "
+        "log counts == counters == histogram counts, bytes exact"
+    )
+
+
+if __name__ == "__main__":
+    main()
