@@ -11,7 +11,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("repro");
     group.sample_size(10);
     group.bench_function("table1_spec", |b| {
-        b.iter(|| black_box(serscale_soc::platform::XGene2::new().spec()));
+        b.iter(|| black_box(serscale_soc::PlatformSpec::xgene2().table1()));
     });
     group.finish();
 }

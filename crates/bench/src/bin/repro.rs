@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! repro --all                 # everything, full-scale campaign
+//! repro --platform zynq-mpsoc --golden   # second built-in platform
+//! repro --platform spec.json --headlines # platform from a JSON spec file
 //! repro --table 2             # one table
 //! repro --figure 11           # one figure
 //! repro --scale 0.1 --all     # 10% beam time (fast preview)
@@ -27,26 +29,30 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use serscale_bench::{
-    experiments, run_campaign_jobs, run_campaign_observed, run_campaign_recovering_monitored,
-    GOLDEN_SCALE, REPRO_SEED,
+    experiments, run_platform_campaign_jobs, run_platform_campaign_observed,
+    run_platform_campaign_recovering_monitored, GOLDEN_SCALE, REPRO_SEED,
 };
 use serscale_core::campaign::{Campaign, CampaignConfig, CampaignReport, CampaignRunOptions};
 use serscale_core::journal::SyncProbe;
 use serscale_core::session::RetryPolicy;
 use serscale_core::trace::{tee, Logbook, SessionObserver};
+use serscale_soc::PlatformSpec;
 use serscale_telemetry::{
     ControlPlane, ControlPlaneOptions, ProgressMode, TelemetryOptions, TelemetrySink,
 };
 use serscale_verify::{OracleContext, TrialBudget};
 
-/// Simulated seconds of a full-scale campaign (64.8 beam hours), for the
-/// progress reporter's ETA.
-const FULL_CAMPAIGN_SIM_SECS: f64 = 64.8 * 3600.0;
+/// Simulated seconds of a platform's full-scale campaign (64.8 beam hours
+/// on the paper's X-Gene 2), for the progress reporter's ETA.
+fn full_campaign_sim_secs(platform: &PlatformSpec) -> f64 {
+    platform.campaign.iter().map(|c| c.minutes * 60.0).sum()
+}
 
 struct Args {
     scale: f64,
     seed: u64,
     jobs: usize,
+    platform: Option<String>,
     tables: Vec<u32>,
     figures: Vec<u32>,
     headlines: bool,
@@ -73,6 +79,7 @@ fn parse_args() -> Result<Args, String> {
         scale: 1.0,
         seed: REPRO_SEED,
         jobs: default_jobs(),
+        platform: None,
         tables: Vec::new(),
         figures: Vec::new(),
         headlines: false,
@@ -132,6 +139,9 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--jobs must be at least 1".into());
                 }
             }
+            "--platform" => {
+                args.platform = Some(it.next().ok_or("--platform needs a name or a file")?);
+            }
             "--golden" => args.golden = true,
             "--telemetry-out" => {
                 args.telemetry_out = Some(it.next().ok_or("--telemetry-out needs a directory")?);
@@ -169,7 +179,7 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: repro [--all] [--table N]* [--figure N]* [--headlines] \
                      [--ablations] [--sweep] [--selfcheck] [--golden] [--scale F] \
-                     [--seed N] [--jobs N] [--telemetry-out DIR] \
+                     [--seed N] [--jobs N] [--platform NAME|FILE] [--telemetry-out DIR] \
                      [--journal DIR | --resume DIR] [--trial-timeout SECS] \
                      [--listen HOST:PORT] [--linger SECS] [--no-progress] \
                      [--summary-out PATH]\n       \
@@ -212,6 +222,26 @@ fn parse_args() -> Result<Args, String> {
 struct Discard;
 impl SessionObserver for Discard {}
 
+/// Resolves `--platform`: a built-in name first (`xgene2`, `zynq-mpsoc`),
+/// then a JSON platform-spec file. Schema violations surface the spec
+/// layer's structured field errors verbatim.
+fn resolve_platform(arg: &str) -> Result<PlatformSpec, String> {
+    if let Some(spec) = PlatformSpec::builtin(arg) {
+        return Ok(spec);
+    }
+    let path = Path::new(arg);
+    if path.is_file() {
+        let body = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read platform file {arg}: {e}"))?;
+        return serscale_telemetry::parse_platform(&body)
+            .map_err(|e| format!("platform file {arg}: {e}"));
+    }
+    Err(format!(
+        "unknown platform {arg}: not a built-in ({}) and not a spec file",
+        PlatformSpec::BUILTIN_NAMES.join(", ")
+    ))
+}
+
 /// Runs the analysis campaign through the crash-safe engine path: with a
 /// journal directory the run is journaled (and resumed, if the directory
 /// already holds a matching journal); without one, only the
@@ -222,7 +252,9 @@ impl SessionObserver for Discard {}
 /// of re-simulating (always 0 without a journal). The optional `probe`
 /// lets the monitoring plane watch journal fsync lag; both hooks are
 /// observe-only.
+#[allow(clippy::too_many_arguments)]
 fn run_campaign_robust(
+    spec: &PlatformSpec,
     scale: f64,
     seed: u64,
     jobs: usize,
@@ -232,12 +264,12 @@ fn run_campaign_robust(
     observer: &mut dyn SessionObserver,
 ) -> Result<(CampaignReport, u64), String> {
     match journal_dir {
-        Some(dir) => {
-            run_campaign_recovering_monitored(scale, seed, jobs, retry, dir, probe, observer)
-                .map_err(|e| format!("run journal at {}: {e}", dir.display()))
-        }
+        Some(dir) => run_platform_campaign_recovering_monitored(
+            spec, scale, seed, jobs, retry, dir, probe, observer,
+        )
+        .map_err(|e| format!("run journal at {}: {e}", dir.display())),
         None => {
-            let mut config = CampaignConfig::paper_scaled(scale);
+            let mut config = CampaignConfig::for_platform_scaled(spec, scale);
             config.seed = seed;
             let report = Campaign::new(config).run_recoverable(
                 CampaignRunOptions {
@@ -714,6 +746,18 @@ fn main() -> ExitCode {
         }
     };
 
+    // The platform every campaign of this invocation runs on. The paper's
+    // X-Gene 2 stays the default, so plain invocations are byte-for-byte
+    // what they always were.
+    let platform = match args.platform.as_deref().map(resolve_platform) {
+        None => PlatformSpec::xgene2(),
+        Some(Ok(spec)) => spec,
+        Some(Err(e)) => {
+            eprintln!("repro: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     let needs_campaign = args.headlines
         || args.selfcheck
         || args.summary_out.is_some()
@@ -812,7 +856,7 @@ fn main() -> ExitCode {
         } else {
             (GOLDEN_SCALE, REPRO_SEED)
         };
-        let mut config = CampaignConfig::paper_scaled(fp_scale);
+        let mut config = CampaignConfig::for_platform_scaled(&platform, fp_scale);
         config.seed = fp_seed;
         let fingerprint = serscale_core::journal::config_fingerprint(&config);
         let journal = journal_dir.as_deref().map(|dir| {
@@ -820,7 +864,9 @@ fn main() -> ExitCode {
                 .display()
                 .to_string()
         });
+        let platform_name = platform.name.clone();
         sink.set_campaign_status(|status| {
+            status.platform = Some(platform_name);
             status.config_fingerprint = Some(fingerprint);
             status.journal = journal;
         });
@@ -841,10 +887,11 @@ fn main() -> ExitCode {
         };
         let report = match &sink {
             Some(sink) if !needs_campaign => {
-                sink.set_progress_target_sim_secs(GOLDEN_SCALE * FULL_CAMPAIGN_SIM_SECS);
+                sink.set_progress_target_sim_secs(GOLDEN_SCALE * full_campaign_sim_secs(&platform));
                 let mut observer = tee(&mut trace, sink.observer());
                 if crash_safe {
                     match run_campaign_robust(
+                        &platform,
                         GOLDEN_SCALE,
                         REPRO_SEED,
                         args.jobs,
@@ -863,11 +910,18 @@ fn main() -> ExitCode {
                         }
                     }
                 } else {
-                    run_campaign_observed(GOLDEN_SCALE, REPRO_SEED, args.jobs, &mut observer)
+                    run_platform_campaign_observed(
+                        &platform,
+                        GOLDEN_SCALE,
+                        REPRO_SEED,
+                        args.jobs,
+                        &mut observer,
+                    )
                 }
             }
             _ if crash_safe && !needs_campaign => {
                 match run_campaign_robust(
+                    &platform,
                     GOLDEN_SCALE,
                     REPRO_SEED,
                     args.jobs,
@@ -886,7 +940,7 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            _ => run_campaign_jobs(GOLDEN_SCALE, REPRO_SEED, args.jobs),
+            _ => run_platform_campaign_jobs(&platform, GOLDEN_SCALE, REPRO_SEED, args.jobs),
         };
         print!("{}", serscale_bench::golden_summary(&report));
         golden_report = Some(report);
@@ -894,15 +948,17 @@ fn main() -> ExitCode {
 
     let report = if needs_campaign {
         eprintln!(
-            "running campaign at scale {} (seed {}), ~{:.1} simulated beam hours on {} worker(s)…",
+            "running {} campaign at scale {} (seed {}), ~{:.1} simulated beam hours on {} worker(s)…",
+            platform.name,
             args.scale,
             args.seed,
-            64.8 * args.scale,
+            full_campaign_sim_secs(&platform) / 3600.0 * args.scale,
             args.jobs
         );
         let run = |observer: &mut dyn SessionObserver| {
             if crash_safe {
                 run_campaign_robust(
+                    &platform,
                     args.scale,
                     args.seed,
                     args.jobs,
@@ -913,19 +969,24 @@ fn main() -> ExitCode {
                 )
             } else {
                 Ok((
-                    run_campaign_observed(args.scale, args.seed, args.jobs, observer),
+                    run_platform_campaign_observed(
+                        &platform, args.scale, args.seed, args.jobs, observer,
+                    ),
                     0,
                 ))
             }
         };
         let outcome = match &sink {
             Some(sink) => {
-                sink.set_progress_target_sim_secs(args.scale * FULL_CAMPAIGN_SIM_SECS);
+                sink.set_progress_target_sim_secs(args.scale * full_campaign_sim_secs(&platform));
                 let mut observer = tee(&mut trace, sink.observer());
                 run(&mut observer)
             }
             None if crash_safe => run(&mut Discard),
-            None => Ok((run_campaign_jobs(args.scale, args.seed, args.jobs), 0)),
+            None => Ok((
+                run_platform_campaign_jobs(&platform, args.scale, args.seed, args.jobs),
+                0,
+            )),
         };
         Some(match outcome {
             Ok((report, resumed)) => {

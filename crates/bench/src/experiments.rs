@@ -14,8 +14,8 @@ use serscale_core::fit::{fit_breakdown, sdc_notification_split};
 use serscale_core::session::SessionReport;
 use serscale_core::tradeoff::{power_vs_upsets, savings_vs_susceptibility};
 use serscale_soc::edac::EdacSeverity;
-use serscale_soc::platform::{OperatingPoint, XGene2};
-use serscale_soc::PowerModel;
+use serscale_soc::platform::{OperatingPoint, Platform};
+use serscale_soc::{PlatformSpec, PowerModel};
 use serscale_stats::SimRng;
 use serscale_types::{CacheLevel, Megahertz};
 use serscale_undervolt::{characterize::Characterizer, timing::TimingFailureModel};
@@ -25,7 +25,9 @@ use crate::paper;
 
 /// The modelled chip's SRAM capacity in Mbit, for the Table 2 SER row.
 fn sram_mbit() -> f64 {
-    XGene2::new().total_sram().as_mbit()
+    Platform::from_spec(&PlatformSpec::xgene2())
+        .total_sram()
+        .as_mbit()
 }
 
 fn session(report: &CampaignReport, point: OperatingPoint) -> &SessionReport {
@@ -37,7 +39,7 @@ fn session(report: &CampaignReport, point: OperatingPoint) -> &SessionReport {
 /// Table 1: the platform specification.
 pub fn table1() -> String {
     let mut out = String::from("Table 1 — X-Gene 2 class platform specification\n");
-    for (k, v) in XGene2::new().spec() {
+    for (k, v) in PlatformSpec::xgene2().table1() {
         let _ = writeln!(out, "  {k:<28} {v}");
     }
     out

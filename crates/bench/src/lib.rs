@@ -24,6 +24,7 @@ pub mod throughput;
 use serscale_core::campaign::{Campaign, CampaignConfig, CampaignReport, CampaignRunOptions};
 use serscale_core::journal::start_or_resume;
 use serscale_core::session::RetryPolicy;
+use serscale_soc::PlatformSpec;
 
 /// The default seed used by the `repro` outputs (any seed reproduces the
 /// paper's *shape*; this one is fixed so the committed EXPERIMENTS.md is
@@ -52,7 +53,22 @@ pub fn run_campaign(scale: f64, seed: u64) -> CampaignReport {
 ///
 /// Panics unless `0 < scale ≤ 1` and `jobs > 0`.
 pub fn run_campaign_jobs(scale: f64, seed: u64, jobs: usize) -> CampaignReport {
-    let mut config = CampaignConfig::paper_scaled(scale);
+    run_platform_campaign_jobs(&PlatformSpec::xgene2(), scale, seed, jobs)
+}
+
+/// [`run_campaign_jobs`] on an arbitrary platform: the session schedule,
+/// operating points and device models all come from `spec`.
+///
+/// # Panics
+///
+/// Panics unless `0 < scale ≤ 1` and `jobs > 0`.
+pub fn run_platform_campaign_jobs(
+    spec: &PlatformSpec,
+    scale: f64,
+    seed: u64,
+    jobs: usize,
+) -> CampaignReport {
+    let mut config = CampaignConfig::for_platform_scaled(spec, scale);
     config.seed = seed;
     Campaign::new(config).run_parallel(jobs)
 }
@@ -70,7 +86,22 @@ pub fn run_campaign_observed(
     jobs: usize,
     observer: &mut dyn serscale_core::trace::SessionObserver,
 ) -> CampaignReport {
-    let mut config = CampaignConfig::paper_scaled(scale);
+    run_platform_campaign_observed(&PlatformSpec::xgene2(), scale, seed, jobs, observer)
+}
+
+/// [`run_campaign_observed`] on an arbitrary platform.
+///
+/// # Panics
+///
+/// Panics unless `0 < scale ≤ 1` and `jobs > 0`.
+pub fn run_platform_campaign_observed(
+    spec: &PlatformSpec,
+    scale: f64,
+    seed: u64,
+    jobs: usize,
+    observer: &mut dyn serscale_core::trace::SessionObserver,
+) -> CampaignReport {
+    let mut config = CampaignConfig::for_platform_scaled(spec, scale);
     config.seed = seed;
     Campaign::new(config).run_observed(jobs, observer)
 }
@@ -128,7 +159,44 @@ pub fn run_campaign_recovering_monitored(
     probe: Option<serscale_core::journal::SyncProbe>,
     observer: &mut dyn serscale_core::trace::SessionObserver,
 ) -> std::io::Result<(CampaignReport, u64)> {
-    let mut config = CampaignConfig::paper_scaled(scale);
+    run_platform_campaign_recovering_monitored(
+        &PlatformSpec::xgene2(),
+        scale,
+        seed,
+        jobs,
+        retry,
+        journal_dir,
+        probe,
+        observer,
+    )
+}
+
+/// [`run_campaign_recovering_monitored`] on an arbitrary platform. The
+/// platform is folded into the journal's config fingerprint, so a journal
+/// written for one platform refuses to resume under another.
+///
+/// # Errors
+///
+/// Propagates journal I/O failures; a journal for a *different*
+/// configuration (wrong seed, scale, or platform) is refused rather than
+/// resumed.
+///
+/// # Panics
+///
+/// Panics unless `0 < scale ≤ 1` and `jobs > 0`, or if a journal write
+/// cannot be made durable mid-run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_platform_campaign_recovering_monitored(
+    spec: &PlatformSpec,
+    scale: f64,
+    seed: u64,
+    jobs: usize,
+    retry: RetryPolicy,
+    journal_dir: &std::path::Path,
+    probe: Option<serscale_core::journal::SyncProbe>,
+    observer: &mut dyn serscale_core::trace::SessionObserver,
+) -> std::io::Result<(CampaignReport, u64)> {
+    let mut config = CampaignConfig::for_platform_scaled(spec, scale);
     config.seed = seed;
     let campaign = Campaign::new(config);
     let (mut writer, recovered) = start_or_resume(journal_dir, campaign.config())?;

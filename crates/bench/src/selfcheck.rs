@@ -164,7 +164,9 @@ pub fn run_checks(report: &CampaignReport) -> Vec<Check> {
     });
 
     // --- Table 2 row 10: SER in the published band.
-    let mbit = serscale_soc::platform::XGene2::new().total_sram().as_mbit();
+    let mbit = serscale_soc::platform::Platform::from_spec(&serscale_soc::PlatformSpec::xgene2())
+        .total_sram()
+        .as_mbit();
     let mut ser_ok = true;
     let mut ser_detail = Vec::new();
     for session in &report.sessions {

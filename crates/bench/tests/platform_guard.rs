@@ -1,0 +1,96 @@
+//! Guards for the data-driven platform layer.
+//!
+//! Two invariants live here because they span crates:
+//!
+//! 1. the committed `platforms/*.json` spec files are exactly the
+//!    normalized wire rendering of the built-in specs (so the
+//!    `--platform <file>` quickstart and the CI spec-vs-builtin diff can
+//!    never drift from the code), and
+//! 2. no production code outside `serscale-soc` hardwires the X-Gene 2
+//!    platform type — everything reaches hardware facts through a
+//!    [`PlatformSpec`](serscale_soc::PlatformSpec). `XGene2` stays legal
+//!    inside `serscale-soc` (it *is* the built-in) and inside test
+//!    modules, where it pins the spec path against the historical
+//!    constructors.
+
+use std::path::{Path, PathBuf};
+
+use serscale_soc::PlatformSpec;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn committed_spec_files_match_the_builtins() {
+    for name in PlatformSpec::BUILTIN_NAMES {
+        let spec = PlatformSpec::builtin(name).expect("builtin");
+        let path = workspace_root()
+            .join("platforms")
+            .join(format!("{name}.json"));
+        let body = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{} unreadable ({e}); regenerate with \
+                 `cargo run -p serscale-telemetry --example dump_platforms -- platforms/`",
+                path.display()
+            )
+        });
+        assert_eq!(
+            body,
+            serscale_telemetry::platform_to_json(&spec) + "\n",
+            "{} drifted from the built-in; regenerate with the dump_platforms example",
+            path.display()
+        );
+        let parsed = serscale_telemetry::parse_platform(&body)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(parsed, spec, "{name} file must load back to the built-in");
+    }
+}
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("readable source tree") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Production code up to the first `#[cfg(test)]` marker — the repo
+/// convention puts the test module last in every file.
+fn production_prefix(source: &str) -> &str {
+    source
+        .find("#[cfg(test)]")
+        .map_or(source, |at| &source[..at])
+}
+
+#[test]
+fn no_stray_hardcoded_platform_outside_soc() {
+    let crates = workspace_root().join("crates");
+    let mut offenders = Vec::new();
+    for entry in std::fs::read_dir(&crates).expect("crates/ readable") {
+        let krate = entry.expect("dir entry").path();
+        if krate.file_name().is_some_and(|n| n == "soc") || !krate.join("src").is_dir() {
+            continue;
+        }
+        let mut sources = Vec::new();
+        rust_sources(&krate.join("src"), &mut sources);
+        for path in sources {
+            let source = std::fs::read_to_string(&path).expect("readable source");
+            if production_prefix(&source).contains("XGene2") {
+                offenders.push(path);
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "production code outside serscale-soc hardwires the X-Gene 2 platform \
+         (go through PlatformSpec instead): {offenders:#?}"
+    );
+}

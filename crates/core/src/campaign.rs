@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 
 use serscale_beam::facility::{BeamFacility, BeamPosition};
 use serscale_soc::platform::OperatingPoint;
+use serscale_soc::PlatformSpec;
 use serscale_stats::SimRng;
 use serscale_types::{Flux, Megahertz, Millivolts, SimDuration};
 use serscale_undervolt::{characterize::Characterizer, timing::TimingFailureModel};
@@ -42,6 +43,11 @@ pub struct CampaignConfig {
     pub sessions: Vec<(OperatingPoint, SessionLimits)>,
     /// How the safe Vmin is obtained.
     pub vmin_source: VminSource,
+    /// The platform under test: arrays, rails, Vmin anchors and physics
+    /// all come off this spec, and it is folded into the journal's
+    /// configuration fingerprint so a resume on the wrong platform fails
+    /// cleanly.
+    pub platform: PlatformSpec,
 }
 
 impl CampaignConfig {
@@ -49,11 +55,23 @@ impl CampaignConfig {
     /// sessions of Table 2 replayed as their realized beam-time exposures
     /// (1651 / 1618 / 453 / 165 minutes at 980 / 930 / 920 / 790 mV).
     pub fn paper() -> Self {
-        let minutes = [1651.0, 1618.0, 453.0, 165.0];
-        let sessions = OperatingPoint::CAMPAIGN
-            .into_iter()
-            .zip(minutes)
-            .map(|(p, m)| (p, SessionLimits::time_boxed(SimDuration::from_minutes(m))))
+        Self::for_platform(&PlatformSpec::xgene2())
+    }
+
+    /// A campaign on an arbitrary platform: the spec's own declared
+    /// session schedule under the paper's beam setup. For
+    /// [`PlatformSpec::xgene2`] this is exactly
+    /// [`CampaignConfig::paper`].
+    pub fn for_platform(spec: &PlatformSpec) -> Self {
+        let sessions = spec
+            .campaign
+            .iter()
+            .map(|c| {
+                (
+                    c.point,
+                    SessionLimits::time_boxed(SimDuration::from_minutes(c.minutes)),
+                )
+            })
             .collect();
         CampaignConfig {
             seed: 0x005e_5510_2023,
@@ -61,6 +79,7 @@ impl CampaignConfig {
             position: BeamPosition::halo(BeamPosition::PAPER_HALO_TRANSMISSION),
             sessions,
             vmin_source: VminSource::Paper,
+            platform: spec.clone(),
         }
     }
 
@@ -71,11 +90,21 @@ impl CampaignConfig {
     ///
     /// Panics unless `0 < fraction ≤ 1`.
     pub fn paper_scaled(fraction: f64) -> Self {
+        Self::for_platform_scaled(&PlatformSpec::xgene2(), fraction)
+    }
+
+    /// [`CampaignConfig::for_platform`] with every session time box
+    /// scaled by `fraction`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction ≤ 1`.
+    pub fn for_platform_scaled(spec: &PlatformSpec, fraction: f64) -> Self {
         assert!(
             fraction > 0.0 && fraction <= 1.0,
             "fraction must be in (0, 1]"
         );
-        let mut config = Self::paper();
+        let mut config = Self::for_platform(spec);
         for (_, limits) in &mut config.sessions {
             if let Some(d) = limits.max_duration {
                 limits.max_duration = Some(d * fraction);
@@ -94,6 +123,11 @@ pub struct CampaignReport {
     pub vmins: Vec<(Megahertz, Millivolts)>,
     /// Per-session reports, in configuration order.
     pub sessions: Vec<SessionReport>,
+    /// The platform the campaign ran on (its spec name).
+    pub platform: String,
+    /// The platform's nominal operating point — the baseline of every
+    /// relative figure.
+    pub nominal: OperatingPoint,
 }
 
 impl CampaignReport {
@@ -111,7 +145,7 @@ impl CampaignReport {
     /// The nominal-voltage session (the baseline of every relative
     /// figure), if the campaign ran one.
     pub fn baseline(&self) -> Option<&SessionReport> {
-        self.session_at(OperatingPoint::nominal())
+        self.session_at(self.nominal)
     }
 }
 
@@ -134,17 +168,19 @@ impl Campaign {
 
     /// The safe Vmin for a frequency per the configured source.
     fn vmin_for(&self, root: &SimRng, frequency: Megahertz) -> Millivolts {
+        let platform = &self.config.platform;
         match self.config.vmin_source {
-            VminSource::Paper => DeviceUnderTest::paper_vmin(frequency),
+            VminSource::Paper => platform.vmin_at(frequency),
             VminSource::Characterized { trials } => {
                 let mut rng = root.fork_indexed("vmin", u64::from(frequency.get()));
-                let harness = Characterizer::new(TimingFailureModel::xgene2(), trials);
+                let harness =
+                    Characterizer::new(TimingFailureModel::for_platform(platform), trials);
                 harness
-                    .sweep(&mut rng, frequency)
+                    .sweep_platform(&mut rng, platform, frequency)
                     .safe_vmin()
                     // A sweep that fails immediately at nominal would leave
-                    // no safe level; fall back to the paper's anchor.
-                    .unwrap_or_else(|| DeviceUnderTest::paper_vmin(frequency))
+                    // no safe level; fall back to the spec's anchor rule.
+                    .unwrap_or_else(|| platform.vmin_at(frequency))
             }
         }
     }
@@ -194,7 +230,7 @@ impl Campaign {
                     v
                 }
             };
-            let dut = DeviceUnderTest::xgene2(*point, vmin);
+            let dut = DeviceUnderTest::for_platform(&self.config.platform, *point, vmin);
             let mut session = TestSession::new(dut, flux, *limits);
             let mut rng = root.fork_indexed("session", index as u64);
             sessions.push(run_session(index as u64, &mut session, &mut rng)?);
@@ -203,6 +239,8 @@ impl Campaign {
             flux,
             vmins,
             sessions,
+            platform: self.config.platform.name.clone(),
+            nominal: self.config.platform.nominal_point(),
         })
     }
 
@@ -376,6 +414,48 @@ mod tests {
             .sum();
         // Table 2 durations sum to ~64.8 beam hours.
         assert!((total - 64.78).abs() < 0.1, "total = {total} h");
+    }
+
+    #[test]
+    fn paper_config_is_the_xgene2_platform_config() {
+        assert_eq!(
+            CampaignConfig::paper(),
+            CampaignConfig::for_platform(&PlatformSpec::xgene2())
+        );
+        assert_eq!(CampaignConfig::paper().platform.name, "xgene2");
+    }
+
+    #[test]
+    fn zynq_campaign_runs_end_to_end() {
+        let mut config = CampaignConfig::for_platform_scaled(&PlatformSpec::zynq_mpsoc(), 0.01);
+        config.seed = 21;
+        let campaign = Campaign::new(config);
+        let report = campaign.run();
+        assert_eq!(report.platform, "zynq-mpsoc");
+        assert_eq!(report.sessions.len(), 4);
+        assert!(report.baseline().is_some(), "850 mV baseline resolves");
+        let vmin_1500 = report
+            .vmins
+            .iter()
+            .find(|(f, _)| f.get() == 1500)
+            .map(|(_, v)| *v)
+            .expect("1.5 GHz characterized");
+        assert_eq!(vmin_1500, Millivolts::new(750));
+        // The determinism contract holds off the X-Gene too.
+        assert_eq!(report, campaign.run_parallel(8));
+    }
+
+    #[test]
+    fn zynq_characterized_vmin_stays_on_its_own_rails() {
+        let mut config = CampaignConfig::for_platform_scaled(&PlatformSpec::zynq_mpsoc(), 0.005);
+        config.seed = 22;
+        config.vmin_source = VminSource::Characterized { trials: 50 };
+        let report = Campaign::new(config.clone()).run();
+        for (f, v) in &report.vmins {
+            let anchor = config.platform.vmin_at(*f);
+            assert!(v.get().abs_diff(anchor.get()) <= 5, "{f}: {v} vs {anchor}");
+            assert!(*v >= config.platform.sweep_floor);
+        }
     }
 
     #[test]

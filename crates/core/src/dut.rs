@@ -2,8 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use serscale_soc::platform::{ArrayInstance, OperatingPoint, XGene2};
-use serscale_soc::LogicSusceptibility;
+use serscale_soc::platform::{ArrayInstance, OperatingPoint, Platform};
+use serscale_soc::{LogicSusceptibility, PlatformSpec};
 use serscale_sram::{MbuModel, SoftErrorModel};
 use serscale_types::{CacheLevel, CrossSection, Megahertz, Millivolts, VoltageDomain};
 
@@ -48,6 +48,18 @@ impl DetectionEfficiency {
         }
     }
 
+    /// The efficiencies a platform spec declares. For
+    /// [`PlatformSpec::xgene2`] these are exactly
+    /// [`DetectionEfficiency::calibrated`].
+    pub fn for_platform(spec: &PlatformSpec) -> Self {
+        DetectionEfficiency {
+            tlb: spec.physics.detect_tlb,
+            l1: spec.physics.detect_l1,
+            l2: spec.physics.detect_l2,
+            l3: spec.physics.detect_l3,
+        }
+    }
+
     /// The efficiency for a cache level.
     pub fn for_level(&self, level: CacheLevel) -> f64 {
         match level {
@@ -68,7 +80,7 @@ impl DetectionEfficiency {
 /// entering the Qcrit law is `V/V_domain-nominal`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeviceUnderTest {
-    soc: XGene2,
+    soc: Platform,
     sram_pmd: SoftErrorModel,
     sram_soc: SoftErrorModel,
     mbu_pmd: MbuModel,
@@ -84,26 +96,42 @@ pub struct DeviceUnderTest {
 impl DeviceUnderTest {
     /// Builds the paper's DUT at an operating point, given the
     /// characterized safe Vmin for the point's frequency (920 mV at
-    /// 2.4 GHz, 790 mV at 900 MHz).
+    /// 2.4 GHz, 790 mV at 900 MHz). Equivalent to
+    /// [`DeviceUnderTest::for_platform`] on [`PlatformSpec::xgene2`].
     pub fn xgene2(point: OperatingPoint, vmin: Millivolts) -> Self {
-        let soc_nominal = XGene2::SOC_NOMINAL;
+        Self::for_platform(&PlatformSpec::xgene2(), point, vmin)
+    }
+
+    /// Builds any platform's DUT from its declarative spec: the SRAM and
+    /// MBU physics are instantiated per voltage domain at the spec's rail
+    /// nominals, the logic and detection models come from its physics
+    /// block. For [`PlatformSpec::xgene2`] the result is identical to
+    /// [`DeviceUnderTest::xgene2`].
+    pub fn for_platform(spec: &PlatformSpec, point: OperatingPoint, vmin: Millivolts) -> Self {
+        let physics = &spec.physics;
+        let sram_at = |nominal: Millivolts| {
+            SoftErrorModel::new(
+                CrossSection::cm2(physics.sram_sigma_bit_cm2),
+                nominal,
+                physics.sram_voltage_sensitivity,
+            )
+        };
+        let mbu_at = |nominal: Millivolts| {
+            MbuModel::new(
+                physics.mbu_p_extra,
+                nominal,
+                physics.sram_voltage_sensitivity,
+                physics.mbu_max_cluster,
+            )
+        };
         DeviceUnderTest {
-            soc: XGene2::new(),
-            sram_pmd: SoftErrorModel::tech_28nm(),
-            sram_soc: SoftErrorModel::new(
-                serscale_types::CrossSection::cm2(SoftErrorModel::SIGMA_28NM_NOMINAL_CM2),
-                soc_nominal,
-                SoftErrorModel::DEFAULT_VOLTAGE_SENSITIVITY,
-            ),
-            mbu_pmd: MbuModel::tech_28nm(),
-            mbu_soc: MbuModel::new(
-                MbuModel::DEFAULT_P_EXTRA,
-                soc_nominal,
-                MbuModel::DEFAULT_VOLTAGE_SENSITIVITY,
-                MbuModel::DEFAULT_MAX_CLUSTER,
-            ),
-            logic: LogicSusceptibility::xgene2(),
-            detection: DetectionEfficiency::calibrated(),
+            soc: Platform::from_spec(spec),
+            sram_pmd: sram_at(spec.pmd_rail.nominal),
+            sram_soc: sram_at(spec.soc_rail.nominal),
+            mbu_pmd: mbu_at(spec.pmd_rail.nominal),
+            mbu_soc: mbu_at(spec.soc_rail.nominal),
+            logic: LogicSusceptibility::for_platform(spec),
+            detection: DetectionEfficiency::for_platform(spec),
             point,
             vmin,
         }
@@ -111,20 +139,14 @@ impl DeviceUnderTest {
 
     /// Convenience: the paper's safe Vmin for a frequency (920 mV at
     /// 2.4 GHz, 790 mV at 900 MHz; linear interpolation elsewhere on the
-    /// PLL grid).
+    /// PLL grid), snapped up to the 5 mV regulator grid in exact integer
+    /// arithmetic via [`PlatformSpec::vmin_at`].
     pub fn paper_vmin(frequency: Megahertz) -> Millivolts {
-        let f = f64::from(frequency.get());
-        let mv = 790.0 + (f - 900.0) * (130.0 / 1500.0);
-        // Round up to the 5 mV regulator grid (a safe Vmin must be safe) —
-        // but epsilon-tolerantly: the interpolation accumulates float error,
-        // so an exactly-on-grid value (920 mV at 2.4 GHz comes out as
-        // 920.0000…01) must not be bumped a whole step to 925.
-        let step = f64::from(Millivolts::STEP);
-        Millivolts::new(((mv / step - 1e-9).ceil() * step) as u32)
+        PlatformSpec::xgene2().vmin_at(frequency)
     }
 
     /// The platform model.
-    pub const fn soc(&self) -> &XGene2 {
+    pub const fn soc(&self) -> &Platform {
         &self.soc
     }
 
@@ -226,6 +248,61 @@ mod tests {
             .total_observable_sram_sigma(1.0)
             .event_rate(Flux::per_cm2_s(WORKING_FLUX))
             * 60.0
+    }
+
+    /// Hand-builds the DUT the way the pre-spec constructor did — every
+    /// physics model anchored on the crate calibration constants — so the
+    /// spec-driven path is pinned against the historical construction.
+    fn constructor_built(point: OperatingPoint, vmin: Millivolts) -> DeviceUnderTest {
+        use serscale_soc::platform::XGene2;
+        let soc_nominal = XGene2::SOC_NOMINAL;
+        DeviceUnderTest {
+            soc: XGene2::new(),
+            sram_pmd: SoftErrorModel::tech_28nm(),
+            sram_soc: SoftErrorModel::new(
+                serscale_types::CrossSection::cm2(SoftErrorModel::SIGMA_28NM_NOMINAL_CM2),
+                soc_nominal,
+                SoftErrorModel::DEFAULT_VOLTAGE_SENSITIVITY,
+            ),
+            mbu_pmd: MbuModel::tech_28nm(),
+            mbu_soc: MbuModel::new(
+                MbuModel::DEFAULT_P_EXTRA,
+                soc_nominal,
+                MbuModel::DEFAULT_VOLTAGE_SENSITIVITY,
+                MbuModel::DEFAULT_MAX_CLUSTER,
+            ),
+            logic: LogicSusceptibility::xgene2(),
+            detection: DetectionEfficiency::calibrated(),
+            point,
+            vmin,
+        }
+    }
+
+    #[test]
+    fn spec_built_dut_matches_the_constructor_built_one() {
+        let spec = PlatformSpec::xgene2();
+        for point in OperatingPoint::CAMPAIGN {
+            let vmin = DeviceUnderTest::paper_vmin(point.frequency);
+            assert_eq!(
+                DeviceUnderTest::for_platform(&spec, point, vmin),
+                constructor_built(point, vmin),
+                "{}",
+                point.label()
+            );
+        }
+    }
+
+    #[test]
+    fn zynq_dut_builds_and_scales_with_voltage() {
+        let spec = PlatformSpec::zynq_mpsoc();
+        let nominal = spec.nominal_point();
+        let vmin_pt = spec.campaign[2].point;
+        let at = |p: serscale_soc::platform::OperatingPoint| {
+            DeviceUnderTest::for_platform(&spec, p, spec.vmin_at(p.frequency))
+                .total_observable_sram_sigma(1.0)
+                .as_cm2()
+        };
+        assert!(at(vmin_pt) > at(nominal), "undervolting must raise sigma");
     }
 
     #[test]

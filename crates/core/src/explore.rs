@@ -90,12 +90,13 @@ fn sweep_point(
         .map(|b| b.profile().consume_probability())
         .sum::<f64>()
         / 6.0;
+    let spec = template.soc().spec();
     let mut op = template.operating_point();
     op.pmd = v;
     // The campaign lowered both rails together, capped at the SoC
     // nominal (Table 3).
-    op.soc = Millivolts::new(v.get().min(950));
-    let dut = DeviceUnderTest::xgene2(op, template.vmin());
+    op.soc = Millivolts::new(v.get().min(spec.soc_rail.nominal.get()));
+    let dut = DeviceUnderTest::for_platform(spec, op, template.vmin());
     let upsets_per_minute = dut.total_observable_sram_sigma(1.0).event_rate(beam_flux) * 60.0;
     let sdc_fit = Fit::new(dut.datapath_sigma().fit_at(NYC_SEA_LEVEL_FLUX).get() * mean_consume);
     SweepPoint {

@@ -1277,12 +1277,36 @@ mod tests {
     }
 
     #[test]
+    fn journal_for_a_different_platform_is_refused() {
+        // The platform spec folds into the config fingerprint, so an
+        // X-Gene journal must never silently resume as a Zynq run.
+        let dir = temp_dir("platform-mismatch");
+        let (writer, _) = start_or_resume(&dir, &config()).unwrap();
+        drop(writer);
+        let mut zynq =
+            CampaignConfig::for_platform_scaled(&serscale_soc::PlatformSpec::zynq_mpsoc(), 0.001);
+        zynq.seed = 7;
+        let err = start_or_resume(&dir, &zynq).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("does not match"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn fingerprint_tracks_the_configuration() {
         let a = config_fingerprint(&config());
         assert_eq!(a, config_fingerprint(&config()), "deterministic");
         let mut scaled = config();
         scaled.sessions.truncate(2);
         assert_ne!(a, config_fingerprint(&scaled));
+        // A different platform alone moves the fingerprint too.
+        let zynq =
+            CampaignConfig::for_platform_scaled(&serscale_soc::PlatformSpec::zynq_mpsoc(), 0.001);
+        assert_ne!(config_fingerprint(&config()), {
+            let mut z = zynq;
+            z.seed = 7;
+            config_fingerprint(&z)
+        });
     }
 
     #[test]

@@ -19,8 +19,8 @@
 use serde::{Deserialize, Serialize};
 
 use serscale_soc::dvfs::DvfsTable;
-use serscale_soc::platform::{OperatingPoint, XGene2};
-use serscale_soc::PowerModel;
+use serscale_soc::platform::OperatingPoint;
+use serscale_soc::{PlatformSpec, PowerModel};
 use serscale_types::{Fit, Megahertz, Millivolts, Watts, NYC_SEA_LEVEL_FLUX};
 
 use crate::dut::DeviceUnderTest;
@@ -63,8 +63,14 @@ impl PolicyRow {
 /// `margin_steps` is how many 5 mV regulator steps above the characterized
 /// Vmin the harvested point sits (Design implication #2 argues for ≥ 2).
 pub fn compare_policies(margin_steps: u32) -> Vec<PolicyRow> {
-    let table = DvfsTable::xgene2();
-    let power_model = PowerModel::xgene2();
+    compare_policies_for(&PlatformSpec::xgene2(), margin_steps)
+}
+
+/// [`compare_policies`] on an arbitrary platform: the DVFS table, power
+/// model, Vmin anchors and rail caps all come from the spec.
+pub fn compare_policies_for(spec: &PlatformSpec, margin_steps: u32) -> Vec<PolicyRow> {
+    let table = DvfsTable::for_platform(spec);
+    let power_model = PowerModel::for_platform(spec);
     let mean_consume: f64 = serscale_workload::Benchmark::ALL
         .iter()
         .map(|b| b.profile().consume_probability())
@@ -76,21 +82,23 @@ pub fn compare_policies(margin_steps: u32) -> Vec<PolicyRow> {
         .iter()
         .map(|state| {
             let frequency = state.frequency;
-            let vmin = DeviceUnderTest::paper_vmin(frequency);
+            let vmin = spec.vmin_at(frequency);
             let harvested_voltage = vmin.stepped_up(margin_steps);
-            let dvfs_point = state.operating_point();
+            let dvfs_point = table
+                .operating_point_at(frequency)
+                .expect("state comes from its own table");
             let harvested_point = OperatingPoint {
                 pmd: harvested_voltage,
-                soc: Millivolts::new(harvested_voltage.get().min(XGene2::SOC_NOMINAL.get())),
+                soc: Millivolts::new(harvested_voltage.get().min(spec.soc_rail.nominal.get())),
                 frequency,
             };
             let sdc_fit = |point: OperatingPoint| {
-                let dut = DeviceUnderTest::xgene2(point, vmin);
+                let dut = DeviceUnderTest::for_platform(spec, point, vmin);
                 Fit::new(dut.datapath_sigma().fit_at(NYC_SEA_LEVEL_FLUX).get() * mean_consume)
             };
             PolicyRow {
                 frequency,
-                performance: frequency.ratio_to(Megahertz::new(2400)),
+                performance: frequency.ratio_to(spec.freq_max),
                 dvfs_voltage: state.voltage,
                 dvfs_power: power_model.total_power(dvfs_point),
                 harvested_voltage,
@@ -168,6 +176,27 @@ mod tests {
             on_cliff.ser_price(),
             with_margin.ser_price()
         );
+    }
+
+    #[test]
+    fn zynq_policies_ride_their_own_grid() {
+        let spec = PlatformSpec::zynq_mpsoc();
+        let rows = compare_policies_for(&spec, 2);
+        let top = rows.last().expect("non-empty grid");
+        assert_eq!(top.frequency, spec.freq_max);
+        assert!((top.performance - 1.0).abs() < 1e-12);
+        for row in &rows {
+            assert!(
+                row.harvested_voltage <= spec.pmd_rail.nominal,
+                "{}: harvested {} above the Zynq rail",
+                row.frequency,
+                row.harvested_voltage
+            );
+            assert!(
+                row.harvested_power < row.dvfs_power || row.harvested_voltage == row.dvfs_voltage
+            );
+            assert!(row.ser_price() >= 1.0);
+        }
     }
 
     #[test]

@@ -15,7 +15,8 @@
 //! configuration the `repro` CLI builds, so a campaign run through the
 //! control plane is bit-identical to the same spec run solo.
 
-use serscale_soc::platform::{OperatingPoint, XGene2};
+use serscale_soc::platform::OperatingPoint;
+use serscale_soc::PlatformSpec;
 use serscale_types::{Megahertz, Millivolts, SimDuration};
 
 use crate::campaign::{CampaignConfig, VminSource};
@@ -52,6 +53,9 @@ pub struct RawCampaignSpec {
     /// Id of a cancelled control-plane job whose journal this submission
     /// resumes (integer ≥ 0).
     pub resume: Option<f64>,
+    /// Built-in platform to run on (see
+    /// [`PlatformSpec::BUILTIN_NAMES`]); omitted means the X-Gene 2.
+    pub platform: Option<String>,
 }
 
 /// One session of an explicit schedule, as raw wire-side numbers.
@@ -113,6 +117,8 @@ pub struct CampaignSpec {
     pub sessions: Option<Vec<(OperatingPoint, SessionLimits)>>,
     /// Cancelled job id to resume, if any.
     pub resume: Option<u64>,
+    /// The platform the campaign runs on.
+    pub platform: PlatformSpec,
 }
 
 impl CampaignSpec {
@@ -128,9 +134,9 @@ impl CampaignSpec {
     /// plane reports byte-comparable to solo runs.
     pub fn config(&self) -> CampaignConfig {
         let mut config = match &self.sessions {
-            None => CampaignConfig::paper_scaled(self.scale),
+            None => CampaignConfig::for_platform_scaled(&self.platform, self.scale),
             Some(sessions) => {
-                let mut config = CampaignConfig::paper();
+                let mut config = CampaignConfig::for_platform(&self.platform);
                 config.sessions = sessions.clone();
                 config
             }
@@ -237,8 +243,20 @@ impl TryFrom<RawCampaignSpec> for CampaignSpec {
             )? as u32),
             None => None,
         };
+        let platform = match &raw.platform {
+            Some(name) => PlatformSpec::builtin(name).ok_or_else(|| {
+                SpecError::new(
+                    "platform",
+                    format!(
+                        "{name:?} is not a built-in platform; known platforms: {}",
+                        PlatformSpec::BUILTIN_NAMES.join(", ")
+                    ),
+                )
+            })?,
+            None => PlatformSpec::xgene2(),
+        };
         let sessions = match &raw.sessions {
-            Some(list) => Some(validated_sessions(list)?),
+            Some(list) => Some(validated_sessions(list, &platform)?),
             None => None,
         };
         let resume = match raw.resume {
@@ -260,12 +278,14 @@ impl TryFrom<RawCampaignSpec> for CampaignSpec {
             vmin_trials,
             sessions,
             resume,
+            platform,
         })
     }
 }
 
 fn validated_sessions(
     list: &[RawSessionSpec],
+    platform: &PlatformSpec,
 ) -> Result<Vec<(OperatingPoint, SessionLimits)>, SpecError> {
     if list.is_empty() {
         return Err(SpecError::new(
@@ -279,35 +299,47 @@ fn validated_sessions(
             format!("{} sessions exceed the 16-session cap", list.len()),
         ));
     }
-    let die = XGene2::new();
+    let pmd_hint = format!(
+        "PMD voltages are whole millivolts between {} and the {} nominal",
+        platform.pmd_rail.floor, platform.pmd_rail.nominal
+    );
+    let soc_hint = format!(
+        "SoC voltages are whole millivolts between {} and the {} nominal",
+        platform.soc_rail.floor, platform.soc_rail.nominal
+    );
+    let freq_hint = format!(
+        "frequencies sit on the {} PLL grid up to {}",
+        Megahertz::new(Megahertz::STEP),
+        platform.freq_max
+    );
     let mut sessions = Vec::with_capacity(list.len());
     for (at, raw) in list.iter().enumerate() {
         let point = OperatingPoint {
             pmd: Millivolts::new(integer_in(
                 &format!("sessions[{at}].pmd_mv"),
                 raw.pmd_mv,
-                500.0,
-                980.0,
-                "PMD voltages are whole millivolts between 500 mV and the 980 mV nominal",
+                f64::from(platform.pmd_rail.floor.get()),
+                f64::from(platform.pmd_rail.nominal.get()),
+                &pmd_hint,
             )? as u32),
             soc: Millivolts::new(integer_in(
                 &format!("sessions[{at}].soc_mv"),
                 raw.soc_mv,
-                500.0,
-                950.0,
-                "SoC voltages are whole millivolts between 500 mV and the 950 mV nominal",
+                f64::from(platform.soc_rail.floor.get()),
+                f64::from(platform.soc_rail.nominal.get()),
+                &soc_hint,
             )? as u32),
             frequency: Megahertz::new(integer_in(
                 &format!("sessions[{at}].freq_mhz"),
                 raw.freq_mhz,
-                300.0,
-                2400.0,
-                "frequencies sit on the 300 MHz PLL grid up to 2.4 GHz",
+                f64::from(platform.freq_min.get()),
+                f64::from(platform.freq_max.get()),
+                &freq_hint,
             )? as u32),
         };
         // The regulator/PLL constraints of §3.1 (5 mV step, 300 MHz
         // grid) are the platform's own validation.
-        if let Err(e) = die.validate(point) {
+        if let Err(e) = platform.validate_point(point) {
             return Err(SpecError::new(format!("sessions[{at}]"), e.to_string()));
         }
         if !raw.minutes.is_finite() || raw.minutes <= 0.0 || raw.minutes > 10_000.0 {
@@ -395,6 +427,68 @@ mod tests {
             config.sessions[1].1.max_duration,
             Some(SimDuration::from_minutes(5.0))
         );
+    }
+
+    #[test]
+    fn default_platform_is_the_xgene2() {
+        let spec = CampaignSpec::try_from(RawCampaignSpec::default()).expect("valid");
+        assert_eq!(spec.platform, PlatformSpec::xgene2());
+    }
+
+    #[test]
+    fn zynq_platform_spec_builds_its_own_campaign() {
+        let raw = RawCampaignSpec {
+            platform: Some("zynq-mpsoc".into()),
+            scale: Some(0.01),
+            ..Default::default()
+        };
+        let spec = CampaignSpec::try_from(raw).expect("valid");
+        assert_eq!(spec.platform.name, "zynq-mpsoc");
+        let mut expected = CampaignConfig::for_platform_scaled(&PlatformSpec::zynq_mpsoc(), 0.01);
+        expected.seed = spec.seed;
+        assert_eq!(spec.config(), expected);
+    }
+
+    #[test]
+    fn unknown_platform_is_rejected_with_the_known_names() {
+        let raw = RawCampaignSpec {
+            platform: Some("epyc".into()),
+            ..Default::default()
+        };
+        let err = CampaignSpec::try_from(raw).expect_err("unknown platform rejected");
+        assert_eq!(err.field, "platform");
+        assert!(err.reason.contains("xgene2"), "{err}");
+        assert!(err.reason.contains("zynq-mpsoc"), "{err}");
+    }
+
+    #[test]
+    fn session_bounds_follow_the_selected_platform() {
+        // 980 mV is the X-Gene nominal but sits above the Zynq 850 mV rail.
+        let session = RawSessionSpec {
+            pmd_mv: 980.0,
+            soc_mv: 850.0,
+            freq_mhz: 1500.0,
+            minutes: 5.0,
+        };
+        let raw = RawCampaignSpec {
+            platform: Some("zynq-mpsoc".into()),
+            sessions: Some(vec![session.clone()]),
+            ..Default::default()
+        };
+        let err = CampaignSpec::try_from(raw).expect_err("overvolt rejected");
+        assert_eq!(err.field, "sessions[0].pmd_mv");
+        assert!(err.reason.contains("850 mV nominal"), "{err}");
+        // The same point is legal on its own rails at 850 mV.
+        let raw = RawCampaignSpec {
+            platform: Some("zynq-mpsoc".into()),
+            sessions: Some(vec![RawSessionSpec {
+                pmd_mv: 850.0,
+                ..session
+            }]),
+            ..Default::default()
+        };
+        let spec = CampaignSpec::try_from(raw).expect("valid zynq session");
+        assert_eq!(spec.config().sessions.len(), 1);
     }
 
     #[test]

@@ -9,16 +9,18 @@
 //! when performance matters).
 //!
 //! The table assigns each PLL step its conservative nominal voltage on a
-//! linear V/f rule anchored at the chip's specified corners (980 mV @
-//! 2.4 GHz) with a retention-ish floor for the slowest states. The
-//! characterized *safe* voltage at each frequency sits well below the
-//! DVFS nominal — that gap is the guardband of §4.1.
+//! linear V/f rule anchored at the platform's specified corners (for the
+//! X-Gene 2, 980 mV @ 2.4 GHz) with a retention-ish floor for the slowest
+//! states, both read from the [`PlatformSpec`]. The characterized *safe*
+//! voltage at each frequency sits well below the DVFS nominal — that gap
+//! is the guardband of §4.1.
 
 use serde::{Deserialize, Serialize};
 
 use serscale_types::{Megahertz, Millivolts};
 
-use crate::platform::{OperatingPoint, XGene2};
+use crate::platform::OperatingPoint;
+use crate::spec::PlatformSpec;
 
 /// One DVFS performance state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -30,53 +32,70 @@ pub struct PState {
 }
 
 impl PState {
-    /// The operating point DVFS would set for this state (SoC rail at its
-    /// nominal; DVFS never scales the SoC domain on this platform).
-    pub fn operating_point(&self) -> OperatingPoint {
+    /// The operating point DVFS would set for this state, given the SoC
+    /// rail nominal (DVFS never scales the SoC domain on the modelled
+    /// platforms).
+    pub fn operating_point_with(&self, soc_nominal: Millivolts) -> OperatingPoint {
         OperatingPoint {
             pmd: self.voltage,
-            soc: XGene2::SOC_NOMINAL,
+            soc: soc_nominal,
             frequency: self.frequency,
         }
     }
+
+    /// The operating point DVFS would set for this state on the X-Gene 2
+    /// (SoC rail at its 950 mV nominal). Platform-aware callers should
+    /// use [`PState::operating_point_with`] or
+    /// [`DvfsTable::operating_point_at`].
+    pub fn operating_point(&self) -> OperatingPoint {
+        self.operating_point_with(Millivolts::new(950))
+    }
 }
 
-/// The platform's DVFS table: 300 MHz → 2.4 GHz in 300 MHz steps.
+/// A platform's DVFS table: every PLL grid step from the spec's minimum
+/// to its maximum frequency.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DvfsTable {
     states: Vec<PState>,
+    soc_nominal: Millivolts,
 }
 
 impl DvfsTable {
-    /// The voltage floor of the slowest states (retention + margin).
-    const FLOOR_MV: u32 = 850;
-    /// Linear V/f slope above the floor region, in mV per MHz.
-    const SLOPE_MV_PER_MHZ: f64 = 130.0 / 1500.0;
-
-    /// Builds the default table: 8 P-states on the PLL grid, nominal
-    /// voltage linear in frequency, clamped to the floor, top state at
-    /// the 980 mV chip nominal.
-    pub fn xgene2() -> Self {
-        let states = (1..=8u32)
+    /// Builds a platform's table: one P-state per PLL grid step, nominal
+    /// voltage linear in frequency with slope `(Vnom − floor) / (f_max −
+    /// f_lowanchor)`, clamped to the spec's DVFS floor, top state at the
+    /// PMD rail nominal.
+    pub fn for_platform(spec: &PlatformSpec) -> Self {
+        let nominal = f64::from(spec.pmd_rail.nominal.get());
+        let floor = f64::from(spec.dvfs_floor.get());
+        let f_max = f64::from(spec.freq_max.get());
+        let f_anchor = f64::from(spec.vmin.low_freq.get());
+        let slope = (nominal - floor) / (f_max - f_anchor);
+        let steps = spec.freq_min.get() / Megahertz::STEP..=spec.freq_max.get() / Megahertz::STEP;
+        let states = steps
             .map(|i| {
                 let frequency = Megahertz::new(i * Megahertz::STEP);
-                DvfsTable { states: vec![] }.nominal_voltage_rule(frequency)
+                let raw = nominal - (f_max - f64::from(frequency.get())) * slope;
+                let clamped = raw.max(floor);
+                // Snap up to the 5 mV regulator grid (nominal must be
+                // safe).
+                let step = f64::from(Millivolts::STEP);
+                let mv = ((clamped / step).ceil() * step) as u32;
+                PState {
+                    frequency,
+                    voltage: Millivolts::new(mv),
+                }
             })
             .collect();
-        DvfsTable { states }
+        DvfsTable {
+            states,
+            soc_nominal: spec.soc_rail.nominal,
+        }
     }
 
-    fn nominal_voltage_rule(&self, frequency: Megahertz) -> PState {
-        let f = f64::from(frequency.get());
-        let raw = 980.0 - (2400.0 - f) * Self::SLOPE_MV_PER_MHZ;
-        let clamped = raw.max(f64::from(Self::FLOOR_MV));
-        // Snap up to the 5 mV regulator grid (nominal must be safe).
-        let step = f64::from(Millivolts::STEP);
-        let mv = ((clamped / step).ceil() * step) as u32;
-        PState {
-            frequency,
-            voltage: Millivolts::new(mv),
-        }
+    /// The X-Gene 2 table: 8 P-states, 300 MHz → 2.4 GHz.
+    pub fn xgene2() -> Self {
+        Self::for_platform(&PlatformSpec::xgene2())
     }
 
     /// All P-states, slowest first.
@@ -95,6 +114,13 @@ impl DvfsTable {
     /// The DVFS nominal voltage for a grid frequency.
     pub fn nominal_voltage(&self, frequency: Megahertz) -> Option<Millivolts> {
         self.state_at(frequency).map(|s| s.voltage)
+    }
+
+    /// The full operating point DVFS would set at a grid frequency, with
+    /// the SoC rail at the platform's nominal.
+    pub fn operating_point_at(&self, frequency: Megahertz) -> Option<OperatingPoint> {
+        self.state_at(frequency)
+            .map(|s| s.operating_point_with(self.soc_nominal))
     }
 
     /// The guardband DVFS leaves on the table at a frequency: the gap
@@ -117,6 +143,7 @@ impl Default for DvfsTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::platform::XGene2;
 
     fn table() -> DvfsTable {
         DvfsTable::xgene2()
@@ -177,6 +204,23 @@ mod tests {
         let soc = XGene2::new();
         for s in table().states() {
             soc.validate(s.operating_point())
+                .unwrap_or_else(|e| panic!("{}: {e}", s.frequency));
+        }
+    }
+
+    #[test]
+    fn zynq_table_spans_its_own_grid() {
+        let spec = PlatformSpec::zynq_mpsoc();
+        let t = DvfsTable::for_platform(&spec);
+        assert_eq!(t.states().len(), 5); // 300 MHz → 1.5 GHz
+        assert_eq!(
+            t.nominal_voltage(Megahertz::new(1500)),
+            Some(Millivolts::new(850))
+        );
+        let soc = crate::platform::Platform::from_spec(&spec);
+        for s in t.states() {
+            let point = t.operating_point_at(s.frequency).unwrap();
+            soc.validate(point)
                 .unwrap_or_else(|e| panic!("{}: {e}", s.frequency));
         }
     }

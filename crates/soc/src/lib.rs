@@ -3,10 +3,15 @@
 //! A structural model of the X-Gene-2-class multicore server SoC the paper
 //! irradiated (Table 1, Figure 1):
 //!
-//! * [`platform`] — the die: 8 Armv8 cores in 4 dual-core PMDs, per-core
-//!   parity-protected L1I/L1D and TLBs, per-pair SECDED L2, shared SECDED
-//!   L3, two scalable voltage domains (PMD from 980 mV, SoC from 950 mV,
-//!   5 mV steps) and per-PMD frequency (300–2400 MHz in 300 MHz steps).
+//! * [`spec`] — declarative platform descriptions: the validated
+//!   [`spec::PlatformSpec`] schema (arrays, rails, grids, campaign points,
+//!   physics calibration) with the X-Gene 2 and a Zynq UltraScale+ MPSoC
+//!   profile built in.
+//! * [`platform`] — the die built from a spec: for the X-Gene 2, 8 Armv8
+//!   cores in 4 dual-core PMDs, per-core parity-protected L1I/L1D and
+//!   TLBs, per-pair SECDED L2, shared SECDED L3, two scalable voltage
+//!   domains (PMD from 980 mV, SoC from 950 mV, 5 mV steps) and per-PMD
+//!   frequency (300–2400 MHz in 300 MHz steps).
 //! * [`power`] — the package power model `P = Σ(dyn·(V/V₀)²·(f/f₀) +
 //!   static·(V/V₀))` per domain, least-squares calibrated against the four
 //!   operating points Figure 9 reports (max residual 0.25 W).
@@ -45,12 +50,14 @@ pub mod logic;
 pub mod platform;
 pub mod power;
 pub mod slimpro;
+pub mod spec;
 pub mod thermal;
 
 pub use dvfs::{DvfsTable, PState};
 pub use edac::{EdacLog, EdacRecord, EdacSeverity};
 pub use logic::LogicSusceptibility;
-pub use platform::{OperatingPoint, XGene2};
+pub use platform::{OperatingPoint, Platform, XGene2};
 pub use power::PowerModel;
 pub use slimpro::SlimPro;
+pub use spec::{PlatformSpec, RawPlatformSpec, SpecError};
 pub use thermal::ThermalModel;

@@ -42,6 +42,8 @@ use serde::{Deserialize, Serialize};
 
 use serscale_types::{CrossSection, Megahertz, Millivolts};
 
+use crate::spec::PlatformSpec;
+
 /// The unprotected-logic susceptibility model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LogicSusceptibility {
@@ -95,6 +97,24 @@ impl LogicSusceptibility {
             margin_tau_mv: Self::DEFAULT_MARGIN_TAU_MV,
             frequency_gamma: Self::DEFAULT_FREQUENCY_GAMMA,
             nominal_frequency: Megahertz::new(2400),
+        }
+    }
+
+    /// Builds a model from a platform spec's logic-physics block,
+    /// anchored at the spec's PMD rail nominal and maximum frequency.
+    ///
+    /// For [`PlatformSpec::xgene2`] this is identical to
+    /// [`LogicSusceptibility::xgene2`].
+    pub fn for_platform(spec: &PlatformSpec) -> Self {
+        LogicSusceptibility {
+            sigma_ctrl_nominal: CrossSection::cm2(spec.physics.logic_sigma_ctrl_cm2),
+            sigma_data_nominal: CrossSection::cm2(spec.physics.logic_sigma_data_cm2),
+            nominal_voltage: spec.pmd_rail.nominal,
+            voltage_sensitivity: spec.physics.logic_voltage_sensitivity,
+            amplification: spec.physics.logic_amplification,
+            margin_tau_mv: spec.physics.logic_margin_tau_mv,
+            frequency_gamma: spec.physics.logic_frequency_gamma,
+            nominal_frequency: spec.freq_max,
         }
     }
 
@@ -230,6 +250,14 @@ mod tests {
         let at = l.margin_amplification(Millivolts::new(900), F24, VMIN24);
         let at_vmin = l.margin_amplification(VMIN24, F24, VMIN24);
         assert_eq!(at, at_vmin);
+    }
+
+    #[test]
+    fn spec_built_model_matches_the_calibrated_one() {
+        assert_eq!(
+            LogicSusceptibility::for_platform(&PlatformSpec::xgene2()),
+            LogicSusceptibility::xgene2()
+        );
     }
 
     #[test]

@@ -1,19 +1,27 @@
 //! The die: cores, PMDs, SRAM arrays, voltage domains and operating points.
+//!
+//! Since the platform-spec refactor the die is *data*: [`Platform`] is
+//! built from a validated [`PlatformSpec`] and owns no platform-specific
+//! constants of its own. [`XGene2`] remains as the constants-and-builder
+//! namespace for the paper's machine; `XGene2::new()` now returns a
+//! [`Platform`] built from [`PlatformSpec::xgene2`], bit-identical to the
+//! historical hand-rolled constructor.
 
 use serde::{Deserialize, Serialize};
 
-use serscale_ecc::ProtectionScheme;
 use serscale_sram::SramArray;
 use serscale_types::{
-    ArrayKind, Bits, Bytes, CoreId, Error, Megahertz, Millivolts, PmdId, Result, VoltageDomain,
+    ArrayKind, Bits, CoreId, Megahertz, Millivolts, PmdId, Result, VoltageDomain,
 };
+
+use crate::spec::{ArrayScope, PlatformSpec};
 
 /// Which hardware block owns an array instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ArrayOwner {
     /// A private per-core array.
     Core(CoreId),
-    /// A per-core-pair array (the unified L2).
+    /// A per-cluster array (the unified L2).
     Pmd(PmdId),
     /// A die-shared array (the L3).
     Shared,
@@ -107,14 +115,23 @@ impl OperatingPoint {
         Self::vmin_900(),
     ];
 
-    /// The supply voltage of the given domain at this operating point.
-    /// The standby domain is never scaled and reports its 950 mV nominal.
-    pub const fn voltage_of(&self, domain: VoltageDomain) -> Millivolts {
+    /// The supply voltage of the given domain at this operating point,
+    /// with the (never scaled) standby-rail voltage supplied by the
+    /// caller's platform spec.
+    pub const fn voltage_of_with(&self, domain: VoltageDomain, standby: Millivolts) -> Millivolts {
         match domain {
             VoltageDomain::Pmd => self.pmd,
             VoltageDomain::Soc => self.soc,
-            VoltageDomain::Standby => Millivolts::new(950),
+            VoltageDomain::Standby => standby,
         }
+    }
+
+    /// The supply voltage of the given domain at this operating point.
+    /// The standby domain is never scaled and reports the X-Gene 2's
+    /// 950 mV nominal; platform-aware callers should use
+    /// [`Platform::domain_voltage`] instead.
+    pub const fn voltage_of(&self, domain: VoltageDomain) -> Millivolts {
+        self.voltage_of_with(domain, Millivolts::new(950))
     }
 
     /// A short label like `"980mV@2.4GHz"`.
@@ -123,14 +140,140 @@ impl OperatingPoint {
     }
 }
 
-/// The modelled 8-core Armv8 server SoC.
+/// A modelled die, built from a declarative [`PlatformSpec`].
 ///
-/// Geometry and protection are Table 1's; regulator floors and step sizes
-/// are §3.1's.
+/// Geometry and protection come from the spec's array inventory;
+/// regulator floors, step grids and the PLL window from its rails and
+/// frequency block.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct XGene2 {
+pub struct Platform {
+    spec: PlatformSpec,
     instances: Vec<ArrayInstance>,
 }
+
+impl Platform {
+    /// Builds the die a spec describes.
+    ///
+    /// Instances are laid out in the deterministic order rate bookkeeping
+    /// and traces depend on: every per-core array (in spec order) for
+    /// core 0, then core 1, …; then every per-PMD array for PMD 0, …;
+    /// then the shared arrays. For [`PlatformSpec::xgene2`] this
+    /// reproduces the historical constructor bit-for-bit.
+    pub fn from_spec(spec: &PlatformSpec) -> Self {
+        let mut instances = Vec::new();
+        let build = |a: &crate::spec::ArraySpec| {
+            SramArray::new(a.kind, a.capacity, a.protection, a.interleave)
+        };
+        for c in 0..spec.cores {
+            for a in spec
+                .arrays
+                .iter()
+                .filter(|a| a.scope == ArrayScope::PerCore)
+            {
+                instances.push(ArrayInstance {
+                    array: build(a),
+                    owner: ArrayOwner::Core(CoreId::new(c)),
+                });
+            }
+        }
+        for p in 0..spec.pmds() {
+            for a in spec.arrays.iter().filter(|a| a.scope == ArrayScope::PerPmd) {
+                instances.push(ArrayInstance {
+                    array: build(a),
+                    owner: ArrayOwner::Pmd(PmdId::new(p)),
+                });
+            }
+        }
+        for a in spec.arrays.iter().filter(|a| a.scope == ArrayScope::Shared) {
+            instances.push(ArrayInstance {
+                array: build(a),
+                owner: ArrayOwner::Shared,
+            });
+        }
+        Platform {
+            spec: spec.clone(),
+            instances,
+        }
+    }
+
+    /// The declarative spec this die was built from.
+    pub fn spec(&self) -> &PlatformSpec {
+        &self.spec
+    }
+
+    /// The platform identifier (e.g. `xgene2`).
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// Number of cores on the die.
+    pub fn cores(&self) -> u8 {
+        self.spec.cores
+    }
+
+    /// Number of PMDs / clusters on the die.
+    pub fn pmds(&self) -> u8 {
+        self.spec.pmds()
+    }
+
+    /// Iterates over every array instance on the die.
+    pub fn arrays(&self) -> impl Iterator<Item = &ArrayInstance> {
+        self.instances.iter()
+    }
+
+    /// Total protected SRAM capacity (the ~10 MB of §3.3 on the X-Gene).
+    pub fn total_sram(&self) -> Bits {
+        self.instances.iter().map(|i| i.data_bits()).sum()
+    }
+
+    /// The platform's nominal operating point (the first campaign row).
+    pub fn nominal_point(&self) -> OperatingPoint {
+        self.spec.nominal_point()
+    }
+
+    /// The supply voltage of a domain at an operating point, with the
+    /// standby rail read from the spec instead of hardcoded.
+    pub fn domain_voltage(&self, point: OperatingPoint, domain: VoltageDomain) -> Millivolts {
+        point.voltage_of_with(domain, self.spec.standby)
+    }
+
+    /// The platform's linear Vmin(f) rule (integer-exact grid snap).
+    pub fn vmin_at(&self, frequency: Megahertz) -> Millivolts {
+        self.spec.vmin_at(frequency)
+    }
+
+    /// Validates an operating point against the platform's regulator/PLL
+    /// constraints (rail nominals and floors, 5 mV step, PLL window and
+    /// grid).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`serscale_types::Error::InvalidConfig`] naming the
+    /// offending parameter.
+    pub fn validate(&self, point: OperatingPoint) -> Result<()> {
+        self.spec.validate_point(point)
+    }
+
+    /// The Table 1-style specification rows, as `(parameter, value)`
+    /// pairs — what `repro --table 1` prints.
+    pub fn table1(&self) -> Vec<(String, String)> {
+        self.spec.table1()
+    }
+}
+
+impl Default for Platform {
+    fn default() -> Self {
+        XGene2::new()
+    }
+}
+
+/// Constants-and-builder namespace for the paper's X-Gene 2.
+///
+/// The die itself is data now ([`PlatformSpec::xgene2`]); this type keeps
+/// the §3.1 constants callers pin against and the classic `new()`
+/// entry point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XGene2;
 
 impl XGene2 {
     /// Number of cores.
@@ -145,170 +288,18 @@ impl XGene2 {
     pub const FREQ_MIN: Megahertz = Megahertz::new(300);
     /// Highest PLL frequency.
     pub const FREQ_MAX: Megahertz = Megahertz::new(2400);
-    /// Interleaving degree of the smaller (per-core / per-pair) arrays.
-    const SMALL_ARRAY_INTERLEAVE: u32 = 4;
-    /// Assumed bytes per TLB entry (tag + translation + attributes).
-    const TLB_ENTRY_BYTES: u64 = 16;
 
-    /// Builds the die with Table 1's array inventory.
-    pub fn new() -> Self {
-        let mut instances = Vec::new();
-        for c in 0..Self::CORES {
-            let core = CoreId::new(c);
-            let mut per_core = |kind: ArrayKind, capacity: Bytes| {
-                instances.push(ArrayInstance {
-                    array: SramArray::new(
-                        kind,
-                        capacity,
-                        ProtectionScheme::Parity,
-                        Self::SMALL_ARRAY_INTERLEAVE,
-                    ),
-                    owner: ArrayOwner::Core(core),
-                });
-            };
-            per_core(ArrayKind::L1Instruction, Bytes::kib(32));
-            per_core(ArrayKind::L1Data, Bytes::kib(32));
-            per_core(ArrayKind::DataTlb, Bytes::new(20 * Self::TLB_ENTRY_BYTES));
-            per_core(
-                ArrayKind::InstructionTlb,
-                Bytes::new(20 * Self::TLB_ENTRY_BYTES),
-            );
-            per_core(
-                ArrayKind::UnifiedL2Tlb,
-                Bytes::new(1024 * Self::TLB_ENTRY_BYTES),
-            );
-        }
-        for p in 0..Self::PMDS {
-            instances.push(ArrayInstance {
-                array: SramArray::new(
-                    ArrayKind::L2Unified,
-                    Bytes::kib(256),
-                    ProtectionScheme::Secded,
-                    Self::SMALL_ARRAY_INTERLEAVE,
-                ),
-                owner: ArrayOwner::Pmd(PmdId::new(p)),
-            });
-        }
-        // The L3 is large, SECDED-protected and — per §4.3 — not
-        // interleaved, which is why it alone reports uncorrectable errors.
-        instances.push(ArrayInstance {
-            array: SramArray::new(
-                ArrayKind::L3Shared,
-                Bytes::mib(8),
-                ProtectionScheme::Secded,
-                1,
-            ),
-            owner: ArrayOwner::Shared,
-        });
-        XGene2 { instances }
-    }
-
-    /// Number of cores on the die.
-    pub const fn cores(&self) -> u8 {
-        Self::CORES
-    }
-
-    /// Iterates over every array instance on the die.
-    pub fn arrays(&self) -> impl Iterator<Item = &ArrayInstance> {
-        self.instances.iter()
-    }
-
-    /// Total protected SRAM capacity (the ~10 MB of §3.3).
-    pub fn total_sram(&self) -> Bits {
-        self.instances.iter().map(|i| i.data_bits()).sum()
-    }
-
-    /// Validates an operating point against the regulator/PLL constraints
-    /// of §3.1.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::InvalidConfig`] when a voltage is above its domain
-    /// nominal, not aligned to the 5 mV step, or implausibly low
-    /// (< 500 mV), or when the frequency is outside 300–2400 MHz or not on
-    /// the 300 MHz grid.
-    pub fn validate(&self, point: OperatingPoint) -> Result<()> {
-        let check_voltage = |what: &str, v: Millivolts, nominal: Millivolts| -> Result<()> {
-            if v > nominal {
-                return Err(Error::InvalidConfig {
-                    what: what.into(),
-                    reason: format!("{v} exceeds the {nominal} nominal"),
-                });
-            }
-            if !v.is_step_aligned() {
-                return Err(Error::InvalidConfig {
-                    what: what.into(),
-                    reason: format!("{v} is not aligned to the 5 mV regulator step"),
-                });
-            }
-            if v < Millivolts::new(500) {
-                return Err(Error::InvalidConfig {
-                    what: what.into(),
-                    reason: format!("{v} is below the 500 mV plausibility floor"),
-                });
-            }
-            Ok(())
-        };
-        check_voltage("pmd voltage", point.pmd, Self::PMD_NOMINAL)?;
-        check_voltage("soc voltage", point.soc, Self::SOC_NOMINAL)?;
-        if point.frequency < Self::FREQ_MIN || point.frequency > Self::FREQ_MAX {
-            return Err(Error::InvalidConfig {
-                what: "frequency".into(),
-                reason: format!("{} outside 300 MHz – 2.4 GHz", point.frequency),
-            });
-        }
-        if !point.frequency.is_step_aligned() {
-            return Err(Error::InvalidConfig {
-                what: "frequency".into(),
-                reason: format!("{} is not on the 300 MHz PLL grid", point.frequency),
-            });
-        }
-        Ok(())
-    }
-
-    /// The Table 1 specification rows, as `(parameter, value)` pairs —
-    /// what `repro --table 1` prints.
-    pub fn spec(&self) -> Vec<(String, String)> {
-        vec![
-            ("ISA".into(), "Armv8 (AArch64)".into()),
-            (
-                "Pipeline / CPU Cores".into(),
-                "64-bit OoO (4-issue) / 8".into(),
-            ),
-            ("Clock Frequency".into(), "2.4 GHz".into()),
-            ("D/I TLBs".into(), "20 entries per core (Parity)".into()),
-            (
-                "Unified L2 TLB".into(),
-                "1024 entries per core (Parity)".into(),
-            ),
-            (
-                "L1 Instruction Cache".into(),
-                "32 KB per core (Parity)".into(),
-            ),
-            (
-                "L1 Data Cache".into(),
-                "32 KB Write-Through per core (Parity)".into(),
-            ),
-            (
-                "L2 Cache".into(),
-                "256 KB Write-Back per pair of cores (SECDED)".into(),
-            ),
-            ("L3 Cache".into(), "8 MB Write-Back Shared (SECDED)".into()),
-            ("TDP / Technology".into(), "35 W / 28 nm".into()),
-            ("PMD/SoC Nominal Voltage".into(), "980 mV / 950 mV".into()),
-        ]
-    }
-}
-
-impl Default for XGene2 {
-    fn default() -> Self {
-        Self::new()
+    /// Builds the X-Gene 2 die with Table 1's array inventory.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new() -> Platform {
+        Platform::from_spec(&PlatformSpec::xgene2())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use serscale_ecc::ProtectionScheme;
     use serscale_types::CacheLevel;
 
     #[test]
@@ -368,6 +359,27 @@ mod tests {
     }
 
     #[test]
+    fn instance_order_is_core_then_pmd_then_shared() {
+        // Trace and rate bookkeeping depend on this exact layout — it is
+        // the order the historical constructor produced.
+        let soc = XGene2::new();
+        let kinds: Vec<ArrayKind> = soc.arrays().map(|a| a.kind()).collect();
+        let per_core = [
+            ArrayKind::L1Instruction,
+            ArrayKind::L1Data,
+            ArrayKind::DataTlb,
+            ArrayKind::InstructionTlb,
+            ArrayKind::UnifiedL2Tlb,
+        ];
+        for c in 0..8 {
+            assert_eq!(&kinds[c * 5..c * 5 + 5], &per_core, "core {c}");
+        }
+        assert!(kinds[40..44].iter().all(|k| *k == ArrayKind::L2Unified));
+        assert_eq!(kinds[44], ArrayKind::L3Shared);
+        assert_eq!(kinds.len(), 45);
+    }
+
+    #[test]
     fn campaign_operating_points_validate() {
         let soc = XGene2::new();
         for point in OperatingPoint::CAMPAIGN {
@@ -402,11 +414,84 @@ mod tests {
     }
 
     #[test]
+    fn zynq_platform_builds_and_validates_its_campaign() {
+        let soc = Platform::from_spec(&PlatformSpec::zynq_mpsoc());
+        assert_eq!(soc.cores(), 4);
+        assert_eq!(soc.pmds(), 1);
+        // 4×(32+32+L2TLB…) KB L1/TLB + 1 MB L2 + 256 KB OCM.
+        let kinds: Vec<ArrayKind> = soc.arrays().map(|a| a.kind()).collect();
+        assert_eq!(kinds.len(), 4 * 5 + 1 + 1);
+        for c in soc.spec().campaign.clone() {
+            soc.validate(c.point)
+                .unwrap_or_else(|e| panic!("{}: {e}", c.label));
+        }
+        assert_eq!(soc.nominal_point().pmd, Millivolts::new(850));
+    }
+
+    #[test]
+    fn validation_edges_are_integer_exact_on_both_platforms() {
+        // Exactly at the rail floor / nominal / PLL window edges, on the
+        // grid, each platform accepts; one 5 mV or 300 MHz step past any
+        // edge it rejects. No floating point is involved anywhere.
+        for spec in [PlatformSpec::xgene2(), PlatformSpec::zynq_mpsoc()] {
+            let soc = Platform::from_spec(&spec);
+            let edge = |pmd: Millivolts, soc_mv: Millivolts, f: Megahertz| OperatingPoint {
+                pmd,
+                soc: soc_mv,
+                frequency: f,
+            };
+            let s = &spec;
+            let ok = [
+                edge(s.pmd_rail.floor, s.soc_rail.floor, s.freq_min),
+                edge(s.pmd_rail.nominal, s.soc_rail.nominal, s.freq_max),
+            ];
+            for p in ok {
+                soc.validate(p)
+                    .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            }
+            let step = Millivolts::new(Millivolts::STEP);
+            let bad = [
+                edge(
+                    Millivolts::new(s.pmd_rail.floor.get() - step.get()),
+                    s.soc_rail.floor,
+                    s.freq_min,
+                ),
+                edge(
+                    Millivolts::new(s.pmd_rail.nominal.get() + step.get()),
+                    s.soc_rail.nominal,
+                    s.freq_max,
+                ),
+                edge(
+                    s.pmd_rail.nominal,
+                    s.soc_rail.nominal,
+                    Megahertz::new(s.freq_max.get() + Megahertz::STEP),
+                ),
+                edge(
+                    s.pmd_rail.nominal,
+                    s.soc_rail.nominal,
+                    Megahertz::new(s.freq_min.get() - Megahertz::STEP),
+                ),
+            ];
+            for p in bad {
+                assert!(soc.validate(p).is_err(), "{}: {p:?}", spec.name);
+            }
+        }
+    }
+
+    #[test]
     fn operating_point_domain_lookup() {
         let p = OperatingPoint::vmin_900();
         assert_eq!(p.voltage_of(VoltageDomain::Pmd), Millivolts::new(790));
         assert_eq!(p.voltage_of(VoltageDomain::Soc), Millivolts::new(950));
         assert_eq!(p.voltage_of(VoltageDomain::Standby), Millivolts::new(950));
+        // The Zynq standby rail differs — the platform-aware lookup
+        // reads it from the spec.
+        let zynq = Platform::from_spec(&PlatformSpec::zynq_mpsoc());
+        let zp = zynq.nominal_point();
+        assert_eq!(
+            zynq.domain_voltage(zp, VoltageDomain::Standby),
+            Millivolts::new(850)
+        );
     }
 
     #[test]
@@ -417,7 +502,7 @@ mod tests {
 
     #[test]
     fn spec_covers_table1() {
-        let spec = XGene2::new().spec();
+        let spec = XGene2::new().table1();
         assert_eq!(spec.len(), 11);
         assert!(spec
             .iter()

@@ -22,6 +22,7 @@ use serde::{Deserialize, Serialize};
 use serscale_types::{Megahertz, Millivolts, Watts};
 
 use crate::platform::{OperatingPoint, XGene2};
+use crate::spec::PlatformSpec;
 
 /// The calibrated two-domain power model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -48,6 +49,20 @@ impl PowerModel {
             soc_nominal: XGene2::SOC_NOMINAL,
             freq_nominal: XGene2::FREQ_MAX,
         }
+    }
+
+    /// Builds a model from a platform spec's power block, anchored at the
+    /// spec's rail nominals and maximum frequency.
+    pub fn for_platform(spec: &PlatformSpec) -> Self {
+        Self::new(
+            spec.power.pmd_dynamic_w,
+            spec.power.pmd_static_w,
+            spec.power.soc_dynamic_w,
+            spec.power.soc_static_w,
+            spec.pmd_rail.nominal,
+            spec.soc_rail.nominal,
+            spec.freq_max,
+        )
     }
 
     /// Creates a model from explicit constants (all in watts at nominal).
@@ -212,6 +227,25 @@ mod tests {
         let a = model.soc_power(p);
         p.frequency = Megahertz::new(300);
         assert_eq!(model.soc_power(p), a);
+    }
+
+    #[test]
+    fn spec_built_model_matches_the_calibrated_one() {
+        assert_eq!(
+            PowerModel::for_platform(&PlatformSpec::xgene2()),
+            PowerModel::xgene2()
+        );
+    }
+
+    #[test]
+    fn zynq_model_draws_mpsoc_scale_power() {
+        let spec = PlatformSpec::zynq_mpsoc();
+        let model = PowerModel::for_platform(&spec);
+        let p = model.total_power(spec.nominal_point()).get();
+        assert!(p > 2.0 && p < 6.0, "p = {p} W");
+        // Undervolting the APU rail still saves power.
+        let vmin = spec.campaign[2].point;
+        assert!(model.savings(vmin, spec.nominal_point()) > 0.0);
     }
 
     #[test]

@@ -17,8 +17,9 @@ use serde::{Deserialize, Serialize};
 use serscale_types::{Celsius, Megahertz, Millivolts, VoltageDomain, Watts};
 
 use crate::edac::{EdacLog, EdacRecord};
-use crate::platform::{OperatingPoint, XGene2};
+use crate::platform::{OperatingPoint, Platform, XGene2};
 use crate::power::PowerModel;
+use crate::spec::PlatformSpec;
 use crate::thermal::ThermalModel;
 
 /// A mailbox command to the management processor.
@@ -78,7 +79,7 @@ pub struct SensorBlock {
 /// health log the hardware pushes into.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SlimPro {
-    platform: XGene2,
+    platform: Platform,
     power_model: PowerModel,
     thermal: ThermalModel,
     point: OperatingPoint,
@@ -86,13 +87,26 @@ pub struct SlimPro {
 }
 
 impl SlimPro {
-    /// Boots the management processor at nominal conditions.
+    /// Boots the management processor at the X-Gene 2's nominal
+    /// conditions.
     pub fn new() -> Self {
         SlimPro {
             platform: XGene2::new(),
             power_model: PowerModel::xgene2(),
             thermal: ThermalModel::beam_room(),
             point: OperatingPoint::nominal(),
+            health_log: EdacLog::new(),
+        }
+    }
+
+    /// Boots the management processor of an arbitrary platform at that
+    /// platform's nominal conditions.
+    pub fn for_platform(spec: &PlatformSpec) -> Self {
+        SlimPro {
+            platform: Platform::from_spec(spec),
+            power_model: PowerModel::for_platform(spec),
+            thermal: ThermalModel::beam_room(),
+            point: spec.nominal_point(),
             health_log: EdacLog::new(),
         }
     }
@@ -279,6 +293,23 @@ mod tests {
         match sp.execute(Command::ReadHealthLog) {
             Response::HealthLog(records) => assert!(records.is_empty()),
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn zynq_slimpro_enforces_its_own_rails() {
+        let spec = PlatformSpec::zynq_mpsoc();
+        let mut sp = SlimPro::for_platform(&spec);
+        assert_eq!(sp.operating_point(), spec.nominal_point());
+        // 980 mV is legal on the X-Gene but above the Zynq 850 mV nominal.
+        let r = sp.execute(Command::SetVoltage {
+            domain: VoltageDomain::Pmd,
+            level: Millivolts::new(980),
+        });
+        assert!(matches!(r, Response::Rejected { .. }), "{r:?}");
+        for c in &spec.campaign {
+            sp.apply_point(c.point)
+                .unwrap_or_else(|e| panic!("{}: {e}", c.label));
         }
     }
 

@@ -1,0 +1,25 @@
+//! Regenerates the committed platform spec files from the built-ins:
+//!
+//! ```text
+//! cargo run -p serscale-telemetry --example dump_platforms -- platforms/
+//! ```
+//!
+//! The output is the normalized wire rendering of each built-in platform;
+//! `tests/platform_files.rs` in `serscale-bench` pins the committed files
+//! against it so they cannot drift from the code.
+
+use serscale_soc::PlatformSpec;
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "platforms".to_string());
+    std::fs::create_dir_all(&dir).expect("create output directory");
+    for name in PlatformSpec::BUILTIN_NAMES {
+        let spec = PlatformSpec::builtin(name).expect("builtin");
+        let path = std::path::Path::new(&dir).join(format!("{name}.json"));
+        let body = serscale_telemetry::platform_to_json(&spec) + "\n";
+        std::fs::write(&path, body).expect("write spec file");
+        println!("wrote {}", path.display());
+    }
+}

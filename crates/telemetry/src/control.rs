@@ -446,9 +446,10 @@ impl ControlPlane {
         let snapshot = sink.registry().snapshot();
         let fingerprint = config_fingerprint(&spec.config());
         let mut out = format!(
-            "{{\"id\":{id},\"name\":{},\"tenant\":{},\"status\":{}",
+            "{{\"id\":{id},\"name\":{},\"tenant\":{},\"platform\":{},\"status\":{}",
             json::escape(&spec.name),
             json::escape(&spec.tenant),
+            json::escape(&spec.platform.name),
             json::escape(job_state.label()),
         );
         out.push_str(&format!(",\"done\":{}", job_state.terminal()));
@@ -925,6 +926,7 @@ fn run_job(inner: &Arc<ControlInner>, id: u64) {
         }
         let campaign = Campaign::new(spec.config());
         sink.set_campaign_status(|status| {
+            status.platform = Some(spec.platform.name.clone());
             status.config_fingerprint = Some(config_fingerprint(campaign.config()));
         });
         let mut observer = sink.observer();
@@ -1120,6 +1122,7 @@ pub fn raw_spec_from_json(doc: &JsonValue) -> Result<RawCampaignSpec, SpecError>
         match key.as_str() {
             "name" => raw.name = Some(want_string("name", value)?),
             "tenant" => raw.tenant = Some(want_string("tenant", value)?),
+            "platform" => raw.platform = Some(want_string("platform", value)?),
             "seed" => raw.seed = Some(want_number("seed", value)?),
             "scale" => raw.scale = Some(want_number("scale", value)?),
             "jobs" => raw.jobs = Some(want_number("jobs", value)?),
@@ -1148,8 +1151,8 @@ pub fn raw_spec_from_json(doc: &JsonValue) -> Result<RawCampaignSpec, SpecError>
                         unknown.to_string()
                     },
                     reason: format!(
-                        "unknown field {unknown:?}; known fields are name, tenant, seed, \
-                         scale, jobs, vmin_trials, sessions, resume"
+                        "unknown field {unknown:?}; known fields are name, tenant, platform, \
+                         seed, scale, jobs, vmin_trials, sessions, resume"
                     ),
                 });
             }
@@ -1218,6 +1221,12 @@ pub fn spec_to_json(spec: &CampaignSpec) -> String {
         json::escape(&spec.tenant),
         spec.seed
     );
+    if spec.platform != serscale_soc::PlatformSpec::xgene2() {
+        out.push_str(&format!(
+            ",\"platform\":{}",
+            json::escape(&spec.platform.name)
+        ));
+    }
     if spec.sessions.is_none() {
         out.push_str(&format!(",\"scale\":{}", json::number(spec.scale)));
     }
@@ -1391,6 +1400,44 @@ mod tests {
             .expect_err("draining");
         assert_eq!(err.status, 503);
         control.drain();
+    }
+
+    #[test]
+    fn resume_is_platform_locked() {
+        // An X-Gene journal must not resume as a Zynq campaign: the
+        // platform is part of the config fingerprint the journal is
+        // locked to.
+        let state_dir = std::env::temp_dir().join(format!(
+            "serscale-control-platform-lock-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&state_dir);
+        std::fs::create_dir_all(&state_dir).expect("state dir");
+        let control = ControlPlane::start(ControlPlaneOptions {
+            state_dir: Some(state_dir.clone()),
+            start_paused: true,
+            ..Default::default()
+        });
+        let xgene = control.submit_spec(tiny_spec("t", 5)).expect("queued");
+        control.cancel(xgene).expect("cancel queued job");
+        let mut zynq = CampaignSpec::try_from(RawCampaignSpec {
+            tenant: Some("t".to_string()),
+            seed: Some(5.0),
+            scale: Some(0.001),
+            platform: Some("zynq-mpsoc".to_string()),
+            ..Default::default()
+        })
+        .expect("valid spec");
+        zynq.resume = Some(xgene);
+        let err = control.submit_spec(zynq).expect_err("platform mismatch");
+        assert_eq!(err.status, 409, "{}", err.body);
+        assert!(err.body.contains("fingerprint-locked"), "{}", err.body);
+        // The same spec on the same platform is accepted.
+        let mut again = tiny_spec("t", 5);
+        again.resume = Some(xgene);
+        control.submit_spec(again).expect("same platform resumes");
+        control.drain();
+        let _ = std::fs::remove_dir_all(&state_dir);
     }
 
     #[test]

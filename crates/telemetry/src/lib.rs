@@ -35,6 +35,10 @@
 //! - [`json`] — a minimal JSON writer *and parser*; the exporters
 //!   self-verify their streams because the vendored `serde` is a no-op
 //!   stand-in.
+//! - [`platform`] — the JSON wire format for
+//!   [`PlatformSpec`](serscale_soc::PlatformSpec) documents, behind
+//!   `repro --platform <file>`: strict unknown-field rejection on the way
+//!   in, a normalized round-trippable rendering on the way out.
 //!
 //! # The observe-only contract
 //!
@@ -53,6 +57,7 @@ pub mod inspect;
 pub mod json;
 pub mod metrics;
 pub mod observer;
+pub mod platform;
 pub mod progress;
 pub mod serve;
 pub mod span;
@@ -62,6 +67,7 @@ pub use export::{TelemetryOptions, TelemetrySink};
 pub use inspect::{inspect_dir, InspectReport};
 pub use metrics::{MetricsSnapshot, Registry};
 pub use observer::TelemetryObserver;
+pub use platform::{parse_platform, platform_to_json};
 pub use progress::{Progress, ProgressMode, ProgressSnapshot};
 pub use serve::{CampaignStatus, MonitorServer};
 pub use span::{SpanLevel, Tracer};

@@ -94,6 +94,8 @@ const EVENT_STREAM_CAP: Duration = Duration::from_secs(600);
 /// (the fast-changing numbers live in the registry and progress state).
 #[derive(Debug, Clone, Default)]
 pub struct CampaignStatus {
+    /// The platform the campaign runs on (the spec's `name`), if known.
+    pub platform: Option<String>,
     /// The config fingerprint the journal locks resume decisions to
     /// (rendered in hex, like the journal header), if known.
     pub config_fingerprint: Option<u64>,
@@ -378,9 +380,13 @@ impl MonitorState {
         let snapshot = self.registry.snapshot();
         let status = self.status.lock().expect("status cell poisoned").clone();
         let mut out = String::from("{");
+        match &status.platform {
+            Some(name) => out.push_str(&format!("\"platform\":{}", json::escape(name))),
+            None => out.push_str("\"platform\":null"),
+        }
         match status.config_fingerprint {
-            Some(fp) => out.push_str(&format!("\"config_fingerprint\":\"{fp:016x}\"")),
-            None => out.push_str("\"config_fingerprint\":null"),
+            Some(fp) => out.push_str(&format!(",\"config_fingerprint\":\"{fp:016x}\"")),
+            None => out.push_str(",\"config_fingerprint\":null"),
         }
         match &status.journal {
             Some(path) => out.push_str(&format!(",\"journal\":{}", json::escape(path))),

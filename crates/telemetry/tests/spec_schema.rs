@@ -50,10 +50,19 @@ proptest! {
         n_sessions in 0usize..4,
         with_sessions in any::<bool>(),
         with_scale in any::<bool>(),
+        platform in prop::sample::select(vec![
+            None,
+            Some("xgene2"),
+            Some("zynq-mpsoc"),
+            Some("coffee-lake"),
+            Some(""),
+            Some("XGENE2"),
+        ]),
     ) {
         let raw = RawCampaignSpec {
             name: None,
             tenant: None,
+            platform: platform.map(str::to_string),
             seed: Some(fuzz_number(pick[0], units[0], 1e16)),
             scale: with_scale.then(|| fuzz_number(pick[1], units[1], 2.0)),
             jobs: Some(fuzz_number(pick[2], units[2], 100.0)),
@@ -95,8 +104,8 @@ proptest! {
     fn arbitrary_json_documents_never_panic_the_parser(
         keys in prop::collection::vec(
             prop::sample::select(vec![
-                "name", "tenant", "seed", "scale", "jobs", "vmin_trials",
-                "resume", "sessions", "sclae", "bogus", "",
+                "name", "tenant", "platform", "seed", "scale", "jobs",
+                "vmin_trials", "resume", "sessions", "sclae", "bogus", "",
             ]),
             0..6,
         ),
@@ -215,6 +224,17 @@ fn known_bad_specs_are_rejected_with_the_right_field() {
             "scale",
         ),
         ("{\"sclae\":0.5}".to_string(), "sclae"),
+        // Unknown platforms, wrong-typed platform, and a session valid on
+        // X-Gene 2 but off the selected platform's rails.
+        ("{\"platform\":\"coffee-lake\"}".to_string(), "platform"),
+        ("{\"platform\":7}".to_string(), "platform"),
+        (
+            format!(
+                "{{\"platform\":\"zynq-mpsoc\",\"sessions\":[{}]}}",
+                session("940")
+            ),
+            "sessions[0]",
+        ),
         // Bad identifiers.
         ("{\"name\":\"no spaces allowed\"}".to_string(), "name"),
         ("{\"tenant\":\"\"}".to_string(), "tenant"),
@@ -247,6 +267,10 @@ fn known_good_specs_round_trip() {
          \"minutes\":30},{\"pmd_mv\":920,\"soc_mv\":920,\"freq_mhz\":2400,\
          \"minutes\":30.5}]}",
         "{\"resume\":3}",
+        "{\"platform\":\"xgene2\"}",
+        "{\"platform\":\"zynq-mpsoc\",\"seed\":9}",
+        "{\"platform\":\"zynq-mpsoc\",\"sessions\":[{\"pmd_mv\":770,\
+         \"soc_mv\":850,\"freq_mhz\":1500,\"minutes\":10}]}",
     ];
     for body in corpus {
         let spec = parse_spec(body).unwrap_or_else(|e| panic!("{body}: {e}"));

@@ -3,6 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use serscale_soc::PlatformSpec;
 use serscale_stats::ci::wilson_ci;
 use serscale_stats::SimRng;
 use serscale_types::{Megahertz, Millivolts};
@@ -107,24 +108,54 @@ impl Characterizer {
         &self.timing
     }
 
-    /// Sweeps from the PMD nominal (980 mV) downward in 5 mV steps until a
-    /// level with 100 % failures is reached (or 700 mV, a floor well below
-    /// any realistic Vc at the supported frequencies).
-    pub fn sweep(&self, rng: &mut SimRng, frequency: Megahertz) -> PfailCurve {
-        self.sweep_from(rng, frequency, Millivolts::new(980))
+    /// The harness for a platform spec's own timing physics.
+    pub fn for_platform(spec: &PlatformSpec, trials_per_benchmark: u32) -> Self {
+        Self::new(TimingFailureModel::for_platform(spec), trials_per_benchmark)
     }
 
-    /// Sweeps from an explicit starting voltage downward.
+    /// Sweeps from the X-Gene 2 PMD nominal (980 mV) downward in 5 mV
+    /// steps until a level with 100 % failures is reached (or 700 mV, a
+    /// floor well below any realistic Vc at its supported frequencies).
+    /// Platform-aware callers should use [`Characterizer::sweep_platform`],
+    /// which reads both bounds off the spec.
+    pub fn sweep(&self, rng: &mut SimRng, frequency: Megahertz) -> PfailCurve {
+        self.sweep_range(rng, frequency, Millivolts::new(980), Millivolts::new(700))
+    }
+
+    /// Sweeps a platform's own rail range: from its PMD nominal down to
+    /// its characterization floor.
+    pub fn sweep_platform(
+        &self,
+        rng: &mut SimRng,
+        spec: &PlatformSpec,
+        frequency: Megahertz,
+    ) -> PfailCurve {
+        self.sweep_range(rng, frequency, spec.pmd_rail.nominal, spec.sweep_floor)
+    }
+
+    /// Sweeps from an explicit starting voltage downward to the X-Gene 2
+    /// floor.
     pub fn sweep_from(
         &self,
         rng: &mut SimRng,
         frequency: Megahertz,
         start: Millivolts,
     ) -> PfailCurve {
+        self.sweep_range(rng, frequency, start, Millivolts::new(700))
+    }
+
+    /// Sweeps an explicit `[floor, start]` voltage range downward.
+    pub fn sweep_range(
+        &self,
+        rng: &mut SimRng,
+        frequency: Megahertz,
+        start: Millivolts,
+        floor: Millivolts,
+    ) -> PfailCurve {
         // Benchmarks exert benchmark-grade droop by definition (zero
         // relative droop; see `serscale-workload`'s virus module).
         let droops = vec![0.0; Benchmark::ALL.len()];
-        self.sweep_from_with_droops(rng, frequency, start, &droops)
+        self.sweep_range_with_droops(rng, frequency, start, floor, &droops)
     }
 
     /// The micro-virus sweep of \[51\]: each voltage step runs every stress
@@ -140,17 +171,30 @@ impl Characterizer {
         self.sweep_from_with_droops(rng, frequency, Millivolts::new(980), virus_droops)
     }
 
-    /// The generic downward sweep: one "workload" per entry of `droops`,
-    /// each run `trials_per_benchmark` times per 5 mV step.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `droops` is empty.
+    /// [`Characterizer::sweep_range_with_droops`] with the X-Gene 2 floor.
     pub fn sweep_from_with_droops(
         &self,
         rng: &mut SimRng,
         frequency: Megahertz,
         start: Millivolts,
+        droops: &[f64],
+    ) -> PfailCurve {
+        self.sweep_range_with_droops(rng, frequency, start, Millivolts::new(700), droops)
+    }
+
+    /// The generic downward sweep: one "workload" per entry of `droops`,
+    /// each run `trials_per_benchmark` times per 5 mV step, stopping at
+    /// the first 100 %-failure level or at `floor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `droops` is empty.
+    pub fn sweep_range_with_droops(
+        &self,
+        rng: &mut SimRng,
+        frequency: Megahertz,
+        start: Millivolts,
+        floor: Millivolts,
         droops: &[f64],
     ) -> PfailCurve {
         assert!(!droops.is_empty(), "need at least one workload");
@@ -175,7 +219,7 @@ impl Characterizer {
                 failures,
                 trials,
             });
-            if failures == trials || voltage <= Millivolts::new(700) {
+            if failures == trials || voltage <= floor {
                 break;
             }
             voltage = voltage.stepped_down(1);
@@ -198,34 +242,42 @@ impl SafeVoltageTable {
     /// 2.4 GHz Vmin, and the 900 MHz Vmin (SoC held at nominal there, as
     /// frequency scaling cannot affect the SoC domain).
     pub fn from_vmins(vmin_2400: Millivolts, vmin_900: Millivolts) -> Self {
-        let soc_nominal = Millivolts::new(950);
+        Self::from_vmins_for(&PlatformSpec::xgene2(), vmin_2400, vmin_900)
+    }
+
+    /// [`SafeVoltageTable::from_vmins`] generalized to any platform: the
+    /// nominal row and rail pairings come from the spec, the high- and
+    /// low-frequency Vmin rows from its Vmin anchor frequencies.
+    pub fn from_vmins_for(
+        spec: &PlatformSpec,
+        vmin_high: Millivolts,
+        vmin_low: Millivolts,
+    ) -> Self {
+        let soc_nominal = spec.soc_rail.nominal;
+        let f_high = spec.freq_max;
+        let f_low = spec.vmin.low_freq;
         let rows = vec![
             (
                 "Nominal".to_owned(),
-                Megahertz::new(2400),
-                Millivolts::new(980),
+                f_high,
+                spec.pmd_rail.nominal,
                 soc_nominal,
             ),
             (
                 "Safe".to_owned(),
-                Megahertz::new(2400),
-                vmin_2400.stepped_up(2),
+                f_high,
+                vmin_high.stepped_up(2),
                 // The paper paired 930 mV PMD with 925 mV SoC: 5 mV above
-                // the SoC's own Vmin.
-                vmin_2400.stepped_up(1),
+                // the SoC's own Vmin — but never above the rail nominal.
+                vmin_high.stepped_up(1).min(soc_nominal),
             ),
             (
                 "Vmin".to_owned(),
-                Megahertz::new(2400),
-                vmin_2400,
-                vmin_2400,
+                f_high,
+                vmin_high,
+                vmin_high.min(soc_nominal),
             ),
-            (
-                "Vmin 900 MHz".to_owned(),
-                Megahertz::new(900),
-                vmin_900,
-                soc_nominal,
-            ),
+            (format!("Vmin {f_low}"), f_low, vmin_low, soc_nominal),
         ];
         SafeVoltageTable { rows }
     }
@@ -362,5 +414,34 @@ mod tests {
         // Row 4: 790 mV PMD with SoC at nominal.
         assert_eq!(t.rows[3].2, Millivolts::new(790));
         assert_eq!(t.rows[3].3, Millivolts::new(950));
+        assert_eq!(t.rows[3].0, "Vmin 900 MHz");
+    }
+
+    #[test]
+    fn platform_sweep_finds_the_zynq_anchors() {
+        let spec = PlatformSpec::zynq_mpsoc();
+        let harness = Characterizer::for_platform(&spec, 100);
+        let mut rng = SimRng::seed_from(7);
+        let hi = harness.sweep_platform(&mut rng, &spec, Megahertz::new(1500));
+        let lo = harness.sweep_platform(&mut rng, &spec, Megahertz::new(600));
+        // The characterization lands on (or within a step of) the spec's
+        // declared anchors, and never below its sweep floor.
+        for (curve, anchor) in [(&hi, 750u32), (&lo, 660)] {
+            let vmin = curve.safe_vmin().expect("sweep finds a safe level");
+            assert!(vmin.get().abs_diff(anchor) <= 5, "{vmin} vs {anchor} mV");
+            let last = curve.points.last().expect("nonempty");
+            assert!(last.voltage >= spec.sweep_floor);
+        }
+        assert_eq!(hi.points[0].voltage, spec.pmd_rail.nominal);
+    }
+
+    #[test]
+    fn zynq_table3_pairs_its_own_rails() {
+        let spec = PlatformSpec::zynq_mpsoc();
+        let t = SafeVoltageTable::from_vmins_for(&spec, Millivolts::new(750), Millivolts::new(660));
+        assert_eq!(t.rows[0].1, Megahertz::new(1500));
+        assert_eq!(t.rows[0].3, Millivolts::new(850));
+        assert_eq!(t.rows[3].0, "Vmin 600 MHz");
+        assert_eq!(t.rows[3].1, Megahertz::new(600));
     }
 }

@@ -20,6 +20,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use serscale_soc::PlatformSpec;
 use serscale_stats::ci::normal_cdf;
 use serscale_stats::SimRng;
 use serscale_types::{Celsius, Megahertz, Millivolts};
@@ -50,6 +51,20 @@ impl TimingFailureModel {
             sigma_at_ref: 2.2,
             sigma_slope: 0.8,
         }
+    }
+
+    /// The model a platform spec's timing-physics block declares,
+    /// referenced at the spec's maximum frequency. For
+    /// [`PlatformSpec::xgene2`] this is identical to
+    /// [`TimingFailureModel::xgene2`].
+    pub fn for_platform(spec: &PlatformSpec) -> Self {
+        Self::new(
+            spec.physics.timing_vc_at_fmax_mv,
+            spec.freq_max,
+            spec.physics.timing_slope_mv_per_mhz,
+            spec.physics.timing_sigma_at_fmax_mv,
+            spec.physics.timing_sigma_slope_mv,
+        )
     }
 
     /// Creates a model from explicit constants.
@@ -191,6 +206,22 @@ mod tests {
 
     const F24: Megahertz = Megahertz::new(2400);
     const F09: Megahertz = Megahertz::new(900);
+
+    #[test]
+    fn spec_built_model_matches_the_calibrated_one() {
+        assert_eq!(
+            TimingFailureModel::for_platform(&PlatformSpec::xgene2()),
+            TimingFailureModel::xgene2()
+        );
+    }
+
+    #[test]
+    fn zynq_model_fails_past_its_own_vc() {
+        let m = TimingFailureModel::for_platform(&PlatformSpec::zynq_mpsoc());
+        let f = Megahertz::new(1500);
+        assert!(m.pfail(Millivolts::new(850), f) < 1e-9);
+        assert!(m.pfail(Millivolts::new(720), f) > 0.9);
+    }
 
     #[test]
     fn critical_voltage_tracks_frequency() {

@@ -23,6 +23,7 @@ use serscale_core::journal::{journal_path, start_or_resume};
 use serscale_core::session::{SessionLimits, TestSession};
 use serscale_core::trace::Logbook;
 use serscale_soc::platform::OperatingPoint;
+use serscale_soc::{PlatformSpec, RawPlatformSpec};
 use serscale_stats::SimRng;
 use serscale_types::{Flux, SimDuration};
 
@@ -253,6 +254,104 @@ impl ResumeEquivalence {
     }
 }
 
+/// The data-driven platform path is equivalent to the hardwired one: an
+/// X-Gene 2 campaign configured from a spec that round-tripped through
+/// the raw wire carrier produces reports and traces bit-identical to the
+/// constructor-built campaign, at `jobs` 1 and 8 — and the second
+/// built-in platform (Zynq MPSoC) runs the same engine deterministically.
+pub struct PlatformEquivalence;
+
+impl StatOracle for PlatformEquivalence {
+    fn name(&self) -> &'static str {
+        "platform-equivalence"
+    }
+
+    fn family(&self) -> OracleFamily {
+        OracleFamily::Differential
+    }
+
+    fn claim(&self) -> &'static str {
+        "Spec-loaded platforms reproduce hardwired campaigns bit for bit"
+    }
+
+    fn run(&self, ctx: &OracleContext) -> OracleReport {
+        let seed = ctx.probe_seed(self.name(), 0);
+        let fraction = ctx.budget.campaign_fraction;
+        let configured = |spec: &PlatformSpec| {
+            let mut config = CampaignConfig::for_platform_scaled(spec, fraction);
+            config.seed = seed;
+            config
+        };
+        let run = |config: CampaignConfig, jobs: usize| {
+            let mut log = Logbook::new();
+            let report = Campaign::new(config).run_observed(jobs, &mut log);
+            (report, log)
+        };
+
+        let mut checks = Vec::new();
+        let built_in = PlatformSpec::xgene2();
+        match PlatformSpec::try_from(RawPlatformSpec::from(&built_in)) {
+            Ok(round_tripped) => {
+                checks.push(CheckResult::new(
+                    "spec-round-trip",
+                    round_tripped == built_in,
+                    "X-Gene 2 spec survives the raw wire carrier unchanged",
+                ));
+                for jobs in [1usize, 8] {
+                    let (hardwired, hardwired_log) = run(configured(&built_in), jobs);
+                    let (loaded, loaded_log) = run(configured(&round_tripped), jobs);
+                    let report_ok = loaded == hardwired;
+                    let trace_ok = loaded_log == hardwired_log;
+                    checks.push(CheckResult::new(
+                        format!("xgene2-spec-vs-builtin-jobs-{jobs}"),
+                        report_ok && trace_ok,
+                        if report_ok && trace_ok {
+                            format!(
+                                "spec-loaded campaign bit-identical (jobs={jobs}, {})",
+                                summarize(&loaded)
+                            )
+                        } else {
+                            format!(
+                                "spec-loaded campaign diverged (jobs={jobs}, report ok: \
+                                 {report_ok}, trace ok: {trace_ok})"
+                            )
+                        },
+                    ));
+                }
+            }
+            Err(e) => checks.push(CheckResult::new(
+                "spec-round-trip",
+                false,
+                format!("X-Gene 2 spec failed to re-validate: {e}"),
+            )),
+        }
+
+        // The second platform exercises the same engine end to end: its
+        // campaign must be deterministic across worker counts and actually
+        // simulate something at every scheduled point.
+        let zynq = PlatformSpec::zynq_mpsoc();
+        let (zynq_seq, zynq_seq_log) = run(configured(&zynq), 1);
+        checks.push(CheckResult::new(
+            "zynq-campaign-runs",
+            zynq_seq.sessions.len() == zynq.campaign.len()
+                && zynq_seq.sessions.iter().all(|s| s.runs > 0),
+            format!("zynq-mpsoc: {}", summarize(&zynq_seq)),
+        ));
+        let (zynq_par, zynq_par_log) = run(configured(&zynq), 8);
+        let agree = zynq_par == zynq_seq && zynq_par_log == zynq_seq_log;
+        checks.push(CheckResult::new(
+            "zynq-jobs-8",
+            agree,
+            if agree {
+                "zynq-mpsoc report and trace identical at jobs=8".to_string()
+            } else {
+                "zynq-mpsoc diverged across worker counts".to_string()
+            },
+        ));
+        self.report(checks)
+    }
+}
+
 /// Where [`ResumeEquivalence`] cuts the journal before resuming.
 enum TruncationPoint {
     /// Keep this fraction of complete records (a clean crash between
@@ -338,6 +437,12 @@ mod tests {
     #[test]
     fn resume_agrees() {
         let report = ResumeEquivalence.run(&ctx());
+        assert!(report.passed(), "{:#?}", report.checks);
+    }
+
+    #[test]
+    fn platforms_agree() {
+        let report = PlatformEquivalence.run(&ctx());
         assert!(report.passed(), "{:#?}", report.checks);
     }
 }

@@ -72,6 +72,7 @@ pub fn default_suite() -> Vec<Box<dyn StatOracle>> {
         Box::new(differential::EngineEquivalence),
         Box::new(differential::TraceEquivalence),
         Box::new(differential::ResumeEquivalence),
+        Box::new(differential::PlatformEquivalence),
         Box::new(sampler::SamplerEquivalence),
         Box::new(ecc::SecdedExhaustive),
         Box::new(ecc::InterleaveDistance),
