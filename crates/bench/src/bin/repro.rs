@@ -22,6 +22,7 @@
 //! repro inspect DIR           # offline forensics on a finished run
 //! repro inspect --folded DIR  # collapsed stacks for flamegraph tooling
 //! repro inspect --diff A B    # headline deltas between two runs
+//! repro inspect --convergence DIR  # replay the journal's CI estimators
 //! ```
 
 use std::io::IsTerminal as _;
@@ -188,7 +189,8 @@ fn parse_args() -> Result<Args, String> {
                      repro bench [--out bench.json] [--min-secs SECS] [--rows 1,2,4,8]\n       \
                      repro serve [--listen HOST:PORT] [--max-concurrent N] \
                      [--jobs N] [--state DIR] [--for-secs SECS]\n       \
-                     repro inspect [--folded | --diff] [--out PATH] DIR [DIR_B]"
+                     repro inspect [--folded | --diff | --convergence] [--out PATH] \
+                     DIR [DIR_B]"
                 );
                 std::process::exit(0);
             }
@@ -481,6 +483,7 @@ struct InspectArgs {
     dirs: Vec<String>,
     folded: bool,
     diff: bool,
+    convergence: bool,
     out: Option<String>,
 }
 
@@ -489,6 +492,7 @@ fn parse_inspect_args(it: impl Iterator<Item = String>) -> Result<InspectArgs, S
         dirs: Vec::new(),
         folded: false,
         diff: false,
+        convergence: false,
         out: None,
     };
     let mut it = it;
@@ -496,16 +500,22 @@ fn parse_inspect_args(it: impl Iterator<Item = String>) -> Result<InspectArgs, S
         match arg.as_str() {
             "--folded" => args.folded = true,
             "--diff" => args.diff = true,
+            "--convergence" => args.convergence = true,
             "--out" => {
                 args.out = Some(it.next().ok_or("--out needs a path")?);
             }
             "--help" | "-h" => {
                 println!(
                     "usage: repro inspect [--folded] [--out PATH] DIR\n       \
-                     repro inspect --diff [--out PATH] DIR_A DIR_B\n\n\
+                     repro inspect --diff [--out PATH] DIR_A DIR_B\n       \
+                     repro inspect --convergence [--out PATH] DIR\n\n\
                      DIR is a --telemetry-out export, a --journal directory, a \
                      `repro serve` job directory, or a serve --state directory \
-                     (every job-N inside it is inspected)."
+                     (every job-N inside it is inspected).\n\n\
+                     --convergence replays DIR's journal.jsonl through the live \
+                     estimator arithmetic and prints the statistical convergence \
+                     snapshot (per-point rates, Garwood CIs, precision flags) — \
+                     byte-identical to the run's final /convergence document."
                 );
                 std::process::exit(0);
             }
@@ -514,6 +524,9 @@ fn parse_inspect_args(it: impl Iterator<Item = String>) -> Result<InspectArgs, S
             }
             dir => args.dirs.push(dir.to_string()),
         }
+    }
+    if args.convergence && (args.folded || args.diff) {
+        return Err("--convergence cannot combine with --folded or --diff".to_string());
     }
     match (args.diff, args.dirs.len()) {
         (true, 2) | (false, 1) => Ok(args),
@@ -556,6 +569,25 @@ fn inspect_targets(dir: &Path) -> Result<Vec<PathBuf>, String> {
 /// two runs) goes to stdout or `--out`.
 fn run_inspect(args: &InspectArgs) -> ExitCode {
     let render = || -> Result<String, String> {
+        if args.convergence {
+            // Replay each journal through the live estimator arithmetic;
+            // the rendering is byte-identical to the run's final
+            // /convergence document, so `cmp` closes the loop.
+            let dir = Path::new(&args.dirs[0]);
+            let targets = if dir.join("journal.jsonl").is_file() {
+                vec![dir.to_path_buf()]
+            } else {
+                inspect_targets(dir)?
+            };
+            let mut out = String::new();
+            for target in targets {
+                let tracker =
+                    serscale_telemetry::convergence::ConvergenceTracker::replay(&target)
+                        .map_err(|e| format!("{}: {e}", target.display()))?;
+                out.push_str(&tracker.snapshot().to_json());
+            }
+            return Ok(out);
+        }
         if args.diff {
             let single = |dir: &str| {
                 let targets = inspect_targets(Path::new(dir))?;

@@ -279,6 +279,45 @@ mod tests {
         assert!((hi - 3.689).abs() < 0.3, "hi = {hi}");
     }
 
+    /// Garwood at k=0: the lower bound is *exactly* the integer zero —
+    /// not a denormal, not a negative chi-square artifact, not NaN — at
+    /// every confidence level. Bit-level regression for the convergence
+    /// plane, whose streamed intervals must match these batch values.
+    #[test]
+    fn garwood_zero_count_lower_bound_is_integer_exact() {
+        for &level in &[0.5, 0.68, 0.90, 0.95, 0.99, 0.999] {
+            let (lo, hi) = poisson_ci(0, level);
+            assert_eq!(lo.to_bits(), 0.0f64.to_bits(), "level {level}: lo = {lo:e}");
+            assert!(lo.is_sign_positive(), "level {level}: lo is -0.0");
+            assert!(hi.is_finite() && hi > 0.0, "level {level}: hi = {hi}");
+            assert!(!lo.is_nan() && !hi.is_nan(), "level {level}");
+        }
+    }
+
+    /// Garwood at k=1, both tails: finite lower bound that is never
+    /// negative (the chi-square edge the Wilson–Hilferty clamp
+    /// protects — at extreme levels the clamp floors it to exactly 0),
+    /// finite upper bound, correctly ordered around the count.
+    #[test]
+    fn garwood_one_count_both_tails_finite_and_ordered() {
+        for &level in &[0.5, 0.68, 0.90, 0.95, 0.99, 0.999] {
+            let (lo, hi) = poisson_ci(1, level);
+            assert!(lo.is_finite() && lo >= 0.0, "level {level}: lo = {lo}");
+            assert!(hi.is_finite() && hi > 1.0, "level {level}: hi = {hi}");
+            assert!(lo < 1.0 && 1.0 < hi, "level {level}: ({lo}, {hi})");
+        }
+        // At moderate levels the lower tail is strictly positive.
+        for &level in &[0.5, 0.68, 0.90, 0.95] {
+            let (lo, _) = poisson_ci(1, level);
+            assert!(lo > 0.0, "level {level}: lo = {lo}");
+        }
+        // The 95% values are pinned: exact Garwood gives (0.0253, 5.572);
+        // Wilson–Hilferty lands nearby and must keep doing so.
+        let (lo, hi) = poisson_ci(1, 0.95);
+        assert!((lo - 0.0253).abs() < 0.02, "lo = {lo}");
+        assert!((hi - 5.572).abs() < 0.3, "hi = {hi}");
+    }
+
     #[test]
     fn poisson_ci_narrows_with_count() {
         let r10 = poisson_relative_uncertainty(10);

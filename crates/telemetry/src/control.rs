@@ -567,6 +567,24 @@ impl ControlPlane {
         Some((sink.events_jsonl(), terminal))
     }
 
+    /// The job's convergence snapshot, tenant-labeled like the resource
+    /// bill (the `/campaigns/{id}/convergence` endpoint): the private
+    /// sink's statistical-plane document wrapped with the campaign id
+    /// and submitting tenant.
+    pub fn convergence_json(&self, id: u64) -> Option<String> {
+        let (sink, tenant) = {
+            let state = self.lock();
+            let entry = state.jobs.get(&id)?;
+            (Arc::clone(&entry.sink), entry.spec.tenant.clone())
+        };
+        let snapshot = sink.convergence_json();
+        Some(format!(
+            "{{\"campaign\":{id},\"tenant\":{},\"convergence\":{}}}\n",
+            json::escape(&tenant),
+            snapshot.trim_end(),
+        ))
+    }
+
     /// The job the legacy `/campaign` endpoint aliases to: the most
     /// recently started job, falling back to the newest submission.
     pub fn current(&self) -> Option<u64> {

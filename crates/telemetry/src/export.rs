@@ -27,6 +27,7 @@ use serscale_types::CacheLevel;
 
 use serscale_core::journal::SyncProbe;
 
+use crate::convergence::{ConvergenceSnapshot, ConvergenceTracker};
 use crate::json;
 use crate::metrics::{Registry, Shard};
 use crate::observer::TelemetryObserver;
@@ -68,6 +69,9 @@ pub struct TelemetrySink {
     status: Arc<Mutex<CampaignStatus>>,
     /// Journal fsync probe surfaced by `/healthz`, when journaled.
     probe: Arc<Mutex<Option<SyncProbe>>>,
+    /// The statistical convergence plane, fed by this sink's observers
+    /// and surfaced by `/convergence`.
+    convergence: Arc<Mutex<ConvergenceTracker>>,
 }
 
 impl TelemetrySink {
@@ -100,6 +104,7 @@ impl TelemetrySink {
             options,
             status: Arc::new(Mutex::new(CampaignStatus::default())),
             probe: Arc::new(Mutex::new(None)),
+            convergence: Arc::new(Mutex::new(ConvergenceTracker::new())),
         }
     }
 
@@ -137,6 +142,7 @@ impl TelemetrySink {
             Arc::clone(&self.progress),
             Arc::clone(&self.status),
             Arc::clone(&self.probe),
+            Arc::clone(&self.convergence),
         )
     }
 
@@ -161,7 +167,23 @@ impl TelemetrySink {
             Arc::clone(&self.progress),
             self.campaign_span,
             self.options.trial_spans,
+            Arc::clone(&self.convergence),
         )
+    }
+
+    /// The current convergence snapshot — every operating point's
+    /// per-(domain, array) counts, rates and Garwood CIs.
+    pub fn convergence_snapshot(&self) -> ConvergenceSnapshot {
+        self.convergence
+            .lock()
+            .expect("convergence tracker poisoned")
+            .snapshot()
+    }
+
+    /// [`convergence_snapshot`](Self::convergence_snapshot) rendered as
+    /// the byte-stable `/convergence` JSON document.
+    pub fn convergence_json(&self) -> String {
+        self.convergence_snapshot().to_json()
     }
 
     /// The sink's metrics registry.
@@ -234,6 +256,27 @@ impl TelemetrySink {
         if counter_total != report_total {
             return Err(format!(
                 "edac_events total {counter_total} != report total {report_total}"
+            ));
+        }
+        // And the convergence plane must have seen the same stream: its
+        // per-cell event counts and trial tallies sum to the report's.
+        let convergence = self.convergence_snapshot();
+        let tracked_events: u64 = convergence
+            .points
+            .iter()
+            .flat_map(|p| &p.cells)
+            .map(|c| c.events)
+            .sum();
+        if tracked_events != report_total {
+            return Err(format!(
+                "convergence plane tracked {tracked_events} events, report says {report_total}"
+            ));
+        }
+        let tracked_trials: u64 = convergence.points.iter().map(|p| p.trials).sum();
+        let report_runs: u64 = report.sessions.iter().map(|s| s.runs).sum();
+        if tracked_trials != report_runs {
+            return Err(format!(
+                "convergence plane tracked {tracked_trials} trials, report says {report_runs}"
             ));
         }
         Ok(())

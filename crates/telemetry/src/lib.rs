@@ -29,6 +29,11 @@
 //!   `spans.jsonl` and `events.jsonl` into a critical-path / worker
 //!   utilization / exact-quantile report (`repro inspect`), including a
 //!   bit-exact reconstruction of the live busy-time metrics.
+//! - [`convergence`] — the statistical convergence plane: live
+//!   per-operating-point Garwood-CI estimators over every (voltage
+//!   domain, array) cell, a byte-stable `/convergence` snapshot, and a
+//!   journal replay (`repro inspect --convergence`) that reproduces the
+//!   live endpoint's final snapshot bit-exactly.
 //! - [`progress`] — a rate-limited stderr progress reporter for
 //!   interactive runs (TTY-aware: in-place rewrites on terminals, plain
 //!   periodic lines otherwise; off in CI and golden runs).
@@ -52,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod control;
+pub mod convergence;
 pub mod export;
 pub mod inspect;
 pub mod json;
@@ -63,6 +69,7 @@ pub mod serve;
 pub mod span;
 
 pub use control::{ControlPlane, ControlPlaneOptions};
+pub use convergence::{ConvergenceSnapshot, ConvergenceTracker};
 pub use export::{TelemetryOptions, TelemetrySink};
 pub use inspect::{inspect_dir, InspectReport};
 pub use metrics::{MetricsSnapshot, Registry};

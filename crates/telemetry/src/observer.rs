@@ -42,6 +42,18 @@ struct WorkerSlot {
     shards: Counter,
 }
 
+/// Cached gauge handles for one convergence cell, resolved once when
+/// its operating point first appears (the `rel` series only once the
+/// half-width turns finite, so an empty cell never exports a bogus 0).
+struct CellGauges {
+    /// `convergence_events{…,class}` for masked / due / sdc, in order.
+    events: [Gauge; 3],
+    rate: Gauge,
+    lower: Gauge,
+    upper: Gauge,
+    rel: Option<Gauge>,
+}
+
 /// Per-session state: identity, rolling counts, and the cached series
 /// handles every callback bumps without re-resolving labels.
 struct SessionState {
@@ -212,6 +224,14 @@ pub struct TelemetryObserver {
     /// Parent for session spans (the sink's campaign span, if any).
     parent: SpanId,
     trial_spans: bool,
+    /// The sink's shared convergence tracker (statistical plane).
+    convergence: Arc<Mutex<crate::convergence::ConvergenceTracker>>,
+    /// Cached convergence gauge handles, indexed `[point][cell]` in
+    /// snapshot order (points append-only, cells fixed per point), so a
+    /// session end re-renders the plane without re-resolving labels.
+    convergence_gauges: Vec<Vec<CellGauges>>,
+    /// `convergence_cells_total` / `convergence_resolved_cells`.
+    convergence_headline: Option<(Gauge, Gauge)>,
     state: Option<SessionState>,
     /// Sim-seconds completed in *earlier* sessions (for progress/ETA).
     completed_sim_secs: f64,
@@ -228,6 +248,7 @@ impl TelemetryObserver {
         progress: Arc<Mutex<Progress>>,
         parent: SpanId,
         trial_spans: bool,
+        convergence: Arc<Mutex<crate::convergence::ConvergenceTracker>>,
     ) -> Self {
         let shard = registry.shard();
         let events_counter = shard.counter("telemetry_events_total", &[]);
@@ -241,6 +262,9 @@ impl TelemetryObserver {
             progress,
             parent,
             trial_spans,
+            convergence,
+            convergence_gauges: Vec::new(),
+            convergence_headline: None,
             state: None,
             completed_sim_secs: 0.0,
             workers: Vec::new(),
@@ -315,6 +339,121 @@ impl TelemetryObserver {
             }
         }
     }
+
+    /// Closes the convergence tracker's session at `at`, re-renders its
+    /// Prometheus gauges for every operating point seen so far, and
+    /// hands the progress reporter the headline (resolved/total cells,
+    /// the widest-CI cell and its projected time-to-resolution).
+    ///
+    /// All values derive from simulation counts and the deterministic
+    /// session clock, so the gauges are identical at any `--jobs`.
+    fn publish_convergence(&mut self, at: SimInstant) {
+        let snapshot = {
+            let mut tracker = self
+                .convergence
+                .lock()
+                .expect("convergence tracker poisoned");
+            tracker.session_end(at);
+            tracker.snapshot()
+        };
+        for (index, point) in snapshot.points.iter().enumerate() {
+            if self.convergence_gauges.len() <= index {
+                let voltage = point.voltage.as_str();
+                let handles = point
+                    .cells
+                    .iter()
+                    .map(|cell| {
+                        let domain = cell.domain.to_string();
+                        let array = cell.array.to_string();
+                        let base = [
+                            ("voltage", voltage),
+                            ("domain", domain.as_str()),
+                            ("array", array.as_str()),
+                        ];
+                        CellGauges {
+                            events: ["masked", "due", "sdc"].map(|class| {
+                                let labels = [base[0], base[1], base[2], ("class", class)];
+                                self.registry
+                                    .gauge(&self.shard, "convergence_events", &labels)
+                            }),
+                            rate: self.registry.gauge(
+                                &self.shard,
+                                "convergence_rate_per_hour",
+                                &base,
+                            ),
+                            lower: self.registry.gauge(
+                                &self.shard,
+                                "convergence_ci_lower_per_hour",
+                                &base,
+                            ),
+                            upper: self.registry.gauge(
+                                &self.shard,
+                                "convergence_ci_upper_per_hour",
+                                &base,
+                            ),
+                            rel: None,
+                        }
+                    })
+                    .collect();
+                self.convergence_gauges.push(handles);
+            }
+            let handles = &mut self.convergence_gauges[index];
+            for (cell, cached) in point.cells.iter().zip(handles.iter_mut()) {
+                for (slot, count) in [cell.masked, cell.due, cell.sdc].into_iter().enumerate() {
+                    cached.events[slot].set(count as f64);
+                }
+                cached.rate.set(cell.rate_per_hour);
+                cached.lower.set(cell.ci_lower_per_hour);
+                cached.upper.set(cell.ci_upper_per_hour);
+                if cell.rel_halfwidth.is_finite() {
+                    if cached.rel.is_none() {
+                        let domain = cell.domain.to_string();
+                        let array = cell.array.to_string();
+                        cached.rel = Some(self.registry.gauge(
+                            &self.shard,
+                            "convergence_rel_halfwidth",
+                            &[
+                                ("voltage", point.voltage.as_str()),
+                                ("domain", domain.as_str()),
+                                ("array", array.as_str()),
+                            ],
+                        ));
+                    }
+                    cached
+                        .rel
+                        .as_ref()
+                        .expect("just created")
+                        .set(cell.rel_halfwidth);
+                }
+            }
+        }
+        if self.convergence_headline.is_none() {
+            self.convergence_headline = Some((
+                self.registry.gauge(&self.shard, "convergence_cells_total", &[]),
+                self.registry
+                    .gauge(&self.shard, "convergence_resolved_cells", &[]),
+            ));
+        }
+        let (cells_total, cells_resolved) =
+            self.convergence_headline.as_ref().expect("just created");
+        cells_total.set(snapshot.cells_total() as f64);
+        cells_resolved.set(snapshot.cells_resolved() as f64);
+        let widest = snapshot.widest().map(|(point, cell)| {
+            (
+                format!("{} {}", point.voltage, cell.label()),
+                cell.rel_halfwidth,
+                cell.projected_seconds,
+            )
+        });
+        self.progress
+            .lock()
+            .expect("progress poisoned")
+            .set_convergence(
+                snapshot.cells_resolved() as u64,
+                snapshot.cells_total() as u64,
+                widest,
+            );
+    }
 }
 
 impl Drop for TelemetryObserver {
@@ -355,11 +494,19 @@ impl SessionObserver for TelemetryObserver {
             .lock()
             .expect("progress poisoned")
             .session_started(&state.voltage);
+        self.convergence
+            .lock()
+            .expect("convergence tracker poisoned")
+            .session_start(point);
         self.state = Some(state);
     }
 
     fn on_run(&mut self, start: SimInstant, benchmark: Benchmark, verdict: RunVerdict) {
         self.settle_trial(start);
+        self.convergence
+            .lock()
+            .expect("convergence tracker poisoned")
+            .run(verdict);
         let Some(state) = &mut self.state else { return };
         state.last_run_start = Some(start);
         state.runs += 1;
@@ -392,6 +539,10 @@ impl SessionObserver for TelemetryObserver {
     }
 
     fn on_edac(&mut self, record: EdacRecord) {
+        self.convergence
+            .lock()
+            .expect("convergence tracker poisoned")
+            .edac(record.array, record.severity);
         let Some(state) = &mut self.state else { return };
         state.upsets += 1;
         state.edac_counter(&self.shard, &record).inc();
@@ -469,6 +620,7 @@ impl SessionObserver for TelemetryObserver {
         ));
         self.flush_events();
         self.completed_sim_secs += at.as_secs();
+        self.publish_convergence(at);
         self.progress
             .lock()
             .expect("progress poisoned")

@@ -68,6 +68,20 @@ pub struct ProgressSnapshot {
     /// nonnegative when present — shrinking targets clamp rather than
     /// going negative.
     pub eta_seconds: Option<f64>,
+    /// Convergence-plane cells resolved at the target precision, if the
+    /// convergence layer has reported.
+    pub cells_resolved: Option<u64>,
+    /// Total convergence-plane cells, if reported.
+    pub cells_total: Option<u64>,
+    /// The widest-CI cell's name (`"920mV@2.4 GHz PMD/L1D"`), when some
+    /// cell has events.
+    pub widest_cell: Option<String>,
+    /// That cell's relative CI half-width, when finite.
+    pub widest_rel_halfwidth: Option<f64>,
+    /// Projected additional live sim-seconds for that cell to reach the
+    /// precision target. Clamped like `eta_seconds`: finite and
+    /// nonnegative when present.
+    pub widest_projected_sim_seconds: Option<f64>,
 }
 
 impl ProgressSnapshot {
@@ -108,6 +122,35 @@ impl ProgressSnapshot {
             Some(e) => out.push_str(&format!(",\"eta_seconds\":{}", crate::json::number(e))),
             None => out.push_str(",\"eta_seconds\":null"),
         }
+        match self.cells_resolved {
+            Some(n) => out.push_str(&format!(",\"cells_resolved\":{n}")),
+            None => out.push_str(",\"cells_resolved\":null"),
+        }
+        match self.cells_total {
+            Some(n) => out.push_str(&format!(",\"cells_total\":{n}")),
+            None => out.push_str(",\"cells_total\":null"),
+        }
+        match &self.widest_cell {
+            Some(name) => out.push_str(&format!(
+                ",\"widest_cell\":{}",
+                crate::json::escape(name)
+            )),
+            None => out.push_str(",\"widest_cell\":null"),
+        }
+        match self.widest_rel_halfwidth {
+            Some(w) => out.push_str(&format!(
+                ",\"widest_rel_halfwidth\":{}",
+                crate::json::number(w)
+            )),
+            None => out.push_str(",\"widest_rel_halfwidth\":null"),
+        }
+        match self.widest_projected_sim_seconds {
+            Some(s) => out.push_str(&format!(
+                ",\"widest_projected_sim_seconds\":{}",
+                crate::json::number(s)
+            )),
+            None => out.push_str(",\"widest_projected_sim_seconds\":null"),
+        }
         out.push('}');
         out
     }
@@ -128,6 +171,20 @@ pub struct Progress {
     upsets: u64,
     sim_secs: f64,
     emitted: bool,
+    /// Latest convergence headline, if the convergence layer reported:
+    /// `(resolved, total)` cells plus the widest-CI cell's name,
+    /// half-width and projected sim-seconds to the precision target.
+    convergence: Option<ConvergenceHeadline>,
+}
+
+/// The convergence plane's contribution to the progress line.
+#[derive(Debug, Clone)]
+struct ConvergenceHeadline {
+    resolved: u64,
+    total: u64,
+    widest_cell: Option<String>,
+    widest_rel_halfwidth: Option<f64>,
+    widest_projected_sim_seconds: Option<f64>,
 }
 
 impl Progress {
@@ -150,6 +207,7 @@ impl Progress {
             upsets: 0,
             sim_secs: 0.0,
             emitted: false,
+            convergence: None,
         }
     }
 
@@ -173,6 +231,33 @@ impl Progress {
         self.trials += 1;
         self.upsets = self.upsets.max(session_upsets);
         self.maybe_emit(false);
+    }
+
+    /// Publishes the convergence plane's headline: resolved/total cells
+    /// plus the widest-CI cell as `(name, rel_halfwidth,
+    /// projected_sim_seconds)`. Non-finite or negative half-widths and
+    /// projections clamp away (the ETA convention), so the line and the
+    /// `/progress` document never show NaN, infinity or negative time.
+    pub fn set_convergence(
+        &mut self,
+        resolved: u64,
+        total: u64,
+        widest: Option<(String, f64, Option<f64>)>,
+    ) {
+        let clamp = |x: f64| (x.is_finite() && x >= 0.0).then_some(x);
+        let (widest_cell, widest_rel_halfwidth, widest_projected_sim_seconds) = match widest {
+            Some((name, rel, projected)) => {
+                (Some(name), clamp(rel), projected.and_then(clamp))
+            }
+            None => (None, None, None),
+        };
+        self.convergence = Some(ConvergenceHeadline {
+            resolved,
+            total,
+            widest_cell,
+            widest_rel_halfwidth,
+            widest_projected_sim_seconds,
+        });
     }
 
     /// A session finished; `completed_sim_secs` is the cumulative total.
@@ -215,6 +300,7 @@ impl Progress {
                 None
             }
         });
+        let convergence = self.convergence.as_ref();
         ProgressSnapshot {
             voltage: self.voltage.clone(),
             trials: self.trials,
@@ -225,6 +311,12 @@ impl Progress {
             fraction,
             elapsed_seconds: elapsed,
             eta_seconds,
+            cells_resolved: convergence.map(|c| c.resolved),
+            cells_total: convergence.map(|c| c.total),
+            widest_cell: convergence.and_then(|c| c.widest_cell.clone()),
+            widest_rel_halfwidth: convergence.and_then(|c| c.widest_rel_halfwidth),
+            widest_projected_sim_seconds: convergence
+                .and_then(|c| c.widest_projected_sim_seconds),
         }
     }
 
@@ -247,6 +339,19 @@ impl Progress {
         }
         if let Some(eta) = snap.eta_seconds {
             line.push_str(&format!(" | ETA {eta:.0}s"));
+        }
+        if let (Some(resolved), Some(total)) = (snap.cells_resolved, snap.cells_total) {
+            line.push_str(&format!(" | CI {resolved}/{total} cells"));
+            if let Some(name) = &snap.widest_cell {
+                line.push_str(&format!(" (widest {name}"));
+                if let Some(rel) = snap.widest_rel_halfwidth {
+                    line.push_str(&format!(" +-{:.0}%", rel * 100.0));
+                }
+                if let Some(secs) = snap.widest_projected_sim_seconds {
+                    line.push_str(&format!(", ~{secs:.0}s sim to target"));
+                }
+                line.push(')');
+            }
         }
         line
     }
@@ -348,9 +453,72 @@ mod tests {
 
     #[test]
     fn plain_mode_lines_carry_no_control_characters() {
-        let p = Progress::with_mode(false, ProgressMode::Plain);
+        let mut p = Progress::with_mode(false, ProgressMode::Plain);
+        p.set_convergence(
+            3,
+            14,
+            Some(("920mV@2.4 GHz PMD/L1D".to_string(), 0.42, Some(1800.0))),
+        );
         let line = p.line();
         assert!(!line.contains('\r') && !line.contains('\x1b'), "{line}");
+        assert!(line.is_ascii(), "{line}");
+    }
+
+    /// Satellite: the convergence headline obeys the same clamping
+    /// convention as the ETA — a zero-rate cell's infinite half-width
+    /// and projection must never surface as NaN/inf/negative.
+    #[test]
+    fn convergence_headline_clamps_nonfinite_projections() {
+        let mut p = Progress::with_mode(false, ProgressMode::Plain);
+        p.set_convergence(
+            0,
+            14,
+            Some((
+                "920mV@2.4 GHz SoC/L3".to_string(),
+                f64::INFINITY,
+                Some(f64::NAN),
+            )),
+        );
+        let snap = p.snapshot();
+        assert_eq!(snap.cells_resolved, Some(0));
+        assert_eq!(snap.cells_total, Some(14));
+        assert_eq!(snap.widest_cell.as_deref(), Some("920mV@2.4 GHz SoC/L3"));
+        assert_eq!(snap.widest_rel_halfwidth, None);
+        assert_eq!(snap.widest_projected_sim_seconds, None);
+        let line = p.line();
+        assert!(!line.contains("NaN") && !line.contains("inf"), "{line}");
+        // Negative projections clamp too.
+        p.set_convergence(1, 14, Some(("x".to_string(), -0.2, Some(-5.0))));
+        let snap = p.snapshot();
+        assert_eq!(snap.widest_rel_halfwidth, None);
+        assert_eq!(snap.widest_projected_sim_seconds, None);
+    }
+
+    #[test]
+    fn convergence_headline_shows_in_line_and_json() {
+        let mut p = Progress::with_mode(false, ProgressMode::Plain);
+        p.set_convergence(
+            5,
+            14,
+            Some(("790mV@900 MHz PMD/L2".to_string(), 0.25, Some(120.0))),
+        );
+        let line = p.line();
+        assert!(line.contains("CI 5/14 cells"), "{line}");
+        assert!(line.contains("790mV@900 MHz PMD/L2"), "{line}");
+        assert!(line.contains("+-25%"), "{line}");
+        let doc = json::parse(&p.snapshot().to_json()).expect("parses");
+        assert_eq!(
+            doc.get("cells_resolved").and_then(JsonValue::as_f64),
+            Some(5.0)
+        );
+        assert_eq!(
+            doc.get("widest_cell").and_then(JsonValue::as_str),
+            Some("790mV@900 MHz PMD/L2")
+        );
+        assert_eq!(
+            doc.get("widest_projected_sim_seconds").and_then(JsonValue::as_f64),
+            Some(120.0)
+        );
     }
 
     #[test]

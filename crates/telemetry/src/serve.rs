@@ -192,6 +192,7 @@ fn route_template(path: &str) -> (&'static str, Option<u64>) {
         "/metrics" => ("/metrics", None),
         "/healthz" => ("/healthz", None),
         "/progress" => ("/progress", None),
+        "/convergence" => ("/convergence", None),
         "/spans" => ("/spans", None),
         "/campaign" => ("/campaign", None),
         "/campaigns" => ("/campaigns", None),
@@ -208,6 +209,7 @@ fn route_template(path: &str) -> (&'static str, Option<u64>) {
                     None => ("/campaigns/{id}", id),
                     Some("report") => ("/campaigns/{id}/report", id),
                     Some("events") => ("/campaigns/{id}/events", id),
+                    Some("convergence") => ("/campaigns/{id}/convergence", id),
                     Some(_) => ("(other)", None),
                 }
             }
@@ -225,6 +227,7 @@ pub struct MonitorState {
     progress: Arc<Mutex<Progress>>,
     status: Arc<Mutex<CampaignStatus>>,
     probe: Arc<Mutex<Option<SyncProbe>>>,
+    convergence: Arc<Mutex<crate::convergence::ConvergenceTracker>>,
     control: Option<Arc<ControlPlane>>,
     service: Option<Arc<ServiceTelemetry>>,
     started: Instant,
@@ -240,6 +243,7 @@ impl MonitorState {
         progress: Arc<Mutex<Progress>>,
         status: Arc<Mutex<CampaignStatus>>,
         probe: Arc<Mutex<Option<SyncProbe>>>,
+        convergence: Arc<Mutex<crate::convergence::ConvergenceTracker>>,
     ) -> Self {
         MonitorState {
             registry,
@@ -247,6 +251,7 @@ impl MonitorState {
             progress,
             status,
             probe,
+            convergence,
             control: None,
             service: None,
             started: Instant::now(),
@@ -450,6 +455,7 @@ impl MonitorState {
                      /metrics   Prometheus text exposition\n\
                      /healthz   liveness + journal fsync lag (JSON)\n\
                      /progress  trials, sigma estimate, ETA (JSON)\n\
+                     /convergence  per-point rates, Garwood CIs, precision (JSON)\n\
                      /spans     recent closed spans (JSONL)\n\
                      /campaign  journal-backed campaign status (JSON)\n",
                 );
@@ -459,6 +465,7 @@ impl MonitorState {
                          /campaigns/N          GET status / DELETE to cancel (JSON)\n\
                          /campaigns/N/report   GET the bit-stable report (text)\n\
                          /campaigns/N/events   GET the live event stream (JSONL)\n\
+                         /campaigns/N/convergence  GET the job's CI estimates (JSON)\n\
                          /tenants              GET per-tenant usage totals (JSON)\n\
                          /shutdown             POST to drain the service\n",
                     );
@@ -475,6 +482,13 @@ impl MonitorState {
                 self.progress
                     .lock()
                     .expect("progress poisoned")
+                    .snapshot()
+                    .to_json(),
+            ),
+            "/convergence" => Response::json(
+                self.convergence
+                    .lock()
+                    .expect("convergence tracker poisoned")
                     .snapshot()
                     .to_json(),
             ),
@@ -566,8 +580,12 @@ impl MonitorState {
                 }
                 no_such_job(id)
             }
+            ("GET", Some("convergence")) => match control.convergence_json(id) {
+                Some(doc) => Response::json(doc),
+                None => no_such_job(id),
+            },
             (_, None) => method_not_allowed("GET or DELETE"),
-            (_, Some("report" | "events")) => method_not_allowed("GET"),
+            (_, Some("report" | "events" | "convergence")) => method_not_allowed("GET"),
             _ => Response::text(404, "404 not found\ntry / for the endpoint index\n"),
         })
     }

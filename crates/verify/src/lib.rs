@@ -21,7 +21,10 @@
 //!   journaled campaign must reproduce the uninterrupted run exactly,
 //!   including across a torn journal tail; and the batched arrival
 //!   sampler must consume RNG streams draw-for-draw identically to the
-//!   per-event reference physics across random operating points.
+//!   per-event reference physics across random operating points; and the
+//!   convergence plane's streamed Garwood intervals ([`convergence`])
+//!   must be bit-identical to `serscale-stats`' batch implementation on
+//!   identical counts.
 //! * **ECC** ([`ecc`]) — exhaustive SECDED single-correction /
 //!   double-detection over all 72 codeword positions and interleaving
 //!   distance over every physical cluster.
@@ -52,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod convergence;
 pub mod differential;
 pub mod ecc;
 pub mod metamorphic;
@@ -74,6 +78,7 @@ pub fn default_suite() -> Vec<Box<dyn StatOracle>> {
         Box::new(differential::ResumeEquivalence),
         Box::new(differential::PlatformEquivalence),
         Box::new(sampler::SamplerEquivalence),
+        Box::new(convergence::StreamingGarwood),
         Box::new(ecc::SecdedExhaustive),
         Box::new(ecc::InterleaveDistance),
     ]
